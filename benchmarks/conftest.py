@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness.
+
+Every file in this directory regenerates one artifact of the paper's
+evaluation (a figure or an in-text result) and prints the rows/series
+the paper reports, while pytest-benchmark times the underlying
+computation.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, rows: list[str]) -> None:
+    """Uniform table rendering for bench output."""
+    print()
+    print(f"== {title} ==")
+    for row in rows:
+        print(f"   {row}")

@@ -1,0 +1,130 @@
+"""A2 — allocator shoot-out: registers and multiplexing per family.
+
+§3.2's techniques compared on the same schedules: clique partitioning,
+left-edge, conflict-graph coloring and the three greedy policies.
+Shape assertions: left-edge and coloring meet the max-live register
+lower bound, clique matches the peak-usage FU bound, and
+interconnect-aware greedy never loses to cost-blind greedy on mux
+inputs.
+"""
+
+from conftest import print_table
+from repro.allocation import (
+    CliqueAllocator,
+    ColoringRegisterAllocator,
+    GreedyDatapathAllocator,
+    LeftEdgeRegisterAllocator,
+    RuleBasedAllocator,
+    allocate_buses,
+    compute_lifetimes,
+    estimate_interconnect,
+    minimum_registers,
+)
+from repro.scheduling import (
+    ListScheduler,
+    ResourceConstraints,
+    SchedulingProblem,
+    TypedFUModel,
+)
+from repro.workloads import (
+    RandomDFGSpec,
+    ewf_cdfg,
+    fig6_cdfg,
+    random_dfg,
+)
+
+UNIT = TypedFUModel(single_cycle=True)
+
+
+def schedules():
+    out = {}
+    out["fig6"] = SchedulingProblem.from_block(
+        fig6_cdfg().blocks()[0], UNIT, ResourceConstraints({"add": 2})
+    )
+    out["ewf"] = SchedulingProblem.from_block(
+        ewf_cdfg().blocks()[0], UNIT,
+        ResourceConstraints({"add": 2, "mul": 1}),
+    )
+    for seed in (5, 9):
+        cdfg = random_dfg(RandomDFGSpec(ops=20, seed=seed))
+        out[f"rand{seed}"] = SchedulingProblem.from_block(
+            cdfg.blocks()[0], UNIT,
+            ResourceConstraints({"add": 2, "mul": 2}),
+        )
+    return {
+        name: ListScheduler(problem).schedule()
+        for name, problem in out.items()
+    }
+
+
+FACTORIES = [
+    ("clique", CliqueAllocator),
+    ("left-edge", LeftEdgeRegisterAllocator),
+    ("coloring", ColoringRegisterAllocator),
+    ("greedy/local", lambda s: GreedyDatapathAllocator(s, "local")),
+    ("greedy/global", lambda s: GreedyDatapathAllocator(s, "global")),
+    ("greedy/blind", lambda s: GreedyDatapathAllocator(s, "blind")),
+    ("rules (DAA)", RuleBasedAllocator),
+]
+
+
+def run_shootout():
+    table = {}
+    for name, schedule in schedules().items():
+        schedule.validate()
+        bound = minimum_registers(compute_lifetimes(schedule))
+        row = {"min-regs": bound}
+        for label, factory in FACTORIES:
+            allocation = factory(schedule).allocate()
+            allocation.validate()
+            estimate = estimate_interconnect(allocation)
+            row[label] = {
+                "fus": sum(
+                    allocation.fu_count(cls)
+                    for cls in {"add", "mul", "fu"}
+                ),
+                "regs": allocation.register_count,
+                "muxin": estimate.mux_inputs,
+                "buses": allocate_buses(estimate).bus_count,
+            }
+        table[name] = row
+    return table
+
+
+def test_ablation_allocators(benchmark):
+    table = benchmark(run_shootout)
+
+    rows = []
+    for name, row in table.items():
+        rows.append(f"{name} (max-live register bound {row['min-regs']}):")
+        for label, _ in FACTORIES:
+            cell = row[label]
+            rows.append(
+                f"   {label:>13}: FUs={cell['fus']:2d} "
+                f"regs={cell['regs']:2d} mux-inputs={cell['muxin']:2d} "
+                f"buses={cell['buses']:2d}"
+            )
+    rows.append("[shape: left-edge/coloring hit the register bound; "
+                "aware greedy <= blind greedy on mux inputs]")
+    print_table("A2 — allocator shoot-out", rows)
+
+    for name, row in table.items():
+        bound = row["min-regs"]
+        assert row["left-edge"]["regs"] == bound, name
+        assert row["coloring"]["regs"] == bound, name
+        assert row["clique"]["regs"] >= bound, name
+
+    # Interconnect-aware greedy dominates cost-blind greedy in
+    # aggregate (a greedy heuristic may lose a point on an adversarial
+    # random graph; the paper's crafted example is strict).
+    aware_total = sum(
+        row["greedy/local"]["muxin"] for row in table.values()
+    )
+    blind_total = sum(
+        row["greedy/blind"]["muxin"] for row in table.values()
+    )
+    assert aware_total < blind_total
+    assert (
+        table["fig6"]["greedy/local"]["muxin"]
+        < table["fig6"]["greedy/blind"]["muxin"]
+    )

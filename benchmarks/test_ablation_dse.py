@@ -1,0 +1,49 @@
+"""A3 — the scheduling/allocation interaction loop (design space).
+
+§3.1.1's Chippe/MIMOLA iteration: sweep the functional-unit budget,
+synthesize each point and measure (area, cycles).  Shape assertions:
+cycle count weakly decreases with more units, the sweep saturates at
+the dataflow limit, and the Pareto front contains at least two
+distinct trade-off points for the diffeq workload.
+"""
+
+from conftest import print_table
+from repro.core import SynthesisOptions
+from repro.explore import explore_fu_range
+from repro.workloads import DIFFEQ_SOURCE, SQRT_SOURCE, diffeq_inputs
+
+
+def run_sweep():
+    sqrt = explore_fu_range(SQRT_SOURCE, [1, 2, 3])
+    diffeq = explore_fu_range(
+        DIFFEQ_SOURCE,
+        [1, 2, 3, 4],
+        options=SynthesisOptions(),
+        vectors=[diffeq_inputs(3)],
+    )
+    return sqrt, diffeq
+
+
+def test_ablation_dse(benchmark):
+    sqrt, diffeq = benchmark(run_sweep)
+
+    rows = ["sqrt sweep (universal FU budget):"]
+    rows += [f"   {line}" for line in sqrt.table().splitlines()[1:]]
+    rows += ["diffeq sweep:"]
+    rows += [f"   {line}" for line in diffeq.table().splitlines()[1:]]
+    print_table("A3 — design-space exploration", rows)
+
+    for result in (sqrt, diffeq):
+        cycles = [p.cycles for p in result.points]
+        assert cycles == sorted(cycles, reverse=True), (
+            "more FUs must not slow the design down"
+        )
+        assert result.pareto, "Pareto front must be non-empty"
+
+    # sqrt: the 1-FU and 2-FU points differ; 2 and 3 saturate.
+    sqrt_cycles = [p.cycles for p in sqrt.points]
+    assert sqrt_cycles[0] > sqrt_cycles[1]
+    assert sqrt_cycles[1] == sqrt_cycles[2]
+
+    # diffeq exposes a genuine area/latency trade-off.
+    assert len({(p.cycles) for p in diffeq.points}) >= 2

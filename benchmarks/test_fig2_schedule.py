@@ -1,0 +1,88 @@
+"""F2 — Figure 2 and the §2 schedule arithmetic: 23 vs 10 control steps.
+
+The paper's two design points for the sqrt example:
+
+* trivial case, one universal FU (register moves cost a step, every
+  operation serialized): **3 + 4x5 = 23** control steps, on the
+  *unoptimized* graph;
+* optimized graph (×0.5 → free shift, +1 → increment, exit test →
+  ``I = 0`` on a two-bit counter) with **two** FUs: **2 + 4x2 = 10**.
+"""
+
+from conftest import print_table
+from repro.ir import OpKind
+from repro.scheduling import (
+    ListScheduler,
+    ResourceConstraints,
+    SchedulingProblem,
+    UniversalFUModel,
+    total_steps,
+)
+from repro.transforms import PassManager, TripCountAnalysis, optimize
+from repro.workloads import sqrt_cdfg
+
+MODEL = UniversalFUModel(count_bare_moves=True)
+
+
+def schedule_lengths(cdfg, fu_limit):
+    lengths = {}
+    for block in cdfg.blocks():
+        problem = SchedulingProblem.from_block(
+            block, MODEL, ResourceConstraints({"fu": fu_limit})
+        )
+        schedule = ListScheduler(problem).schedule()
+        schedule.validate()
+        lengths[block.id] = schedule.length
+    return lengths
+
+
+def run_both_points():
+    serial = sqrt_cdfg()
+    PassManager([TripCountAnalysis()]).run(serial)
+    serial_lengths = schedule_lengths(serial, fu_limit=1)
+    serial_total = total_steps(serial, serial_lengths)
+
+    fast = sqrt_cdfg()
+    optimize(fast)
+    fast_lengths = schedule_lengths(fast, fu_limit=2)
+    fast_total = total_steps(fast, fast_lengths)
+    return serial, serial_lengths, serial_total, fast, fast_lengths, \
+        fast_total
+
+
+def test_fig2_schedule(benchmark):
+    (serial, serial_lengths, serial_total,
+     fast, fast_lengths, fast_total) = benchmark(run_both_points)
+
+    serial_blocks = serial.blocks()
+    fast_blocks = fast.blocks()
+    rows = [
+        "1 FU, unoptimized  : entry="
+        f"{serial_lengths[serial_blocks[0].id]} steps, body="
+        f"{serial_lengths[serial_blocks[1].id]} steps x 4 iterations "
+        f"-> total {serial_total}   [paper: 3 + 4x5 = 23]",
+        "2 FUs, optimized   : entry="
+        f"{fast_lengths[fast_blocks[0].id]} steps, body="
+        f"{fast_lengths[fast_blocks[1].id]} steps x 4 iterations "
+        f"-> total {fast_total}   [paper: 2 + 4x2 = 10]",
+    ]
+    print_table("Fig. 2 — sqrt schedule lengths", rows)
+
+    assert serial_lengths[serial_blocks[0].id] == 3
+    assert serial_lengths[serial_blocks[1].id] == 5
+    assert serial_total == 23
+
+    assert fast_lengths[fast_blocks[0].id] == 2
+    assert fast_lengths[fast_blocks[1].id] == 2
+    assert fast_total == 10
+
+    # The optimizations of Fig. 2's left half all happened:
+    body = fast.loops()[0].test_block
+    kinds = {op.kind for op in body.compute_ops()}
+    assert OpKind.SHR in kinds       # x0.5 became a shift
+    assert OpKind.INC in kinds       # +1 became an increment
+    assert OpKind.EQ in kinds        # exit test became I = 0
+    assert OpKind.GT not in kinds
+    from repro.ir import IntType
+
+    assert fast.variables["I"] == IntType(2, signed=False)

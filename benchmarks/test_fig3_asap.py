@@ -1,0 +1,50 @@
+"""F3 — Figure 3: ASAP scheduling blocks the critical path.
+
+"operation 1 is scheduled ahead of operation 2, which is on the
+critical path, so that operation 2 is scheduled later than is
+necessary, forcing a longer than optimal schedule."
+"""
+
+from conftest import print_table
+from repro.ir import OpKind
+from repro.scheduling import (
+    ASAPScheduler,
+    ResourceConstraints,
+    SchedulingProblem,
+    TypedFUModel,
+)
+from repro.workloads import fig3_cdfg
+
+CONSTRAINTS = ResourceConstraints({"mul": 1, "add": 1})
+
+
+def run_asap():
+    cdfg = fig3_cdfg()
+    problem = SchedulingProblem.from_block(
+        cdfg.blocks()[0], TypedFUModel(single_cycle=True), CONSTRAINTS
+    )
+    schedule = ASAPScheduler(problem).schedule()
+    schedule.validate()
+    return problem, schedule
+
+
+def test_fig3_asap(benchmark):
+    problem, schedule = benchmark(run_asap)
+
+    muls = [op.id for op in problem.ops if op.kind is OpKind.MUL]
+    non_critical, critical = muls
+
+    rows = [
+        f"ASAP schedule length: {schedule.length} steps "
+        "[paper: suboptimal, 1 longer than list]",
+        f"non-critical mul scheduled at step "
+        f"{schedule.start[non_critical]}, critical mul at step "
+        f"{schedule.start[critical]}",
+    ]
+    print_table("Fig. 3 — ASAP scheduling", rows)
+
+    # The fixed selection order puts the non-critical mul first...
+    assert schedule.start[non_critical] == 0
+    # ...delaying the critical chain and losing a step: 4 instead of 3.
+    assert schedule.start[critical] == 1
+    assert schedule.length == 4

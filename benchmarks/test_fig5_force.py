@@ -1,0 +1,62 @@
+"""F5 — Figure 5: the force-directed distribution graph.
+
+"Addition a1 must be scheduled in step 1, so it contributes 1 to that
+step.  Similarly addition a2 adds 1 to control step 2.  Addition a3
+could be scheduled in either step 2 or step 3, so it contributes 1/2 to
+each. … a3 would first be scheduled into step 3, since that would have
+the greatest effect in balancing the graph."  (Paper steps are
+1-based; ours are 0-based.)
+"""
+
+from conftest import print_table
+from repro.ir import OpKind
+from repro.scheduling import (
+    ForceDirectedScheduler,
+    SchedulingProblem,
+    TypedFUModel,
+    compute_time_frames,
+)
+from repro.scheduling.force_directed import distribution_graph
+from repro.workloads import fig5_cdfg
+
+DEADLINE = 3
+
+
+def run_fds():
+    cdfg = fig5_cdfg()
+    problem = SchedulingProblem.from_block(
+        cdfg.blocks()[0], TypedFUModel(single_cycle=True),
+        time_limit=DEADLINE,
+    )
+    frames = compute_time_frames(problem, DEADLINE)
+    graph = distribution_graph(problem, frames, "add")
+    schedule = ForceDirectedScheduler(problem, deadline=DEADLINE).schedule()
+    schedule.validate()
+    final_frames = compute_time_frames(problem, DEADLINE)
+    del final_frames
+    return problem, frames, graph, schedule
+
+
+def test_fig5_force_directed(benchmark):
+    problem, frames, graph, schedule = benchmark(run_fds)
+
+    adds = [op.id for op in problem.ops if op.kind is OpKind.ADD]
+    a1, a2, a3 = adds
+
+    rows = [
+        f"time frames: a1={list(frames.frame(a1))} "
+        f"a2={list(frames.frame(a2))} a3={list(frames.frame(a3))}",
+        f"add distribution graph: {graph}   [paper: [1, 1.5, 0.5]]",
+        f"balancing placed a3 at step {schedule.start[a3]} "
+        "[paper: step 3 (0-based 2)]",
+        f"adders needed: {schedule.resource_usage()['add']}",
+    ]
+    print_table("Fig. 5 — distribution graph", rows)
+
+    assert list(frames.frame(a1)) == [0]
+    assert list(frames.frame(a2)) == [1]
+    assert list(frames.frame(a3)) == [1, 2]
+    assert graph == [1.0, 1.5, 0.5]
+    assert schedule.start[a3] == 2
+    # Balanced [1,1,1]: one adder suffices within the deadline.
+    assert schedule.resource_usage()["add"] == 1

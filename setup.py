@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` uses the legacy setup.py
+develop path when this file exists, which works fully offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command> …``.
+
+Commands:
+
+* ``synth FILE``    — synthesize a BSL file; print the design report
+  and the decision log; optionally verify and emit Verilog.
+* ``simulate FILE`` — synthesize, then run one activation with inputs
+  given as ``name=value`` pairs; print outputs and cycle count.
+* ``explore FILE``  — sweep a functional-unit budget and print the
+  area/latency trade-off table.
+
+Examples::
+
+    python -m repro synth design.bsl --fu 2 --verify -o design.v
+    python -m repro simulate design.bsl X=0.5 --fu 2
+    python -m repro explore design.bsl --limits 1,2,3,4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import SynthesisOptions, synthesize
+from .errors import HLSError
+from .explore import explore_fu_range
+from .rtl import emit_verilog
+from .scheduling import ResourceConstraints
+from .sim import RTLSimulator, check_equivalence
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("file", help="BSL source file")
+    parser.add_argument(
+        "--procedure", default=None,
+        help="entry procedure (default: last defined)",
+    )
+    parser.add_argument(
+        "--scheduler", default="list",
+        help="scheduler name (asap, list, force-directed, "
+        "freedom-based, branch-and-bound, ysc)",
+    )
+    parser.add_argument(
+        "--allocator", default="left-edge",
+        help="allocator name (clique, left-edge, greedy, coloring)",
+    )
+    parser.add_argument(
+        "--fu", type=int, default=None,
+        help="universal functional-unit limit (default: unlimited)",
+    )
+    parser.add_argument(
+        "--no-optimize", action="store_true",
+        help="skip the high-level transformation pipeline",
+    )
+    parser.add_argument(
+        "--unroll", action="store_true",
+        help="fully unroll constant-trip loops",
+    )
+
+
+def _options(args: argparse.Namespace) -> SynthesisOptions:
+    constraints = (
+        ResourceConstraints({"fu": args.fu})
+        if args.fu is not None
+        else None
+    )
+    return SynthesisOptions(
+        scheduler=args.scheduler,
+        allocator=args.allocator,
+        constraints=constraints,
+        optimize_ir=not args.no_optimize,
+        unroll=args.unroll,
+    )
+
+
+def _read_source(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def _parse_value(text: str) -> float | int:
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    source = _read_source(args.file)
+    design = synthesize(source, args.procedure, _options(args))
+    print(design.report())
+    print()
+    print("design process log:")
+    for line in design.log:
+        print(f"  {line}")
+    if args.verify:
+        report = check_equivalence(design)
+        status = "PASS" if report.equivalent else "FAIL"
+        print(f"\nco-simulation on {report.vectors} vectors: {status}")
+        if not report.equivalent:
+            return 1
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(emit_verilog(design))
+        print(f"\nVerilog written to {args.output}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    source = _read_source(args.file)
+    design = synthesize(source, args.procedure, _options(args))
+    inputs = {}
+    for pair in args.inputs:
+        if "=" not in pair:
+            raise HLSError(f"input {pair!r} is not name=value")
+        name, _, value = pair.partition("=")
+        inputs[name] = _parse_value(value)
+    simulator = RTLSimulator(design)
+    outputs = simulator.run(inputs)
+    for name, value in outputs.items():
+        print(f"{name} = {value}")
+    print(f"cycles = {simulator.cycles}")
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    source = _read_source(args.file)
+    limits = [int(x) for x in args.limits.split(",")]
+    result = explore_fu_range(source, limits, options=_options(args))
+    print(result.table())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="High-level synthesis (DAC'88 tutorial flow)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    synth = subparsers.add_parser("synth", help="synthesize a design")
+    _add_common(synth)
+    synth.add_argument("--verify", action="store_true",
+                       help="co-simulate RTL against the specification")
+    synth.add_argument("-o", "--output", default=None,
+                       help="write Verilog to this file")
+    synth.set_defaults(handler=cmd_synth)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="synthesize and run one activation"
+    )
+    _add_common(simulate)
+    simulate.add_argument(
+        "inputs", nargs="*",
+        help="input values as name=value pairs",
+    )
+    simulate.set_defaults(handler=cmd_simulate)
+
+    explore = subparsers.add_parser(
+        "explore", help="sweep an FU budget and print the trade-offs"
+    )
+    _add_common(explore)
+    explore.add_argument(
+        "--limits", default="1,2,3",
+        help="comma-separated FU limits to try (default 1,2,3)",
+    )
+    explore.set_defaults(handler=cmd_explore)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except HLSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Datapath allocation: FUs, registers, interconnect (paper §3.2).
+
+Allocator families, matching the tutorial's survey:
+
+==============================  ========================================
+class                           paper reference
+==============================  ========================================
+CliqueAllocator                 Tseng & Siewiorek (§3.2.2, Fig. 7)
+LeftEdgeRegisterAllocator       REAL (§3.2.1)
+GreedyDatapathAllocator         Hafer local / EMUCS global (§3.2.1, Fig. 6)
+ColoringRegisterAllocator       conflict-graph dual of the clique method
+==============================  ========================================
+
+Interconnect accounting (multiplexers, buses) lives in
+:mod:`repro.allocation.interconnect`.
+"""
+
+from .base import Allocation, Allocator, FUInstance, ops_compatible
+from .clique import (
+    CliqueAllocator,
+    clique_partition,
+    exact_minimum_clique_cover,
+    fu_compatibility_graph,
+    register_compatibility_graph,
+)
+from .coloring import ColoringRegisterAllocator, register_conflict_graph
+from .greedy import GreedyDatapathAllocator
+from .interconnect import (
+    BusAllocation,
+    InterconnectEstimate,
+    allocate_buses,
+    estimate_interconnect,
+    value_source,
+)
+from .left_edge import LeftEdgeRegisterAllocator
+from .lifetimes import ValueLifetime, compute_lifetimes, minimum_registers
+from .rules import RuleBasedAllocator, RuleFiring
+
+__all__ = [
+    "Allocation",
+    "Allocator",
+    "BusAllocation",
+    "CliqueAllocator",
+    "ColoringRegisterAllocator",
+    "FUInstance",
+    "GreedyDatapathAllocator",
+    "InterconnectEstimate",
+    "LeftEdgeRegisterAllocator",
+    "RuleBasedAllocator",
+    "RuleFiring",
+    "ValueLifetime",
+    "allocate_buses",
+    "clique_partition",
+    "compute_lifetimes",
+    "estimate_interconnect",
+    "exact_minimum_clique_cover",
+    "fu_compatibility_graph",
+    "minimum_registers",
+    "ops_compatible",
+    "register_compatibility_graph",
+    "register_conflict_graph",
+    "value_source",
+]

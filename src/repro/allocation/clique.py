@@ -1,0 +1,154 @@
+"""Clique-partitioning allocation (Tseng & Siewiorek, paper Fig. 7).
+
+§3.2.2: "creating graphs in which the elements to be assigned to
+hardware … are represented by nodes, and there is an arc between two
+nodes if and only if the corresponding elements can share the same
+hardware.  The problem then becomes one of finding those sets of nodes
+… all of whose members are connected to one another … the so-called
+clique finding problem. … Unfortunately, finding the maximal cliques in
+a graph is an NP-hard problem, so in practice, greedy heuristics are
+employed."
+
+The greedy heuristic implemented is Tseng & Siewiorek's: repeatedly
+merge the compatible pair with the most common neighbours (ties broken
+deterministically), shrinking the graph until no edges remain; each
+super-node is one clique = one shared hardware unit.  For small graphs
+an exact minimum clique cover (exponential) is available for tests.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Hashable, Iterable
+
+import networkx as nx
+
+from .base import Allocation, Allocator, FUInstance, ops_compatible
+from .lifetimes import compute_lifetimes
+
+
+def clique_partition(graph: nx.Graph) -> list[set[Hashable]]:
+    """Partition nodes into cliques (Tseng-Siewiorek greedy merging).
+
+    Nodes must be sortable for deterministic tie-breaking.  Returns
+    cliques sorted by their smallest member.
+    """
+    work = nx.Graph()
+    work.add_nodes_from(graph.nodes)
+    work.add_edges_from(graph.edges)
+    members: dict[Hashable, set[Hashable]] = {
+        node: {node} for node in work.nodes
+    }
+
+    while work.number_of_edges() > 0:
+        best_pair = None
+        best_common = -1
+        for u, v in sorted(work.edges, key=lambda e: tuple(sorted(e))):
+            common = len(set(work[u]) & set(work[v]))
+            if common > best_common:
+                best_common = common
+                best_pair = tuple(sorted((u, v)))
+        assert best_pair is not None
+        u, v = best_pair
+        # Merge v into u: u stays adjacent only to common neighbours,
+        # so every member of the super-node remains pairwise adjacent.
+        common_neighbors = (set(work[u]) & set(work[v])) - {u, v}
+        members[u] |= members.pop(v)
+        work.remove_node(v)
+        for neighbor in list(work[u]):
+            if neighbor not in common_neighbors:
+                work.remove_edge(u, neighbor)
+
+    return sorted(members.values(), key=lambda clique: sorted(clique)[0])
+
+
+def exact_minimum_clique_cover(graph: nx.Graph,
+                               max_nodes: int = 16) -> list[set[Hashable]]:
+    """Optimal clique cover by exhaustive search (small graphs only).
+
+    Equivalent to optimal coloring of the complement graph.  Used by
+    tests to certify the greedy heuristic on the paper's examples.
+    """
+    nodes = sorted(graph.nodes)
+    if len(nodes) > max_nodes:
+        raise ValueError(f"exact cover limited to {max_nodes} nodes")
+    if not nodes:
+        return []
+
+    best: list[set[Hashable]] | None = None
+
+    def extend(index: int, cliques: list[set[Hashable]]) -> None:
+        nonlocal best
+        if best is not None and len(cliques) >= len(best):
+            return
+        if index == len(nodes):
+            best = [set(c) for c in cliques]
+            return
+        node = nodes[index]
+        for clique in cliques:
+            if all(graph.has_edge(node, member) for member in clique):
+                clique.add(node)
+                extend(index + 1, cliques)
+                clique.remove(node)
+        cliques.append({node})
+        extend(index + 1, cliques)
+        cliques.pop()
+
+    extend(0, [])
+    assert best is not None
+    return sorted(best, key=lambda clique: sorted(clique)[0])
+
+
+def fu_compatibility_graph(schedule) -> nx.Graph:
+    """Fig. 7's graph: nodes = resource-using ops; edge ⇔ same class and
+    disjoint active steps."""
+    graph = nx.Graph()
+    op_ids = schedule.problem.compute_op_ids()
+    graph.add_nodes_from(op_ids)
+    for op_a, op_b in combinations(op_ids, 2):
+        if ops_compatible(schedule, op_a, op_b):
+            graph.add_edge(op_a, op_b)
+    return graph
+
+
+def register_compatibility_graph(schedule) -> nx.Graph:
+    """Nodes = register-needing values; edge ⇔ disjoint lifetimes."""
+    lifetimes = compute_lifetimes(schedule)
+    graph = nx.Graph()
+    graph.add_nodes_from(lt.value.id for lt in lifetimes)
+    for lt_a, lt_b in combinations(lifetimes, 2):
+        if not lt_a.conflicts_with(lt_b):
+            graph.add_edge(lt_a.value.id, lt_b.value.id)
+    return graph
+
+
+class CliqueAllocator(Allocator):
+    """FU and register allocation by greedy clique partitioning."""
+
+    name = "clique"
+
+    def allocate(self) -> Allocation:
+        schedule = self.schedule
+        problem = schedule.problem
+        allocation = Allocation(schedule, allocator=self.name)
+
+        # Functional units, class by class.
+        fu_graph = fu_compatibility_graph(schedule)
+        by_class: dict[str, list[int]] = {}
+        for op_id in fu_graph.nodes:
+            cls = problem.op_class(op_id)
+            assert cls is not None
+            by_class.setdefault(cls, []).append(op_id)
+        for cls in sorted(by_class):
+            subgraph = fu_graph.subgraph(by_class[cls])
+            for index, clique in enumerate(clique_partition(subgraph)):
+                for op_id in clique:
+                    allocation.fu_map[op_id] = FUInstance(cls, index)
+
+        # Registers.
+        reg_graph = register_compatibility_graph(schedule)
+        for index, clique in enumerate(clique_partition(reg_graph)):
+            for value_id in clique:
+                allocation.register_map[value_id] = index
+
+        return allocation

@@ -1,0 +1,199 @@
+"""Iterative/constructive datapath allocation (paper §3.2.1, Fig. 6).
+
+"Iterative/constructive techniques select an operation, value or
+interconnection to be assigned, make the assignment, and then iterate.
+The rules which determine the next operation … to be selected can vary
+from global rules … to local selection rules, which select the items in
+a fixed order, usually as they occur in the data flow graph."
+
+Three selection policies are provided:
+
+* ``local`` (Hafer's allocator, Fig. 6) — operations in control-step
+  order; each is placed on the compatible FU that adds the least
+  multiplexing cost ("a2 was assigned to adder2 since the increase in
+  multiplexing cost required by that allocation was zero; a4 was
+  assigned to adder1 because there was already a connection from the
+  register to that adder").
+* ``global`` (EMUCS) — at every step, the (operation, unit) pair with
+  the minimum incremental cost over *all* unassigned operations is
+  chosen ("a global selection criterion, based on minimizing both the
+  number of functional units and registers and the multiplexing
+  needed").
+* ``blind`` — the Fig. 6 counter-example: first compatible unit
+  "without checking for interconnection costs, then the final
+  multiplexing would have been more expensive".
+
+Registers are allocated first with the left-edge algorithm (REAL's
+phase ordering), so operand sources are known when FU costs are
+evaluated.
+"""
+
+from __future__ import annotations
+
+from ..ir.opcodes import OpKind
+from .base import Allocation, Allocator, FUInstance, busy_end
+from .interconnect import Source, value_source
+from .left_edge import LeftEdgeRegisterAllocator
+
+
+class GreedyDatapathAllocator(Allocator):
+    """Interconnect-aware constructive FU allocation.
+
+    Args:
+        schedule: the schedule to allocate.
+        selection: ``"local"``, ``"global"`` or ``"blind"``.
+    """
+
+    name = "greedy"
+
+    def __init__(self, schedule, selection: str = "local") -> None:
+        super().__init__(schedule)
+        if selection not in ("local", "global", "blind"):
+            raise ValueError(f"unknown selection rule {selection!r}")
+        self._selection = selection
+        self.name = f"greedy/{selection}"
+
+    def allocate(self) -> Allocation:
+        # Registers first (REAL phase ordering), keeping its register
+        # map but replacing its FU assignment with ours.
+        seed = LeftEdgeRegisterAllocator(self.schedule).allocate()
+        allocation = Allocation(
+            self.schedule,
+            register_map=dict(seed.register_map),
+            allocator=self.name,
+        )
+        if self._selection == "global":
+            self._allocate_global(allocation)
+        else:
+            self._allocate_local(allocation,
+                                 blind=self._selection == "blind")
+        return allocation
+
+    # ------------------------------------------------------------------
+
+    def _allocate_local(self, allocation: Allocation, blind: bool) -> None:
+        state = _DatapathState(self.schedule, allocation)
+        op_ids = sorted(
+            self.schedule.problem.compute_op_ids(),
+            key=lambda op_id: (self.schedule.start[op_id], op_id),
+        )
+        for op_id in op_ids:
+            candidates = state.compatible_units(op_id)
+            if not candidates:
+                unit = state.open_unit(op_id)
+            elif blind:
+                unit = candidates[0]
+            else:
+                unit = min(
+                    candidates,
+                    key=lambda u: (state.cost(op_id, u), u.index),
+                )
+            state.assign(op_id, unit)
+
+    def _allocate_global(self, allocation: Allocation) -> None:
+        state = _DatapathState(self.schedule, allocation)
+        pending = set(self.schedule.problem.compute_op_ids())
+        while pending:
+            best: tuple[int, int, int, FUInstance | None] | None = None
+            for op_id in sorted(pending):
+                candidates = state.compatible_units(op_id)
+                if not candidates:
+                    # Opening a unit costs every operand port plus the
+                    # register write path.
+                    op = self.schedule.problem.op(op_id)
+                    open_cost = len(op.operands) + 1
+                    key = (open_cost, 1, op_id, None)
+                else:
+                    unit = min(
+                        candidates,
+                        key=lambda u: (state.cost(op_id, u), u.index),
+                    )
+                    key = (state.cost(op_id, unit), 0, op_id, unit)
+                if best is None or key < best:
+                    best = key
+            assert best is not None
+            _, _, op_id, unit = best
+            if unit is None:
+                unit = state.open_unit(op_id)
+            state.assign(op_id, unit)
+            pending.discard(op_id)
+
+
+class _DatapathState:
+    """Incremental interconnect bookkeeping during greedy allocation."""
+
+    def __init__(self, schedule, allocation: Allocation) -> None:
+        self.schedule = schedule
+        self.problem = schedule.problem
+        self.allocation = allocation
+        self.unit_counts: dict[str, int] = {}
+        self.unit_busy: dict[FUInstance, list[tuple[int, int]]] = {}
+        # (unit, port) -> known sources; ("regin", r) -> known sources
+        self.port_sources: dict[tuple, set[Source]] = {}
+
+    # Compatibility -----------------------------------------------------
+
+    def compatible_units(self, op_id: int) -> list[FUInstance]:
+        cls = self.problem.op_class(op_id)
+        assert cls is not None
+        begin = self.schedule.start[op_id]
+        end = busy_end(self.schedule, op_id)
+        units = []
+        for index in range(self.unit_counts.get(cls, 0)):
+            unit = FUInstance(cls, index)
+            overlap = any(
+                begin <= window_end and window_begin <= end
+                for window_begin, window_end in self.unit_busy.get(
+                    unit, []
+                )
+            )
+            if not overlap:
+                units.append(unit)
+        return units
+
+    def open_unit(self, op_id: int) -> FUInstance:
+        cls = self.problem.op_class(op_id)
+        assert cls is not None
+        index = self.unit_counts.get(cls, 0)
+        self.unit_counts[cls] = index + 1
+        return FUInstance(cls, index)
+
+    # Cost model ---------------------------------------------------------
+
+    def cost(self, op_id: int, unit: FUInstance) -> int:
+        """Multiplexer inputs added by running ``op_id`` on ``unit``."""
+        op = self.problem.op(op_id)
+        added = 0
+        for index, operand in enumerate(op.operands):
+            source = value_source(self.allocation, operand)
+            known = self.port_sources.get(("fuport", unit, index), set())
+            if source not in known:
+                added += 1
+        result = op.result
+        if result is not None and result.id in self.allocation.register_map:
+            register = self.allocation.register_map[result.id]
+            known = self.port_sources.get(("regin", register), set())
+            if ("fu", unit.cls, unit.index) not in known:
+                added += 1
+        return added
+
+    # Commitment ----------------------------------------------------------
+
+    def assign(self, op_id: int, unit: FUInstance) -> None:
+        op = self.problem.op(op_id)
+        self.allocation.fu_map[op_id] = unit
+        self.unit_busy.setdefault(unit, []).append(
+            (self.schedule.start[op_id], busy_end(self.schedule, op_id))
+        )
+        for index, operand in enumerate(op.operands):
+            source = value_source(self.allocation, operand)
+            self.port_sources.setdefault(
+                ("fuport", unit, index), set()
+            ).add(source)
+        result = op.result
+        if result is not None and result.id in self.allocation.register_map:
+            register = self.allocation.register_map[result.id]
+            if op.kind is not OpKind.VAR_READ:
+                self.port_sources.setdefault(
+                    ("regin", register), set()
+                ).add(("fu", unit.cls, unit.index))

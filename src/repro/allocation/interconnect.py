@@ -1,0 +1,150 @@
+"""Interconnect (communication path) allocation and accounting.
+
+§2: "Communications paths, including buses and multiplexers, must be
+chosen so that the functional units and registers are connected as
+necessary to support the data transfers required by the specification
+and the schedule.  The most simple type of communication path
+allocation is based only on multiplexers.  Buses, which can be seen as
+distributed multiplexers, offer the advantage of requiring less wiring,
+but they may be slower."
+
+Given a complete :class:`~repro.allocation.base.Allocation`, this
+module derives every data transfer, counts the multiplexers a
+mux-only interconnect needs, and alternatively packs the transfers
+onto shared buses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..ir.opcodes import OpKind
+from ..ir.values import Operation, Value
+from .base import Allocation
+
+Source = tuple
+Destination = tuple
+
+
+def value_source(allocation: Allocation, value: Value) -> Source:
+    """Where a consumed value comes from, as a hashable source id.
+
+    * a register, when the value is stored;
+    * a constant input, for CONST values;
+    * the producing FU's output, for values chained in the same step;
+    * the producing combinational logic, for chained free ops.
+    """
+    if value.id in allocation.register_map:
+        return ("reg", allocation.register_map[value.id])
+    producer = value.producer
+    if producer.kind is OpKind.CONST:
+        return ("const", repr(producer.attrs["value"]))
+    fu = allocation.fu_map.get(producer.id)
+    if fu is not None:
+        return ("fu", fu.cls, fu.index)
+    return ("logic", producer.id)
+
+
+@dataclass
+class InterconnectEstimate:
+    """Multiplexer accounting for one allocation.
+
+    Attributes:
+        port_sources: destination port → set of distinct sources.
+        mux_count: ports needing a multiplexer (more than one source).
+        mux_inputs: total multiplexer inputs over those ports (the
+            paper's "multiplexing cost").
+        transfers: (step, source, destination) triples, one per data
+            movement, used by bus allocation.
+    """
+
+    port_sources: dict[Destination, set[Source]] = field(
+        default_factory=dict
+    )
+    transfers: list[tuple[int, Source, Destination]] = field(
+        default_factory=list
+    )
+
+    @property
+    def mux_count(self) -> int:
+        return sum(
+            1 for sources in self.port_sources.values() if len(sources) > 1
+        )
+
+    @property
+    def mux_inputs(self) -> int:
+        return sum(
+            len(sources)
+            for sources in self.port_sources.values()
+            if len(sources) > 1
+        )
+
+
+def estimate_interconnect(allocation: Allocation) -> InterconnectEstimate:
+    """Derive all transfers and multiplexer needs of ``allocation``."""
+    schedule = allocation.schedule
+    problem = schedule.problem
+    estimate = InterconnectEstimate()
+
+    def note(step: int, source: Source, destination: Destination) -> None:
+        estimate.port_sources.setdefault(destination, set()).add(source)
+        estimate.transfers.append((step, source, destination))
+
+    for op in problem.ops:
+        fu = allocation.fu_map.get(op.id)
+        if fu is not None:
+            for index, operand in enumerate(op.operands):
+                source = value_source(allocation, operand)
+                destination = ("fuport", fu.cls, fu.index, index)
+                note(schedule.start[op.id], source, destination)
+        result = op.result
+        if result is not None and result.id in allocation.register_map:
+            if op.kind is OpKind.VAR_READ:
+                continue  # arrived in the register before the block
+            register = allocation.register_map[result.id]
+            if fu is not None:
+                source = ("fu", fu.cls, fu.index)
+            elif op.kind is OpKind.CONST:
+                source = ("const", repr(op.attrs["value"]))
+            else:
+                source = ("logic", op.id)
+            note(schedule.end(op.id), source, ("regin", register))
+    return estimate
+
+
+@dataclass
+class BusAllocation:
+    """Transfers packed onto shared buses.
+
+    A bus carries at most one *source* per control step (a source may
+    broadcast to several destinations over one bus).  ``bus_of`` maps
+    each (step, source) group to its bus index.
+    """
+
+    bus_of: dict[tuple[int, Source], int] = field(default_factory=dict)
+
+    @property
+    def bus_count(self) -> int:
+        if not self.bus_of:
+            return 0
+        return max(self.bus_of.values()) + 1
+
+
+def allocate_buses(estimate: InterconnectEstimate) -> BusAllocation:
+    """Pack transfers onto the minimum number of single-step buses.
+
+    Per step, each distinct source needs its own bus; buses are reused
+    across steps (the count is the max per-step source count — the bus
+    analogue of the left-edge bound).
+    """
+    allocation = BusAllocation()
+    by_step: dict[int, list[Source]] = {}
+    for step, source, _ in estimate.transfers:
+        group = by_step.setdefault(step, [])
+        if source not in group:
+            group.append(source)
+    for step in sorted(by_step):
+        for index, source in enumerate(sorted(by_step[step])):
+            allocation.bus_of[(step, source)] = index
+    return allocation

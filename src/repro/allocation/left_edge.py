@@ -1,0 +1,98 @@
+"""Left-edge register allocation (Kurdahi & Parker's REAL program).
+
+§3.2.1: "The REAL program separated out register allocation and
+performed it after scheduling, but prior to operator and interconnect
+allocation.  REAL is constructive, and selects the earliest value to
+assign at each step, sharing registers among values whenever possible."
+
+The left-edge algorithm (borrowed from channel routing) sorts value
+lifetimes by their left edge (definition step) and packs each value
+into the lowest-indexed register that is free — optimal in register
+count for interval lifetimes (it meets the max-live lower bound).
+
+Carrier affinity: values that enter or leave the block through the same
+variable are steered to that variable's register when compatible, which
+keeps the datapath's variable registers stable across blocks.
+"""
+
+from __future__ import annotations
+
+from .base import Allocation, Allocator, FUInstance, busy_end
+from .lifetimes import compute_lifetimes
+
+
+class LeftEdgeRegisterAllocator(Allocator):
+    """Optimal-count register allocation; FU assignment greedy-by-step.
+
+    REAL proper only allocates registers; to produce a complete
+    :class:`Allocation` (so the shared checker applies), functional
+    units are assigned with plain earliest-index sharing, which leaves
+    FU counts identical to clique partitioning on every schedule where
+    compatibility is interval-structured (always true here, since ops
+    occupy step intervals).
+    """
+
+    name = "left-edge"
+
+    def allocate(self) -> Allocation:
+        schedule = self.schedule
+        allocation = Allocation(schedule, allocator=self.name)
+        self._allocate_registers(allocation)
+        self._allocate_fus(allocation)
+        return allocation
+
+    # ------------------------------------------------------------------
+
+    def _allocate_registers(self, allocation: Allocation) -> None:
+        lifetimes = compute_lifetimes(self.schedule)
+        # Left edge order: earliest definition first, stable by id.
+        lifetimes.sort(key=lambda lt: (lt.def_step, lt.last_use,
+                                       lt.value.id))
+        register_free_at: list[int] = []   # register -> next free step
+        register_carrier: dict[int, str] = {}
+
+        for lifetime in lifetimes:
+            candidates = [
+                register
+                for register, free_at in enumerate(register_free_at)
+                if free_at <= lifetime.def_step
+            ]
+            chosen: int | None = None
+            if lifetime.carrier is not None:
+                for register in candidates:
+                    if register_carrier.get(register) == lifetime.carrier:
+                        chosen = register
+                        break
+            if chosen is None and candidates:
+                chosen = candidates[0]
+            if chosen is None:
+                chosen = len(register_free_at)
+                register_free_at.append(lifetime.last_use)
+            else:
+                register_free_at[chosen] = lifetime.last_use
+            if lifetime.carrier is not None:
+                register_carrier.setdefault(chosen, lifetime.carrier)
+            allocation.register_map[lifetime.value.id] = chosen
+
+    def _allocate_fus(self, allocation: Allocation) -> None:
+        schedule = self.schedule
+        problem = schedule.problem
+        busy_until: dict[tuple[str, int], int] = {}
+        counts: dict[str, int] = {}
+        op_ids = sorted(
+            problem.compute_op_ids(),
+            key=lambda op_id: (schedule.start[op_id], op_id),
+        )
+        for op_id in op_ids:
+            cls = problem.op_class(op_id)
+            assert cls is not None
+            chosen: int | None = None
+            for index in range(counts.get(cls, 0)):
+                if busy_until[(cls, index)] < schedule.start[op_id]:
+                    chosen = index
+                    break
+            if chosen is None:
+                chosen = counts.get(cls, 0)
+                counts[cls] = chosen + 1
+            busy_until[(cls, chosen)] = busy_end(schedule, op_id)
+            allocation.fu_map[op_id] = FUInstance(cls, chosen)

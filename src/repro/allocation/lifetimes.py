@@ -1,0 +1,136 @@
+"""Value lifetime analysis over a scheduled block.
+
+§2: "In memory allocation, values that are generated in one control
+step and used in another must be assigned to storage.  Values may be
+assigned to the same register when their lifetimes do not overlap."
+
+Storage model (documented once here, used by every allocator):
+
+* A computing operation delivers its result at the **end** of its last
+  active step (``def_step``); the value is latched into a register on
+  that clock edge and can be read from the register in any later step.
+* A consumer chained combinationally in the producer's own step reads
+  the raw wire, not a register; a value whose every use is chained
+  needs no register at all.
+* A value read by an operation starting at step ``s`` must be held in
+  its register **through** step ``s`` (``last_use``).
+* Block inputs (``VAR_READ``) are available "before step 0"
+  (``def_step = -1``) — they arrive in the variable's register.
+* A value written to a variable (``VAR_WRITE``) must survive to the
+  end of the block (``last_use = block length``), where it becomes the
+  variable's carried value for the next block/iteration.
+
+Two values may share a register iff their occupancy intervals
+``(def_step, last_use]`` are disjoint; a value dying in step ``t`` and
+a value born at the end of step ``t`` are compatible (read happens
+before the clock edge that latches the newcomer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.opcodes import OpKind
+from ..ir.values import Value
+from ..scheduling.base import Schedule
+
+
+@dataclass
+class ValueLifetime:
+    """Register occupancy of one value under a given schedule.
+
+    Attributes:
+        value: the IR value.
+        def_step: step at whose end the value is latched (-1 for block
+            inputs that arrive in variable registers).
+        last_use: last step the value must be readable in.
+        carrier: variable name when this value enters or leaves the
+            block through a variable register, else None.  Allocators
+            use it as an affinity hint (in/out values of one variable
+            share its register whenever compatible).
+    """
+
+    value: Value
+    def_step: int
+    last_use: int
+    carrier: str | None = None
+
+    @property
+    def needs_register(self) -> bool:
+        """True when the value crosses at least one step boundary."""
+        return self.last_use > self.def_step
+
+    def conflicts_with(self, other: "ValueLifetime") -> bool:
+        """Overlapping occupancy ⇒ cannot share a register."""
+        return (
+            self.def_step < other.last_use
+            and other.def_step < self.last_use
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Lifetime {self.value!r} ({self.def_step}, {self.last_use}]"
+            + (f" carrier={self.carrier}" if self.carrier else "")
+            + ">"
+        )
+
+
+def compute_lifetimes(schedule: Schedule) -> list[ValueLifetime]:
+    """Lifetimes of every register-needing value in the scheduled region.
+
+    Returns lifetimes sorted by (def_step, value id); values whose uses
+    are all chained in the defining step are excluded.
+    """
+    problem = schedule.problem
+    block_length = schedule.length
+    lifetimes: list[ValueLifetime] = []
+    in_region = {op.id for op in problem.ops}
+
+    for op in problem.ops:
+        value = op.result
+        if value is None:
+            continue
+        if op.kind is OpKind.VAR_READ:
+            def_step = -1
+            carrier: str | None = op.attrs["var"]
+        else:
+            def_step = schedule.end(op.id)
+            carrier = None
+
+        last_use = def_step
+        for user, _ in value.uses:
+            if user.id not in in_region:
+                continue
+            if user.kind is OpKind.VAR_WRITE:
+                # The value leaves the block in the variable's register.
+                last_use = max(last_use, block_length)
+                carrier = carrier or user.attrs["var"]
+            else:
+                last_use = max(last_use, schedule.start[user.id])
+        if op.kind is OpKind.CONST and carrier is None:
+            # Constants are hardwired operand inputs — storage is only
+            # needed when a constant is carried out through a variable
+            # register (a bare move such as `I := 0`).
+            continue
+        lifetime = ValueLifetime(value, def_step, last_use, carrier)
+        if lifetime.needs_register:
+            lifetimes.append(lifetime)
+
+    lifetimes.sort(key=lambda lt: (lt.def_step, lt.value.id))
+    return lifetimes
+
+
+def minimum_registers(lifetimes: list[ValueLifetime]) -> int:
+    """The interval-graph lower bound: the maximum number of values
+    simultaneously live in any step (exactly achievable by left-edge)."""
+    if not lifetimes:
+        return 0
+    low = min(lt.def_step for lt in lifetimes)
+    high = max(lt.last_use for lt in lifetimes)
+    best = 0
+    for step in range(low, high + 1):
+        live = sum(
+            1 for lt in lifetimes if lt.def_step < step <= lt.last_use
+        )
+        best = max(best, live)
+    return best

@@ -1,0 +1,141 @@
+"""Rule-based datapath allocation (after Kowalski's DAA).
+
+§3.2.1: "The DAA used a local criterion to select which element to
+assign next, but chose where to assign it on the basis of rules that
+encoded expert knowledge about the data path design of microprocessors.
+Once this knowledge base had been tested and improved through repeated
+interviews with designers, the DAA was able to produce much cleaner
+data paths."  §3.3 adds that DAA "was the first expert system which
+performed data path synthesis", and §4 asks how a system should
+"explain to the user what is going on during the design process".
+
+This allocator is a compact homage: an ordered production system whose
+rules inspect the partial datapath and nominate a unit for the next
+operation.  Each firing is recorded in an *explanation trace* — the
+DAA-style answer to the paper's human-factors question.
+
+The knowledge base (in priority order):
+
+1. ``accumulator`` — an op consuming the result of another op already
+   placed on unit U prefers U (accumulation chains stay put, saving a
+   route through the register file).
+2. ``port-affinity`` — prefer a unit that already sees one of the op's
+   operand sources on the matching port (no new mux input).
+3. ``load-balance`` — otherwise take the least-loaded compatible unit.
+4. ``open-unit`` — no compatible unit: open a new one.
+
+Registers are allocated with the left-edge algorithm first, exactly as
+in :class:`~repro.allocation.greedy.GreedyDatapathAllocator` (REAL's
+phase ordering), so the rules can reason about operand sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .base import Allocation, Allocator, FUInstance
+from .greedy import _DatapathState
+from .interconnect import value_source
+from .left_edge import LeftEdgeRegisterAllocator
+
+
+@dataclass(frozen=True)
+class RuleFiring:
+    """One recorded decision: which rule placed which op where."""
+
+    rule: str
+    op_id: int
+    unit: FUInstance
+    reason: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] op{self.op_id} -> {self.unit}: {self.reason}"
+
+
+class RuleBasedAllocator(Allocator):
+    """DAA-style production-system FU allocation with a decision trace.
+
+    After :meth:`allocate`, ``trace`` holds one :class:`RuleFiring` per
+    placed operation — the self-explaining design process of §4.
+    """
+
+    name = "rules"
+
+    def __init__(self, schedule) -> None:
+        super().__init__(schedule)
+        self.trace: list[RuleFiring] = []
+
+    def allocate(self) -> Allocation:
+        seed = LeftEdgeRegisterAllocator(self.schedule).allocate()
+        allocation = Allocation(
+            self.schedule,
+            register_map=dict(seed.register_map),
+            allocator=self.name,
+        )
+        state = _DatapathState(self.schedule, allocation)
+        self.trace = []
+
+        op_ids = sorted(
+            self.schedule.problem.compute_op_ids(),
+            key=lambda op_id: (self.schedule.start[op_id], op_id),
+        )
+        for op_id in op_ids:
+            firing = self._apply_rules(state, op_id)
+            state.assign(op_id, firing.unit)
+            self.trace.append(firing)
+        return allocation
+
+    # ------------------------------------------------------------------
+
+    def _apply_rules(self, state: _DatapathState,
+                     op_id: int) -> RuleFiring:
+        problem = self.schedule.problem
+        op = problem.op(op_id)
+        candidates = state.compatible_units(op_id)
+
+        if not candidates:
+            unit = state.open_unit(op_id)
+            return RuleFiring(
+                "open-unit", op_id, unit,
+                "no compatible unit free in this op's steps",
+            )
+
+        # Rule 1: accumulator — stay on the unit that produced an
+        # operand (only meaningful when that unit is free here).
+        for operand in op.operands:
+            producer_unit = state.allocation.fu_map.get(
+                operand.producer.id
+            )
+            if producer_unit is not None and producer_unit in candidates:
+                return RuleFiring(
+                    "accumulator", op_id, producer_unit,
+                    f"operand {operand!r} produced on the same unit",
+                )
+
+        # Rule 2: port affinity — a unit already wired to one of this
+        # op's sources on the right port.
+        for unit in candidates:
+            for index, operand in enumerate(op.operands):
+                source = value_source(state.allocation, operand)
+                known = state.port_sources.get(
+                    ("fuport", unit, index), set()
+                )
+                if source in known:
+                    return RuleFiring(
+                        "port-affinity", op_id, unit,
+                        f"port in{index} already sees {source}",
+                    )
+
+        # Rule 3: load balance.
+        unit = min(
+            candidates,
+            key=lambda u: (len(state.unit_busy.get(u, [])), u.index),
+        )
+        return RuleFiring(
+            "load-balance", op_id, unit,
+            f"least-loaded of {len(candidates)} compatible units",
+        )
+
+    def explanation(self) -> str:
+        """Human-readable decision trace (§4 human factors)."""
+        return "\n".join(str(firing) for firing in self.trace)

@@ -1,0 +1,24 @@
+"""Module binding: choosing library components for allocated units."""
+
+from .binder import Binding, ModuleBinder
+from .library import (
+    CONTROLLER_AREA_PER_STATE_BIT,
+    DEFAULT_COMPONENTS,
+    MUX_AREA_PER_INPUT_BIT,
+    REGISTER_AREA_PER_BIT,
+    WIRE_AREA_PER_TRACK,
+    Component,
+    ComponentLibrary,
+)
+
+__all__ = [
+    "Binding",
+    "CONTROLLER_AREA_PER_STATE_BIT",
+    "Component",
+    "ComponentLibrary",
+    "DEFAULT_COMPONENTS",
+    "MUX_AREA_PER_INPUT_BIT",
+    "ModuleBinder",
+    "REGISTER_AREA_PER_BIT",
+    "WIRE_AREA_PER_TRACK",
+]

@@ -1,0 +1,109 @@
+"""Module binding: FU instances → library components.
+
+§2: "In addition to designing the abstract structure of the data path,
+the system must decide how each component of the data path is to be
+implemented.  This is sometimes called module binding."
+
+Each allocated FU instance collects the set of operation kinds it must
+execute (from the ops mapped onto it) and the widest result it
+produces; the binder picks the cheapest library component covering that
+kind set at that width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..allocation.base import Allocation, FUInstance
+from ..ir.opcodes import OpKind
+from ..ir.types import bit_width
+from .library import Component, ComponentLibrary
+
+
+@dataclass
+class Binding:
+    """Component choice and width per FU instance."""
+
+    components: dict[FUInstance, Component] = field(default_factory=dict)
+    widths: dict[FUInstance, int] = field(default_factory=dict)
+    op_kinds: dict[FUInstance, frozenset[OpKind]] = field(
+        default_factory=dict
+    )
+
+    def area(self) -> float:
+        """Total functional-unit area."""
+        return sum(
+            component.area(self.widths[fu])
+            for fu, component in self.components.items()
+        )
+
+    def max_delay_ns(self) -> float:
+        """Slowest bound component (a single-phase clock bound)."""
+        return max(
+            (component.delay_ns for component in self.components.values()),
+            default=0.0,
+        )
+
+    def report(self) -> str:
+        lines = ["module binding:"]
+        for fu in sorted(self.components, key=lambda f: (f.cls, f.index)):
+            component = self.components[fu]
+            width = self.widths[fu]
+            lines.append(
+                f"  {fu} -> {component.name} ({width} bits, "
+                f"area {component.area(width):.0f}, "
+                f"{component.delay_ns:.0f} ns)"
+            )
+        return "\n".join(lines)
+
+
+class ModuleBinder:
+    """Binds every FU instance of an allocation to a component."""
+
+    def __init__(self, library: ComponentLibrary | None = None) -> None:
+        self.library = library or ComponentLibrary()
+
+    def bind(self, allocation: Allocation) -> Binding:
+        binding = Binding()
+        kinds_by_fu: dict[FUInstance, set[OpKind]] = {}
+        width_by_fu: dict[FUInstance, int] = {}
+        problem = allocation.schedule.problem
+        for op_id, fu in allocation.fu_map.items():
+            op = problem.op(op_id)
+            kinds_by_fu.setdefault(fu, set()).add(op.kind)
+            widths = [bit_width(v.type) for v in op.operands]
+            if op.result is not None:
+                widths.append(bit_width(op.result.type))
+            width_by_fu[fu] = max(
+                width_by_fu.get(fu, 1), max(widths, default=1)
+            )
+        for fu in sorted(kinds_by_fu, key=lambda f: (f.cls, f.index)):
+            kinds = kinds_by_fu[fu]
+            width = width_by_fu[fu]
+            # VAR_WRITE bare moves bound as pass-through: no component.
+            kinds.discard(OpKind.VAR_WRITE)
+            if not kinds:
+                continue
+            binding.components[fu] = self.library.cheapest_for(kinds, width)
+            binding.widths[fu] = width
+            binding.op_kinds[fu] = frozenset(kinds)
+        return binding
+
+    def merge(self, bindings: list[Binding]) -> Binding:
+        """Combine per-block bindings into one datapath-wide binding:
+        the same FU instance bound in several blocks gets the cheapest
+        component covering *all* its kinds (re-queried on the union)."""
+        merged = Binding()
+        kinds: dict[FUInstance, set[OpKind]] = {}
+        widths: dict[FUInstance, int] = {}
+        for binding in bindings:
+            for fu in binding.components:
+                kinds.setdefault(fu, set()).update(binding.op_kinds[fu])
+                widths[fu] = max(widths.get(fu, 1), binding.widths[fu])
+        for fu in sorted(kinds, key=lambda f: (f.cls, f.index)):
+            merged.components[fu] = self.library.cheapest_for(
+                kinds[fu], widths[fu]
+            )
+            merged.widths[fu] = widths[fu]
+            merged.op_kinds[fu] = frozenset(kinds[fu])
+        return merged

@@ -1,0 +1,132 @@
+"""Hardware component library for module binding.
+
+§2: "For the binding of functional units, known components such as
+adders can be taken from a hardware library.  Libraries facilitate the
+synthesis process and the size/timing estimation."
+
+Components carry *relative* area and delay figures (normalized units:
+area ≈ gate-equivalents per bit, delay in ns for a 16-bit instance) —
+the paper's results only depend on relative costs, and the default
+numbers follow the rough ratios of the mid-80s datapath literature the
+tutorial cites (a multiplier ≈ 8-10 adders in area and 2-3x slower; an
+ALU slightly larger than an adder; an incrementer about half an adder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import BindingError
+from ..ir.opcodes import OpKind
+
+#: Cost constants for structures that are not library components.
+REGISTER_AREA_PER_BIT = 8.0
+MUX_AREA_PER_INPUT_BIT = 2.0
+CONTROLLER_AREA_PER_STATE_BIT = 12.0
+WIRE_AREA_PER_TRACK = 0.5
+
+
+@dataclass(frozen=True)
+class Component:
+    """One library module.
+
+    Attributes:
+        name: library name, e.g. "add16".
+        kinds: operation kinds this module can execute.
+        area_per_bit: area per result bit (normalized gate equivalents).
+        area_fixed: width-independent area overhead.
+        delay_ns: combinational delay of a 16-bit instance.
+    """
+
+    name: str
+    kinds: frozenset[OpKind]
+    area_per_bit: float
+    area_fixed: float = 0.0
+    delay_ns: float = 10.0
+
+    def supports(self, kinds) -> bool:
+        return set(kinds) <= self.kinds
+
+    def area(self, width: int) -> float:
+        return self.area_fixed + self.area_per_bit * width
+
+
+def _kinds(*kinds: OpKind) -> frozenset[OpKind]:
+    return frozenset(kinds)
+
+
+_ADD_KINDS = _kinds(OpKind.ADD, OpKind.SUB, OpKind.NEG,
+                    OpKind.INC, OpKind.DEC)
+_CMP_KINDS = _kinds(OpKind.EQ, OpKind.NE, OpKind.LT, OpKind.LE,
+                    OpKind.GT, OpKind.GE)
+_LOGIC_KINDS = _kinds(OpKind.AND, OpKind.OR, OpKind.XOR, OpKind.NOT)
+_SHIFT_KINDS = _kinds(OpKind.SHL, OpKind.SHR)
+
+
+DEFAULT_COMPONENTS: tuple[Component, ...] = (
+    Component("inc", _kinds(OpKind.INC, OpKind.DEC), 3.0, delay_ns=6.0),
+    Component("add", _ADD_KINDS, 7.0, delay_ns=12.0),
+    Component("cmp", _CMP_KINDS, 4.0, delay_ns=8.0),
+    Component("logic", _LOGIC_KINDS, 2.0, delay_ns=4.0),
+    Component("shift", _SHIFT_KINDS, 5.0, delay_ns=8.0),
+    Component("alu", _ADD_KINDS | _CMP_KINDS | _LOGIC_KINDS, 11.0,
+              delay_ns=14.0),
+    Component("mul", _kinds(OpKind.MUL), 60.0, area_fixed=40.0,
+              delay_ns=36.0),
+    Component("div", _kinds(OpKind.DIV, OpKind.MOD), 75.0, area_fixed=60.0,
+              delay_ns=48.0),
+    Component(
+        "universal",
+        _ADD_KINDS | _CMP_KINDS | _LOGIC_KINDS | _SHIFT_KINDS
+        | _kinds(OpKind.MUL, OpKind.DIV, OpKind.MOD,
+                 OpKind.LOAD, OpKind.STORE),
+        150.0,
+        area_fixed=100.0,
+        delay_ns=48.0,
+    ),
+    Component("mem_port", _kinds(OpKind.LOAD, OpKind.STORE), 4.0,
+              delay_ns=10.0),
+)
+
+
+class ComponentLibrary:
+    """A searchable set of components.
+
+    The default library contains the modules above; custom libraries
+    model technology trade-offs (the paper: libraries "can prevent
+    efficient solutions that require special hardware" — tests exercise
+    a library without an incrementer to show the fallback to adders).
+    """
+
+    def __init__(self, components: tuple[Component, ...] | list[Component]
+                 = DEFAULT_COMPONENTS) -> None:
+        self._components = tuple(components)
+        if not self._components:
+            raise BindingError("component library is empty")
+
+    def __iter__(self):
+        return iter(self._components)
+
+    def component(self, name: str) -> Component:
+        for component in self._components:
+            if component.name == name:
+                return component
+        raise BindingError(f"no component named {name!r}")
+
+    def cheapest_for(self, kinds, width: int) -> Component:
+        """The smallest component executing every kind in ``kinds``.
+
+        Raises :class:`BindingError` when no component covers the set —
+        callers then split the unit or extend the library.
+        """
+        kinds = set(kinds)
+        candidates = [
+            component
+            for component in self._components
+            if component.supports(kinds)
+        ]
+        if not candidates:
+            raise BindingError(
+                f"no library component implements {sorted(k.value for k in kinds)}"
+            )
+        return min(candidates, key=lambda c: (c.area(width), c.name))

@@ -1,0 +1,29 @@
+"""Controller synthesis: FSM construction, state encoding, microcode."""
+
+from .encoding import StateEncoding, encode_states
+from .fsm import FSM, ControlState, Transition, synthesize_fsm
+from .logic import (
+    LogicSummary,
+    literal_count,
+    minimize_next_state_logic,
+    minimum_cover,
+    prime_implicants,
+)
+from .microcode import ControlField, Microcode, MicrocodeGenerator
+
+__all__ = [
+    "ControlField",
+    "ControlState",
+    "FSM",
+    "LogicSummary",
+    "Microcode",
+    "MicrocodeGenerator",
+    "StateEncoding",
+    "Transition",
+    "encode_states",
+    "literal_count",
+    "minimize_next_state_logic",
+    "minimum_cover",
+    "prime_implicants",
+    "synthesize_fsm",
+]

@@ -1,0 +1,85 @@
+"""State encoding for hardwired controllers.
+
+§2: "the FSM can be synthesized using known methods, including state
+encoding and optimization of the combinational logic."  Three standard
+encodings are provided, with a first-order cost model (flip-flops plus
+an estimate of next-state logic terms) that the controller-cost bench
+compares.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ControllerError
+from .fsm import FSM
+
+
+def _gray(index: int) -> int:
+    return index ^ (index >> 1)
+
+
+@dataclass
+class StateEncoding:
+    """Codes assigned to every FSM state.
+
+    Attributes:
+        style: "binary", "gray" or "onehot".
+        bits: flip-flop count.
+        codes: state id → code (an integer whose ``bits``-wide binary
+            expansion is the flip-flop pattern).
+    """
+
+    style: str
+    bits: int
+    codes: dict[int, int]
+
+    def code_str(self, state_id: int) -> str:
+        return format(self.codes[state_id], f"0{self.bits}b")
+
+    @property
+    def flipflops(self) -> int:
+        return self.bits
+
+    def next_state_terms(self, fsm: FSM) -> int:
+        """A first-order estimate of next-state combinational logic:
+        one product term per (transition edge, set bit of the target
+        code) — the standard sum-of-products sizing argument."""
+        terms = 0
+        for state in fsm.states:
+            targets = [state.transition.if_true]
+            if not state.transition.unconditional:
+                targets.append(state.transition.if_false)
+            for target in targets:
+                if target is None:
+                    continue
+                terms += bin(self.codes[target]).count("1") or 1
+        return terms
+
+
+def encode_states(fsm: FSM, style: str = "binary") -> StateEncoding:
+    """Assign codes to the FSM's states.
+
+    Args:
+        fsm: the controller.
+        style: ``"binary"`` (minimal bits, sequential codes),
+            ``"gray"`` (minimal bits, adjacent states differ in one
+            bit along the dominant chain), or ``"onehot"`` (one
+            flip-flop per state, trivial decode).
+    """
+    count = fsm.state_count
+    if count == 0:
+        return StateEncoding(style, 0, {})
+    if style == "binary":
+        bits = max(1, math.ceil(math.log2(count)))
+        codes = {state.id: state.id for state in fsm.states}
+    elif style == "gray":
+        bits = max(1, math.ceil(math.log2(count)))
+        codes = {state.id: _gray(state.id) for state in fsm.states}
+    elif style == "onehot":
+        bits = count
+        codes = {state.id: 1 << state.id for state in fsm.states}
+    else:
+        raise ControllerError(f"unknown encoding style {style!r}")
+    return StateEncoding(style, bits, codes)

@@ -1,0 +1,271 @@
+"""Two-level logic minimization for the controller (Quine-McCluskey).
+
+§2: once state encoding is chosen, "the FSM can be synthesized using
+known methods, including state encoding and optimization of the
+combinational logic."  This module provides that last step: an exact
+Quine-McCluskey prime-implicant generator with a greedy cover (exact
+branch-and-bound cover for small tables), applied to the FSM's
+next-state and done-flag functions.  Unassigned state codes are don't
+cares — the classic payoff of encoding choice.
+
+Cubes are strings over {'0','1','-'}; a function's cost is its number
+of product terms and total literal count, the standard two-level
+sizing the 1980s tools reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ControllerError
+from .encoding import StateEncoding
+from .fsm import FSM
+
+MAX_QM_BITS = 14
+
+
+def _combine(cube_a: str, cube_b: str) -> str | None:
+    """Merge two cubes differing in exactly one specified bit."""
+    difference = 0
+    merged = []
+    for bit_a, bit_b in zip(cube_a, cube_b):
+        if bit_a == bit_b:
+            merged.append(bit_a)
+        elif "-" in (bit_a, bit_b):
+            return None
+        else:
+            difference += 1
+            merged.append("-")
+            if difference > 1:
+                return None
+    return "".join(merged) if difference == 1 else None
+
+
+def _covers(cube: str, minterm_bits: str) -> bool:
+    return all(
+        c == "-" or c == m for c, m in zip(cube, minterm_bits)
+    )
+
+
+def _to_bits(value: int, width: int) -> str:
+    return format(value, f"0{width}b")
+
+
+def prime_implicants(width: int, ones: set[int],
+                     dont_cares: set[int]) -> list[str]:
+    """All prime implicants of the function (ones ∪ don't-cares)."""
+    if width > MAX_QM_BITS:
+        raise ControllerError(
+            f"Quine-McCluskey limited to {MAX_QM_BITS} inputs"
+        )
+    current = {
+        _to_bits(value, width) for value in (ones | dont_cares)
+    }
+    primes: set[str] = set()
+    while current:
+        merged_from: set[str] = set()
+        next_level: set[str] = set()
+        cubes = sorted(current)
+        for i, cube_a in enumerate(cubes):
+            for cube_b in cubes[i + 1:]:
+                merged = _combine(cube_a, cube_b)
+                if merged is not None:
+                    next_level.add(merged)
+                    merged_from.add(cube_a)
+                    merged_from.add(cube_b)
+        primes |= current - merged_from
+        current = next_level
+    return sorted(primes)
+
+
+def minimum_cover(width: int, ones: set[int],
+                  dont_cares: set[int]) -> list[str]:
+    """A minimal (exact for small tables, greedy otherwise) cover of
+    ``ones`` by prime implicants."""
+    if not ones:
+        return []
+    primes = prime_implicants(width, ones, dont_cares)
+    minterm_bits = {one: _to_bits(one, width) for one in ones}
+    coverage = {
+        prime: {
+            one for one in ones if _covers(prime, minterm_bits[one])
+        }
+        for prime in primes
+    }
+
+    # Essential primes first.
+    chosen: list[str] = []
+    uncovered = set(ones)
+    for one in sorted(ones):
+        covering = [p for p in primes if one in coverage[p]]
+        if len(covering) == 1 and covering[0] not in chosen:
+            chosen.append(covering[0])
+    for prime in chosen:
+        uncovered -= coverage[prime]
+
+    remaining_primes = [p for p in primes if p not in chosen]
+    if uncovered:
+        if len(remaining_primes) <= 18:
+            extra = _exact_cover(remaining_primes, coverage, uncovered)
+        else:
+            extra = _greedy_cover(remaining_primes, coverage, uncovered)
+        chosen.extend(extra)
+    return sorted(chosen)
+
+
+def _greedy_cover(primes, coverage, uncovered) -> list[str]:
+    chosen = []
+    uncovered = set(uncovered)
+    while uncovered:
+        best = max(
+            primes,
+            key=lambda p: (len(coverage[p] & uncovered),
+                           p.count("-"), p),
+        )
+        if not coverage[best] & uncovered:  # pragma: no cover
+            raise ControllerError("cover construction failed")
+        chosen.append(best)
+        uncovered -= coverage[best]
+    return chosen
+
+
+def _exact_cover(primes, coverage, uncovered) -> list[str]:
+    """Branch-and-bound minimum cover (small candidate sets only)."""
+    best: list[str] | None = None
+
+    def search(index: int, chosen: list[str], remaining: set[int]):
+        nonlocal best
+        if best is not None and len(chosen) >= len(best):
+            return
+        if not remaining:
+            best = list(chosen)
+            return
+        if index == len(primes):
+            return
+        # Prune: remaining primes can't help.
+        if not any(
+            coverage[p] & remaining for p in primes[index:]
+        ):
+            return
+        prime = primes[index]
+        if coverage[prime] & remaining:
+            chosen.append(prime)
+            search(index + 1, chosen, remaining - coverage[prime])
+            chosen.pop()
+        search(index + 1, chosen, remaining)
+
+    search(0, [], set(uncovered))
+    if best is None:  # pragma: no cover
+        raise ControllerError("no cover found")
+    return best
+
+
+def literal_count(cubes: list[str]) -> int:
+    """Total literals over a cube list (specified bits)."""
+    return sum(
+        sum(1 for bit in cube if bit != "-") for cube in cubes
+    )
+
+
+# ----------------------------------------------------------------------
+# FSM next-state logic
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LogicSummary:
+    """Two-level cost of the controller's sequencing logic.
+
+    Inputs: state register bits plus one condition bit.  Outputs: the
+    next-state code bits plus the ``done`` flag.  ``naive_terms`` is
+    one product term per (transition, asserted output bit) — the
+    unoptimized PLA; ``terms`` / ``literals`` are after minimization
+    with unused codes as don't cares.
+    """
+
+    input_bits: int
+    output_bits: int
+    naive_terms: int
+    terms: int
+    literals: int
+    covers: dict[str, list[str]] = field(default_factory=dict)
+
+    def report(self) -> str:
+        return (
+            f"next-state logic: {self.input_bits} in / "
+            f"{self.output_bits} out, product terms "
+            f"{self.naive_terms} -> {self.terms} "
+            f"({self.literals} literals)"
+        )
+
+
+def minimize_next_state_logic(fsm: FSM,
+                              encoding: StateEncoding) -> LogicSummary:
+    """Minimize the FSM's next-state and done functions under the given
+    encoding (one extra input: the branch condition bit)."""
+    state_bits = max(encoding.bits, 1)
+    input_bits = state_bits + 1  # condition appended as the LSB
+    if input_bits > MAX_QM_BITS:
+        raise ControllerError(
+            f"FSM too large for two-level minimization "
+            f"({input_bits} input bits)"
+        )
+
+    # done flag + next-state bits (the halt target re-enters code 0 —
+    # the harness's idle convention; done distinguishes it).
+    output_ones: dict[str, set[int]] = {
+        f"ns{bit}": set() for bit in range(state_bits)
+    }
+    output_ones["done"] = set()
+    used_inputs: set[int] = set()
+    naive_terms = 0
+
+    for state in fsm.states:
+        code = encoding.codes[state.id]
+        transition = state.transition
+        for cond_value in (0, 1):
+            input_word = (code << 1) | cond_value
+            used_inputs.add(input_word)
+            if transition.unconditional:
+                target = transition.if_true
+            else:
+                target = (
+                    transition.if_true if cond_value
+                    else transition.if_false
+                )
+            if target is None:
+                output_ones["done"].add(input_word)
+                target_code = 0
+            else:
+                target_code = encoding.codes[target]
+            for bit in range(state_bits):
+                if target_code >> bit & 1:
+                    output_ones[f"ns{bit}"].add(input_word)
+        asserted = sum(
+            1 for ones in output_ones.values()
+            if ((code << 1) in ones) or ((code << 1 | 1) in ones)
+        )
+        naive_terms += max(asserted, 1) * (
+            1 if transition.unconditional else 2
+        )
+
+    all_inputs = set(range(1 << input_bits))
+    dont_cares = all_inputs - used_inputs
+
+    covers: dict[str, list[str]] = {}
+    distinct_cubes: set[str] = set()
+    literals = 0
+    for name, ones in sorted(output_ones.items()):
+        cover = minimum_cover(input_bits, ones, dont_cares)
+        covers[name] = cover
+        distinct_cubes |= set(cover)
+        literals += literal_count(cover)
+
+    return LogicSummary(
+        input_bits=input_bits,
+        output_bits=state_bits + 1,
+        naive_terms=naive_terms,
+        terms=len(distinct_cubes),
+        literals=literals,
+        covers=covers,
+    )

@@ -1,0 +1,188 @@
+"""Microcoded controller generation and control-word encoding.
+
+§2: "If microcoded control is chosen instead, a control step
+corresponds to a microprogram step and the microprogram can be
+optimized using encoding techniques for the microcontrol word."
+
+The generator derives, for every FSM state, the control signals the
+datapath needs that cycle:
+
+* a load-enable per physical register latched anywhere in the design;
+* an operation-select field per multi-function FU;
+* a select field per multiplexed destination port;
+* a sequencing field (branch kind + target address).
+
+Two word formats are reported: the *horizontal* format (every field
+side by side — fastest, widest) and a *dictionary-encoded* format
+(distinct datapath-control words stored once in a nanostore, each
+microword holding only an index — the classic two-level micro/nano
+encoding that trades a decode step for ROM bits).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..allocation.interconnect import estimate_interconnect, value_source
+from ..errors import ControllerError
+from ..ir.opcodes import OpKind
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (avoids cycle)
+    from ..core.design import SynthesizedDesign
+
+
+def _bits_for(count: int) -> int:
+    return max(1, math.ceil(math.log2(count))) if count > 1 else 0
+
+
+@dataclass
+class ControlField:
+    """One named field of the control word."""
+
+    name: str
+    width: int
+
+
+@dataclass
+class Microcode:
+    """The generated microprogram.
+
+    Attributes:
+        fields: control-word fields, in word order.
+        words: one assembled word per state: field name → value.
+        horizontal_width: total bits of the flat word (without the
+            sequencing field).
+        sequencing_width: bits for branch control + target address.
+        encoded_width: bits per microword under dictionary encoding
+            (nanostore index + sequencing).
+        nanostore_words: distinct datapath-control words.
+    """
+
+    fields: list[ControlField] = field(default_factory=list)
+    words: list[dict[str, int]] = field(default_factory=list)
+    horizontal_width: int = 0
+    sequencing_width: int = 0
+    encoded_width: int = 0
+    nanostore_words: int = 0
+
+    @property
+    def states(self) -> int:
+        return len(self.words)
+
+    @property
+    def horizontal_rom_bits(self) -> int:
+        return self.states * (self.horizontal_width
+                              + self.sequencing_width)
+
+    @property
+    def encoded_rom_bits(self) -> int:
+        return (
+            self.states * self.encoded_width
+            + self.nanostore_words * self.horizontal_width
+        )
+
+
+class MicrocodeGenerator:
+    """Builds the microprogram of a synthesized design."""
+
+    def __init__(self, design: "SynthesizedDesign") -> None:
+        if design.fsm is None:
+            raise ControllerError("design has no controller")
+        self._design = design
+
+    def generate(self) -> Microcode:
+        design = self._design
+        fsm = design.fsm
+        assert fsm is not None
+        microcode = Microcode()
+
+        # --- field inventory ------------------------------------------
+        registers = sorted(design.storage_registers())
+        load_fields = {
+            ref: ControlField(f"ld_{ref[0]}_{ref[1]}", 1)
+            for ref in registers
+        }
+        fu_kinds: dict[object, set[OpKind]] = {}
+        for allocation in design.allocations.values():
+            problem = allocation.schedule.problem
+            for op_id, fu in allocation.fu_map.items():
+                fu_kinds.setdefault(fu, set()).add(problem.op(op_id).kind)
+        fu_fields = {
+            fu: ControlField(f"op_{fu}", _bits_for(len(kinds)))
+            for fu, kinds in sorted(
+                fu_kinds.items(), key=lambda item: str(item[0])
+            )
+        }
+        fu_kind_index = {
+            fu: {kind: i for i, kind in enumerate(sorted(kinds,
+                                                         key=str))}
+            for fu, kinds in fu_kinds.items()
+        }
+
+        # Mux select fields from the union of per-block interconnect.
+        port_sources: dict[tuple, list] = {}
+        for allocation in design.allocations.values():
+            estimate = estimate_interconnect(allocation)
+            for port, sources in estimate.port_sources.items():
+                known = port_sources.setdefault(port, [])
+                for source in sorted(sources):
+                    if source not in known:
+                        known.append(source)
+        mux_fields = {
+            port: ControlField(f"sel_{'_'.join(map(str, port))}",
+                               _bits_for(len(sources)))
+            for port, sources in sorted(port_sources.items(),
+                                        key=lambda item: str(item[0]))
+            if len(sources) > 1
+        }
+
+        microcode.fields = (
+            list(load_fields.values())
+            + [f for f in fu_fields.values() if f.width]
+            + [f for f in mux_fields.values() if f.width]
+        )
+        microcode.horizontal_width = sum(
+            f.width for f in microcode.fields
+        )
+        # Sequencing: 2 bits of branch kind + a state address.
+        microcode.sequencing_width = 2 + _bits_for(fsm.state_count)
+
+        # --- per-state words ------------------------------------------
+        for state in fsm.states:
+            word: dict[str, int] = {f.name: 0 for f in microcode.fields}
+            plan = state.plan
+            allocation = plan.allocation
+            for latch in plan.latches_at(state.step):
+                field_ = load_fields.get(latch.target)
+                if field_ is not None:
+                    word[field_.name] = 1
+            starts = (
+                plan.starts[state.step]
+                if state.step < len(plan.starts)
+                else []
+            )
+            for op in starts:
+                fu = allocation.fu_map.get(op.id)
+                if fu is None:
+                    continue
+                field_ = fu_fields.get(fu)
+                if field_ is not None and field_.width:
+                    word[field_.name] = fu_kind_index[fu][op.kind]
+                for index, operand in enumerate(op.operands):
+                    port = ("fuport", fu.cls, fu.index, index)
+                    field_ = mux_fields.get(port)
+                    if field_ is None:
+                        continue
+                    source = value_source(allocation, operand)
+                    sources = port_sources[port]
+                    word[field_.name] = sources.index(source)
+            microcode.words.append(word)
+
+        distinct = {tuple(sorted(word.items())) for word in microcode.words}
+        microcode.nanostore_words = len(distinct)
+        microcode.encoded_width = (
+            _bits_for(len(distinct)) + microcode.sequencing_width
+        )
+        return microcode

@@ -1,0 +1,19 @@
+"""End-to-end synthesis engine and design container."""
+
+from .design import SynthesizedDesign
+from .engine import (
+    ALLOCATORS,
+    SCHEDULERS,
+    SynthesisOptions,
+    synthesize,
+    synthesize_cdfg,
+)
+
+__all__ = [
+    "ALLOCATORS",
+    "SCHEDULERS",
+    "SynthesisOptions",
+    "SynthesizedDesign",
+    "synthesize",
+    "synthesize_cdfg",
+]

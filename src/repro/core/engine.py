@@ -1,0 +1,195 @@
+"""The end-to-end HLS engine: behavioral source in, design out.
+
+Implements the complete pipeline of the paper's §2: compile →
+high-level transformations → scheduling → allocation → module binding →
+controller synthesis.  Every stage is pluggable (scheduler and
+allocator families are selected by name), so the engine is also the
+harness design-space exploration drives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..allocation import (
+    CliqueAllocator,
+    ColoringRegisterAllocator,
+    GreedyDatapathAllocator,
+    LeftEdgeRegisterAllocator,
+    RuleBasedAllocator,
+)
+from ..binding import ComponentLibrary, ModuleBinder
+from ..controller.fsm import synthesize_fsm
+from ..datapath.plan import plan_block
+from ..errors import HLSError
+from ..ir.cdfg import CDFG, IfRegion, LoopRegion
+from ..lang import compile_source
+from ..scheduling import (
+    ASAPScheduler,
+    BranchAndBoundScheduler,
+    ForceDirectedScheduler,
+    FreedomBasedScheduler,
+    ListScheduler,
+    ResourceConstraints,
+    ResourceModel,
+    SchedulingProblem,
+    SimulatedAnnealingScheduler,
+    UniversalFUModel,
+    YSCScheduler,
+)
+from ..transforms import optimize
+from .design import SynthesizedDesign
+
+SCHEDULERS: dict[str, Callable] = {
+    "asap": ASAPScheduler,
+    "list": ListScheduler,
+    "force-directed": ForceDirectedScheduler,
+    "freedom-based": FreedomBasedScheduler,
+    "branch-and-bound": BranchAndBoundScheduler,
+    "ysc": YSCScheduler,
+    "annealing": SimulatedAnnealingScheduler,
+}
+
+ALLOCATORS: dict[str, Callable] = {
+    "clique": CliqueAllocator,
+    "left-edge": LeftEdgeRegisterAllocator,
+    "greedy": GreedyDatapathAllocator,
+    "coloring": ColoringRegisterAllocator,
+    "rules": RuleBasedAllocator,
+}
+
+
+@dataclass
+class SynthesisOptions:
+    """Knobs of one synthesis run.
+
+    Attributes:
+        scheduler: one of :data:`SCHEDULERS`.
+        allocator: one of :data:`ALLOCATORS`.
+        model: resource/delay model (default: the paper's universal FU).
+        constraints: per-class unit limits.
+        optimize_ir: run the standard transformation pipeline first.
+        unroll: fully unroll constant-trip loops during optimization.
+        tree_height: rebalance associative chains during optimization.
+        library: component library for module binding.
+    """
+
+    scheduler: str = "list"
+    allocator: str = "left-edge"
+    model: ResourceModel | None = None
+    constraints: ResourceConstraints | None = None
+    optimize_ir: bool = True
+    unroll: bool = False
+    tree_height: bool = False
+    library: ComponentLibrary | None = None
+
+
+def _region_condition_values(cdfg: CDFG) -> dict[int, set[int]]:
+    """Block id → condition value ids the controller reads there."""
+    conditions: dict[int, set[int]] = {}
+    for region in cdfg.body.walk():
+        if isinstance(region, (IfRegion, LoopRegion)):
+            block = region.cond.producer.block
+            conditions.setdefault(block.id, set()).add(region.cond.id)
+    return conditions
+
+
+def synthesize_cdfg(cdfg: CDFG,
+                    options: SynthesisOptions | None = None
+                    ) -> SynthesizedDesign:
+    """Run scheduling → allocation → binding → control on a CDFG.
+
+    The CDFG is optimized in place when ``options.optimize_ir`` is set.
+    """
+    options = options or SynthesisOptions()
+    model = options.model or UniversalFUModel()
+    constraints = options.constraints or ResourceConstraints.unlimited()
+
+    log: list[str] = []
+    if options.optimize_ir:
+        report = optimize(cdfg, unroll=options.unroll,
+                          tree_height=options.tree_height)
+        log.append(f"optimize: {report}")
+
+    scheduler_factory = SCHEDULERS.get(options.scheduler)
+    if scheduler_factory is None:
+        raise HLSError(f"unknown scheduler {options.scheduler!r}")
+    allocator_factory = ALLOCATORS.get(options.allocator)
+    if allocator_factory is None:
+        raise HLSError(f"unknown allocator {options.allocator!r}")
+
+    design = SynthesizedDesign(
+        cdfg=cdfg,
+        model=model,
+        constraints=constraints,
+        scheduler_name=options.scheduler,
+        allocator_name=options.allocator,
+        log=log,
+    )
+    conditions = _region_condition_values(cdfg)
+
+    bindings = []
+    binder = ModuleBinder(options.library)
+    for block in cdfg.blocks():
+        if not block.ops:
+            continue
+        problem = SchedulingProblem.from_block(block, model, constraints)
+        schedule = scheduler_factory(problem).schedule()
+        schedule.validate()
+        allocation = allocator_factory(schedule).allocate()
+        allocation.validate()
+        plan = plan_block(
+            block, schedule, allocation,
+            live_out_values=conditions.get(block.id, set()),
+        )
+        design.schedules[block.id] = schedule
+        design.allocations[block.id] = allocation
+        design.plans[block.id] = plan
+        binding = binder.bind(allocation)
+        bindings.append(binding)
+        usage = ", ".join(
+            f"{cls}={count}"
+            for cls, count in sorted(schedule.resource_usage().items())
+        )
+        log.append(
+            f"schedule[{options.scheduler}] {block.name}: "
+            f"{schedule.length} steps, peak usage {{{usage or '-'}}}"
+        )
+        log.append(
+            f"allocate[{options.allocator}] {block.name}: "
+            f"{allocation.fu_count()} FUs, "
+            f"{allocation.register_count} registers"
+        )
+
+    design.binding = binder.merge(bindings)
+    for fu in sorted(design.binding.components,
+                     key=lambda f: (f.cls, f.index)):
+        component = design.binding.components[fu]
+        log.append(
+            f"bind: {fu} -> {component.name} "
+            f"({design.binding.widths[fu]} bits)"
+        )
+    design.fsm = synthesize_fsm(cdfg, design.plans)
+    log.append(f"control: FSM with {design.fsm.state_count} states")
+    return design
+
+
+def synthesize(source: str, procedure: str | None = None,
+               options: SynthesisOptions | None = None,
+               **option_kwargs) -> SynthesizedDesign:
+    """Compile behavioral source and synthesize it.
+
+    Args:
+        source: BSL program text.
+        procedure: entry procedure (default: last defined).
+        options: a full :class:`SynthesisOptions`; otherwise
+            ``option_kwargs`` are forwarded to its constructor
+            (``scheduler=``, ``allocator=``, ``constraints=``, …).
+    """
+    if options is None:
+        options = SynthesisOptions(**option_kwargs)
+    elif option_kwargs:
+        raise HLSError("pass either options or keyword options, not both")
+    cdfg = compile_source(source, procedure)
+    return synthesize_cdfg(cdfg, options)

@@ -1,0 +1,23 @@
+"""Datapath: storage planning, micro-operations, structural netlist."""
+
+from .netlist import (
+    DatapathNetlist,
+    Net,
+    NetComponent,
+    Pin,
+    build_netlist,
+)
+from .plan import BlockPlan, Latch, MemoryWrite, StorageRef, plan_block
+
+__all__ = [
+    "BlockPlan",
+    "DatapathNetlist",
+    "Latch",
+    "MemoryWrite",
+    "Net",
+    "NetComponent",
+    "Pin",
+    "StorageRef",
+    "build_netlist",
+    "plan_block",
+]

@@ -1,0 +1,231 @@
+"""Structural datapath netlist.
+
+§1.1: "Structure refers to the set of interconnected components that
+make up the system — something like a netlist."  This module makes that
+structure explicit: registers, functional units, multiplexers, memories
+and constant drivers as component instances, with nets connecting
+source pins to sink pins.  The netlist is derived from a complete
+:class:`~repro.core.design.SynthesizedDesign` and is what the wiring
+estimator and the datapath DOT renderer consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from ..allocation.interconnect import estimate_interconnect
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.design import SynthesizedDesign
+
+
+@dataclass(frozen=True)
+class NetComponent:
+    """One physical component instance.
+
+    ``kind`` is one of "register", "fu", "mux", "memory", "const";
+    ``name`` is unique within the netlist; ``width`` is in bits.
+    """
+
+    kind: str
+    name: str
+    width: int = 1
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Pin:
+    """A connection point: a component plus a port label."""
+
+    component: NetComponent
+    port: str
+
+    def __str__(self) -> str:
+        return f"{self.component.name}.{self.port}"
+
+
+@dataclass
+class Net:
+    """One net: a single driver pin fanning out to sink pins."""
+
+    driver: Pin
+    sinks: list[Pin] = field(default_factory=list)
+
+    @property
+    def fanout(self) -> int:
+        return len(self.sinks)
+
+
+@dataclass
+class DatapathNetlist:
+    """The derived structure of one synthesized design."""
+
+    components: dict[str, NetComponent] = field(default_factory=dict)
+    nets: list[Net] = field(default_factory=list)
+
+    def add_component(self, component: NetComponent) -> NetComponent:
+        existing = self.components.get(component.name)
+        if existing is not None:
+            return existing
+        self.components[component.name] = component
+        return component
+
+    def components_of_kind(self, kind: str) -> list[NetComponent]:
+        return sorted(
+            (c for c in self.components.values() if c.kind == kind),
+            key=lambda c: c.name,
+        )
+
+    # Summary -----------------------------------------------------------
+
+    @property
+    def register_count(self) -> int:
+        return len(self.components_of_kind("register"))
+
+    @property
+    def fu_count(self) -> int:
+        return len(self.components_of_kind("fu"))
+
+    @property
+    def mux_count(self) -> int:
+        return len(self.components_of_kind("mux"))
+
+    @property
+    def net_count(self) -> int:
+        return len(self.nets)
+
+    def stats(self) -> str:
+        return (
+            f"netlist: {self.fu_count} FUs, {self.register_count} "
+            f"registers, {self.mux_count} muxes, "
+            f"{len(self.components_of_kind('memory'))} memories, "
+            f"{self.net_count} nets"
+        )
+
+    # Rendering ----------------------------------------------------------
+
+    def dot(self) -> str:
+        """Graphviz rendering of the datapath structure (the right half
+        of the paper's Fig. 6)."""
+        shapes = {
+            "register": "box",
+            "fu": "trapezium",
+            "mux": "invtriangle",
+            "memory": "box3d",
+            "const": "plaintext",
+        }
+        lines = ["digraph datapath {", "  rankdir=TB;"]
+        for component in sorted(self.components.values(),
+                                key=lambda c: c.name):
+            shape = shapes.get(component.kind, "ellipse")
+            lines.append(
+                f'  "{component.name}" [shape={shape}, '
+                f'label="{component.name}\\n{component.width}b"];'
+            )
+        for net in self.nets:
+            for sink in net.sinks:
+                lines.append(
+                    f'  "{net.driver.component.name}" -> '
+                    f'"{sink.component.name}" '
+                    f'[taillabel="{net.driver.port}", '
+                    f'headlabel="{sink.port}"];'
+                )
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def _source_component(netlist: DatapathNetlist, source: tuple,
+                      width: int) -> NetComponent:
+    if source[0] == "reg":
+        return netlist.add_component(
+            NetComponent("register", f"r{source[1]}", width)
+        )
+    if source[0] == "const":
+        return netlist.add_component(
+            NetComponent("const", f"const_{abs(hash(source[1])) % 10_000}",
+                         width)
+        )
+    if source[0] == "fu":
+        return netlist.add_component(
+            NetComponent("fu", f"{source[1]}{source[2]}", width)
+        )
+    # ("logic", op id): chained free logic — modelled as a small FU.
+    return netlist.add_component(
+        NetComponent("fu", f"logic{source[1]}", width)
+    )
+
+
+def build_netlist(design: "SynthesizedDesign") -> DatapathNetlist:
+    """Derive the structural netlist of a synthesized design.
+
+    Components are the union over all blocks (the same physical
+    datapath executes every block); multiplexers appear wherever a
+    destination port has more than one source.  Registers are modelled
+    at *allocation* granularity (`r<k>` = allocation register k), the
+    level the paper's interconnect discussion works at.
+    """
+    netlist = DatapathNetlist()
+    for name, array_type in design.cdfg.memories.items():
+        from ..ir.types import bit_width
+
+        netlist.add_component(
+            NetComponent("memory", f"mem_{name}",
+                         bit_width(array_type.element))
+        )
+    if design.binding is not None:
+        for fu, component in design.binding.components.items():
+            netlist.add_component(
+                NetComponent("fu", f"{fu.cls}{fu.index}",
+                             design.binding.widths[fu])
+            )
+
+    # Merge per-block port→sources maps.
+    port_sources: dict[tuple, list] = {}
+    for allocation in design.allocations.values():
+        estimate = estimate_interconnect(allocation)
+        for port, sources in estimate.port_sources.items():
+            known = port_sources.setdefault(port, [])
+            for source in sorted(sources, key=str):
+                if source not in known:
+                    known.append(source)
+
+    def register_name(index: int) -> str:
+        # Interconnect sources name allocation registers; the physical
+        # mapping (var/tmp) differs per block, so the netlist models
+        # the register file at allocation granularity.
+        return f"r{index}"
+
+    for port, sources in sorted(port_sources.items(), key=str):
+        if port[0] == "fuport":
+            _, cls, index, operand = port
+            dest = netlist.add_component(
+                NetComponent("fu", f"{cls}{index}", 1)
+            )
+            dest_pin = Pin(dest, f"in{operand}")
+        else:  # ("regin", index)
+            dest = netlist.add_component(
+                NetComponent("register", register_name(port[1]), 1)
+            )
+            dest_pin = Pin(dest, "d")
+
+        if len(sources) > 1:
+            mux = netlist.add_component(
+                NetComponent(
+                    "mux",
+                    f"mux_{'_'.join(str(p) for p in port)}",
+                    dest.width,
+                )
+            )
+            for position, source in enumerate(sources):
+                driver = _source_component(netlist, source, dest.width)
+                netlist.nets.append(
+                    Net(Pin(driver, "q"), [Pin(mux, f"i{position}")])
+                )
+            netlist.nets.append(Net(Pin(mux, "y"), [dest_pin]))
+        else:
+            driver = _source_component(netlist, sources[0], dest.width)
+            netlist.nets.append(Net(Pin(driver, "q"), [dest_pin]))
+    return netlist

@@ -1,0 +1,91 @@
+"""Exception hierarchy shared across the repro HLS library.
+
+Every error raised by the library derives from :class:`HLSError`, so
+callers can catch a single type at the API boundary.  Sub-types mirror
+the synthesis pipeline stages described in the DAC'88 tutorial: language
+frontend, IR construction, transformation, scheduling, allocation,
+binding, controller synthesis and simulation.
+"""
+
+from __future__ import annotations
+
+
+class HLSError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SourceLocation:
+    """A position in behavioral source text (1-based line and column)."""
+
+    __slots__ = ("line", "column")
+
+    def __init__(self, line: int, column: int) -> None:
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SourceLocation)
+            and self.line == other.line
+            and self.column == other.column
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.line, self.column))
+
+
+class FrontendError(HLSError):
+    """An error in behavioral source text (lexing, parsing, semantics)."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None) -> None:
+        self.location = location
+        if location is not None:
+            message = f"{location}: {message}"
+        super().__init__(message)
+
+
+class LexError(FrontendError):
+    """Invalid character sequence in behavioral source text."""
+
+
+class ParseError(FrontendError):
+    """Source text does not conform to the behavioral grammar."""
+
+
+class SemanticError(FrontendError):
+    """Well-formed source text with an invalid meaning (types, scopes)."""
+
+
+class IRError(HLSError):
+    """An IR invariant was violated while building or mutating a CDFG."""
+
+
+class TransformError(HLSError):
+    """A high-level transformation could not be applied."""
+
+
+class SchedulingError(HLSError):
+    """No legal schedule exists, or a scheduler produced an illegal one."""
+
+
+class AllocationError(HLSError):
+    """Datapath allocation failed or produced an inconsistent result."""
+
+
+class BindingError(HLSError):
+    """Module binding failed (e.g. no library component implements an op)."""
+
+
+class ControllerError(HLSError):
+    """Controller synthesis failed (FSM or microcode generation)."""
+
+
+class SimulationError(HLSError):
+    """Behavioral or RTL simulation encountered an invalid state."""
+
+
+class EquivalenceError(HLSError):
+    """Behavior/RTL co-simulation found diverging outputs."""

@@ -1,0 +1,22 @@
+"""Area, timing and wiring estimation (the BUD/PLEST role of §4)."""
+
+from .area import AreaEstimate, estimate_area
+from .floorplan import (
+    Floorplan,
+    WiringEstimate,
+    estimate_wiring,
+    place_linear,
+)
+from .timing import TimingEstimate, estimate_clock_period, estimate_timing
+
+__all__ = [
+    "AreaEstimate",
+    "Floorplan",
+    "TimingEstimate",
+    "WiringEstimate",
+    "estimate_area",
+    "estimate_clock_period",
+    "estimate_timing",
+    "estimate_wiring",
+    "place_linear",
+]

@@ -1,0 +1,83 @@
+"""Area estimation of a synthesized design.
+
+§4 lists integration of physical estimates (BUD's area/performance
+estimation, PLEST) among the open problems; this module provides the
+first-order structural estimate those systems used: component areas
+from the library, register bits, multiplexer inputs and a controller
+term, all in the library's normalized gate-equivalent units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..allocation.interconnect import estimate_interconnect
+from ..binding.library import (
+    CONTROLLER_AREA_PER_STATE_BIT,
+    MUX_AREA_PER_INPUT_BIT,
+    REGISTER_AREA_PER_BIT,
+)
+from ..controller.encoding import encode_states
+from ..core.design import SynthesizedDesign
+from ..ir.types import bit_width
+
+
+@dataclass
+class AreaEstimate:
+    """Area breakdown (normalized gate equivalents)."""
+
+    functional_units: float
+    registers: float
+    multiplexers: float
+    controller: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.functional_units
+            + self.registers
+            + self.multiplexers
+            + self.controller
+        )
+
+    def report(self) -> str:
+        return (
+            f"area: total={self.total:.0f} "
+            f"(FUs {self.functional_units:.0f}, "
+            f"registers {self.registers:.0f}, "
+            f"muxes {self.multiplexers:.0f}, "
+            f"controller {self.controller:.0f})"
+        )
+
+
+def estimate_area(design: SynthesizedDesign,
+                  datapath_width: int | None = None) -> AreaEstimate:
+    """Estimate the design's area.
+
+    Args:
+        design: a complete synthesized design.
+        datapath_width: bit width assumed for multiplexers; defaults to
+            the widest register in the design.
+    """
+    fu_area = design.binding.area() if design.binding is not None else 0.0
+
+    registers = design.storage_registers()
+    register_area = REGISTER_AREA_PER_BIT * sum(registers.values())
+    if datapath_width is None:
+        datapath_width = max(registers.values(), default=8)
+
+    mux_inputs = 0
+    for allocation in design.allocations.values():
+        mux_inputs += estimate_interconnect(allocation).mux_inputs
+    mux_area = MUX_AREA_PER_INPUT_BIT * mux_inputs * datapath_width
+
+    controller_area = 0.0
+    if design.fsm is not None and design.fsm.state_count:
+        encoding = encode_states(design.fsm, "binary")
+        controller_area = (
+            CONTROLLER_AREA_PER_STATE_BIT
+            * encoding.bits
+            * design.fsm.state_count
+        )
+
+    return AreaEstimate(fu_area, register_area, mux_area, controller_area)

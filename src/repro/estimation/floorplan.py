@@ -1,0 +1,158 @@
+"""Linear floorplanning and wiring estimation (BUD/PLEST role).
+
+§4: "Estimation of performance and area at the layout level is
+performed by BUD, and PLEST performs area estimation, but more research
+on this topic is needed."  And §2 makes a wiring claim this module lets
+the benches test: "Buses, which can be seen as distributed multiplexers,
+offer the advantage of requiring less wiring, but they may be slower
+than multiplexers."
+
+Model: a classic 1-D datapath floorplan — every component (registers,
+FUs, muxes, memories) occupies a slot on a row.  Slot order is chosen
+by a deterministic barycentric pass (components are iteratively moved
+toward the mean position of their neighbours), then wiring is measured:
+
+* **mux interconnect** — every net is a point-to-point wire; length =
+  Σ |slot(driver) − slot(sink)| over all net pins;
+* **bus interconnect** — transfers share bus wires; each bus's length
+  is the span between its leftmost and rightmost terminal, and total
+  wiring = Σ bus spans + the short taps from terminals to the bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..allocation.interconnect import (
+    allocate_buses,
+    estimate_interconnect,
+)
+from ..datapath.netlist import DatapathNetlist, build_netlist
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.design import SynthesizedDesign
+
+
+@dataclass
+class Floorplan:
+    """A 1-D placement: component name → slot index."""
+
+    slots: dict[str, int] = field(default_factory=dict)
+
+    def distance(self, a: str, b: str) -> int:
+        return abs(self.slots[a] - self.slots[b])
+
+    @property
+    def width(self) -> int:
+        return len(self.slots)
+
+
+def place_linear(netlist: DatapathNetlist, passes: int = 8) -> Floorplan:
+    """Deterministic barycentric linear placement.
+
+    Starts from name order and repeatedly sorts components by the mean
+    slot of their connected partners — a light-weight stand-in for the
+    min-cut placers BUD used, adequate for *relative* wiring numbers.
+    """
+    names = sorted(netlist.components)
+    order = list(names)
+
+    neighbors: dict[str, list[str]] = {name: [] for name in names}
+    for net in netlist.nets:
+        driver = net.driver.component.name
+        for sink in net.sinks:
+            neighbors[driver].append(sink.component.name)
+            neighbors[sink.component.name].append(driver)
+
+    for _ in range(passes):
+        slots = {name: index for index, name in enumerate(order)}
+
+        def barycenter(name: str) -> float:
+            linked = neighbors[name]
+            if not linked:
+                return slots[name]
+            return sum(slots[n] for n in linked) / len(linked)
+
+        order = sorted(order, key=lambda name: (barycenter(name), name))
+
+    return Floorplan({name: index for index, name in enumerate(order)})
+
+
+@dataclass
+class WiringEstimate:
+    """Total wire length (in slot pitches) under both interconnect
+    styles, for the same placement."""
+
+    mux_wire_length: int
+    bus_wire_length: int
+    bus_count: int
+
+    def report(self) -> str:
+        return (
+            f"wiring: point-to-point(mux)={self.mux_wire_length} "
+            f"pitches, shared buses={self.bus_wire_length} pitches "
+            f"on {self.bus_count} buses"
+        )
+
+
+def estimate_wiring(design: "SynthesizedDesign",
+                    floorplan: Floorplan | None = None,
+                    netlist: DatapathNetlist | None = None
+                    ) -> WiringEstimate:
+    """Measure mux-style vs bus-style wiring for a synthesized design."""
+    if netlist is None:
+        netlist = build_netlist(design)
+    if floorplan is None:
+        floorplan = place_linear(netlist)
+
+    mux_length = 0
+    for net in netlist.nets:
+        driver = net.driver.component.name
+        for sink in net.sinks:
+            mux_length += floorplan.distance(driver, sink.component.name)
+
+    # Bus wiring: group the designs' transfers onto buses (per step,
+    # per source — see allocate_buses), then charge each bus its span
+    # over the terminals it ever touches, plus one pitch per tap.
+    bus_terminals: dict[int, set[str]] = {}
+    total_transfers = 0
+    for allocation in design.allocations.values():
+        estimate = estimate_interconnect(allocation)
+        buses = allocate_buses(estimate)
+        for step, source, destination in estimate.transfers:
+            bus = buses.bus_of[(step, source)]
+            terminals = bus_terminals.setdefault(bus, set())
+            terminals.add(_terminal_name(source))
+            terminals.add(_terminal_name(destination))
+            total_transfers += 1
+
+    bus_length = 0
+    for terminals in bus_terminals.values():
+        slots = [
+            floorplan.slots[name]
+            for name in terminals
+            if name in floorplan.slots
+        ]
+        if len(slots) >= 2:
+            bus_length += max(slots) - min(slots)
+        bus_length += len(slots)  # taps
+    return WiringEstimate(
+        mux_wire_length=mux_length,
+        bus_wire_length=bus_length,
+        bus_count=len(bus_terminals),
+    )
+
+
+def _terminal_name(endpoint: tuple) -> str:
+    if endpoint[0] == "reg":
+        return f"r{endpoint[1]}"
+    if endpoint[0] == "regin":
+        return f"r{endpoint[1]}"
+    if endpoint[0] == "fu":
+        return f"{endpoint[1]}{endpoint[2]}"
+    if endpoint[0] == "fuport":
+        return f"{endpoint[1]}{endpoint[2]}"
+    if endpoint[0] == "const":
+        return f"const_{abs(hash(endpoint[1])) % 10_000}"
+    return f"logic{endpoint[1]}"

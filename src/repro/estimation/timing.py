@@ -1,0 +1,56 @@
+"""Timing estimation: clock period and activation latency.
+
+First-order single-phase model: the clock must cover the slowest bound
+component, one level of operand multiplexing, chained free logic
+(constant shifts are wiring, so only muxes and the FU matter) and
+register setup.  Latency is simply cycles x period — the figure of
+merit the paper's speed/area trade-off discussions use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..allocation.interconnect import estimate_interconnect
+from ..core.design import SynthesizedDesign
+
+MUX_DELAY_NS = 2.0
+REGISTER_SETUP_NS = 1.5
+DEFAULT_FU_DELAY_NS = 10.0
+
+
+@dataclass
+class TimingEstimate:
+    """Clock and latency summary."""
+
+    clock_ns: float
+    cycles: int
+
+    @property
+    def latency_ns(self) -> float:
+        return self.clock_ns * self.cycles
+
+    def report(self) -> str:
+        return (
+            f"timing: clock {self.clock_ns:.1f} ns x {self.cycles} "
+            f"cycles = {self.latency_ns:.1f} ns"
+        )
+
+
+def estimate_clock_period(design: SynthesizedDesign) -> float:
+    """Estimated minimum clock period in ns."""
+    fu_delay = DEFAULT_FU_DELAY_NS
+    if design.binding is not None and design.binding.components:
+        fu_delay = design.binding.max_delay_ns()
+    has_mux = any(
+        estimate_interconnect(allocation).mux_count > 0
+        for allocation in design.allocations.values()
+    )
+    mux_delay = MUX_DELAY_NS if has_mux else 0.0
+    return fu_delay + mux_delay + REGISTER_SETUP_NS
+
+
+def estimate_timing(design: SynthesizedDesign,
+                    cycles: int) -> TimingEstimate:
+    """Combine the clock estimate with a measured cycle count."""
+    return TimingEstimate(estimate_clock_period(design), cycles)

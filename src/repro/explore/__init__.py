@@ -1,0 +1,17 @@
+"""Design-space exploration (paper §1.2 / §3.1.1 iteration loops)."""
+
+from .dse import (
+    DesignPoint,
+    ExplorationResult,
+    explore_fu_range,
+    measure_cycles,
+    search_for_latency,
+)
+
+__all__ = [
+    "DesignPoint",
+    "ExplorationResult",
+    "explore_fu_range",
+    "measure_cycles",
+    "search_for_latency",
+]

@@ -1,0 +1,211 @@
+"""Design-space exploration: the paper's resource-iteration loop.
+
+§1.2 motivates synthesis with "the ability to search the design space
+… produce several designs for the same specification in a reasonable
+amount of time", and §3.1.1 describes the loop concretely (MIMOLA,
+Chippe): "first choosing a resource limit, then scheduling, then
+changing the limit based on the results of the scheduling, rescheduling
+and so on until a satisfactory design has been found."
+
+:func:`explore_fu_range` sweeps functional-unit limits, synthesizes a
+design per point, measures area (estimator) and latency (cycle-accurate
+simulation), and reports the Pareto-optimal set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.design import SynthesizedDesign
+from ..core.engine import SynthesisOptions, synthesize_cdfg
+from ..estimation import estimate_area, estimate_timing
+from ..ir.cdfg import CDFG
+from ..lang import compile_source
+from ..scheduling import ResourceConstraints
+from ..sim.equivalence import default_vectors
+from ..sim.rtl_sim import RTLSimulator
+
+
+@dataclass
+class DesignPoint:
+    """One explored design with its measured quality."""
+
+    constraints: ResourceConstraints
+    design: SynthesizedDesign
+    area: float
+    cycles: int
+    clock_ns: float
+
+    @property
+    def latency_ns(self) -> float:
+        return self.clock_ns * self.cycles
+
+    def row(self) -> str:
+        return (
+            f"{self.constraints!s:>16}  area={self.area:8.0f}  "
+            f"cycles={self.cycles:5d}  clock={self.clock_ns:5.1f}ns  "
+            f"latency={self.latency_ns:9.1f}ns"
+        )
+
+
+@dataclass
+class ExplorationResult:
+    """All explored points plus the Pareto front (area vs latency)."""
+
+    points: list[DesignPoint] = field(default_factory=list)
+
+    @property
+    def pareto(self) -> list[DesignPoint]:
+        front: list[DesignPoint] = []
+        for point in self.points:
+            dominated = any(
+                other.area <= point.area
+                and other.latency_ns <= point.latency_ns
+                and (
+                    other.area < point.area
+                    or other.latency_ns < point.latency_ns
+                )
+                for other in self.points
+                if other is not point
+            )
+            if not dominated:
+                front.append(point)
+        front.sort(key=lambda p: (p.area, p.latency_ns))
+        return front
+
+    def table(self) -> str:
+        lines = ["design-space exploration:"]
+        pareto = set(map(id, self.pareto))
+        for point in self.points:
+            marker = "*" if id(point) in pareto else " "
+            lines.append(f" {marker} {point.row()}")
+        lines.append(" (* = Pareto-optimal)")
+        return "\n".join(lines)
+
+
+def measure_cycles(design: SynthesizedDesign,
+                   vectors: Sequence[dict] | None = None) -> int:
+    """Worst-case activation cycles over the given input vectors."""
+    if vectors is None:
+        vectors = default_vectors(design.cdfg, count=4)
+    worst = 0
+    for inputs in vectors:
+        simulator = RTLSimulator(design)
+        simulator.run(inputs)
+        worst = max(worst, simulator.cycles)
+    return worst
+
+
+def search_for_latency(
+    source_or_factory: str | Callable[[], CDFG],
+    target_cycles: int,
+    resource_class: str = "fu",
+    max_units: int = 16,
+    options: SynthesisOptions | None = None,
+    vectors: Sequence[dict] | None = None,
+) -> DesignPoint | None:
+    """Chippe-style constraint-driven search: the *smallest* unit count
+    whose design meets ``target_cycles``.
+
+    §3.1.1: "first choosing a resource limit, then scheduling, then
+    changing the limit based on the results of the scheduling,
+    rescheduling and so on until a satisfactory design has been found."
+    Cycle counts are monotone non-increasing in the unit budget here,
+    so the loop is a binary search.  Returns None when even
+    ``max_units`` cannot meet the target.
+    """
+    base = options or SynthesisOptions()
+
+    def build(limit: int) -> DesignPoint:
+        if isinstance(source_or_factory, str):
+            cdfg = compile_source(source_or_factory)
+        else:
+            cdfg = source_or_factory()
+        point_options = SynthesisOptions(
+            scheduler=base.scheduler,
+            allocator=base.allocator,
+            model=base.model,
+            constraints=ResourceConstraints({resource_class: limit}),
+            optimize_ir=base.optimize_ir,
+            unroll=base.unroll,
+            tree_height=base.tree_height,
+            library=base.library,
+        )
+        design = synthesize_cdfg(cdfg, point_options)
+        cycles = measure_cycles(design, vectors)
+        timing = estimate_timing(design, cycles)
+        return DesignPoint(
+            constraints=point_options.constraints,
+            design=design,
+            area=estimate_area(design).total,
+            cycles=cycles,
+            clock_ns=timing.clock_ns,
+        )
+
+    low, high = 1, max_units
+    best: DesignPoint | None = None
+    ceiling = build(high)
+    if ceiling.cycles > target_cycles:
+        return None
+    best = ceiling
+    while low < high:
+        middle = (low + high) // 2
+        point = build(middle)
+        if point.cycles <= target_cycles:
+            best = point
+            high = middle
+        else:
+            low = middle + 1
+    return best
+
+
+def explore_fu_range(
+    source_or_factory: str | Callable[[], CDFG],
+    fu_limits: Sequence[int],
+    resource_class: str = "fu",
+    options: SynthesisOptions | None = None,
+    vectors: Sequence[dict] | None = None,
+) -> ExplorationResult:
+    """Sweep a functional-unit limit and collect the trade-off curve.
+
+    Args:
+        source_or_factory: BSL text, or a callable returning a fresh
+            CDFG (synthesis mutates its input).
+        fu_limits: unit counts to try for ``resource_class``.
+        resource_class: the constrained class (default "fu").
+        options: base options; the constraint field is overridden per
+            point.
+        vectors: inputs for cycle measurement (default: generated).
+    """
+    base = options or SynthesisOptions()
+    result = ExplorationResult()
+    for limit in fu_limits:
+        if isinstance(source_or_factory, str):
+            cdfg = compile_source(source_or_factory)
+        else:
+            cdfg = source_or_factory()
+        point_options = SynthesisOptions(
+            scheduler=base.scheduler,
+            allocator=base.allocator,
+            model=base.model,
+            constraints=ResourceConstraints({resource_class: limit}),
+            optimize_ir=base.optimize_ir,
+            unroll=base.unroll,
+            tree_height=base.tree_height,
+            library=base.library,
+        )
+        design = synthesize_cdfg(cdfg, point_options)
+        cycles = measure_cycles(design, vectors)
+        timing = estimate_timing(design, cycles)
+        area = estimate_area(design).total
+        result.points.append(
+            DesignPoint(
+                constraints=point_options.constraints,
+                design=design,
+                area=area,
+                cycles=cycles,
+                clock_ns=timing.clock_ns,
+            )
+        )
+    return result

@@ -1,0 +1,275 @@
+"""The control/data flow graph: the IR of a behavioral procedure.
+
+The tutorial (§2) uses "variations of graphs that contain both the
+data-flow and the control flow implied by the specification".  We keep
+the two views the same way Fig. 1 does:
+
+* the **data-flow graph** lives inside each :class:`BasicBlock`
+  (see :mod:`repro.ir.values`);
+* the **control-flow graph** is a structured region tree —
+  sequences, two-way branches and loops — mirroring the procedural
+  source languages (Pascal, ISPS) the paper describes.
+
+Structured control keeps loop boundaries explicit, which is what the
+scheduling chapter needs: "the control graph can be packed into control
+steps as tightly as possible, observing only the essential dependencies
+required by the data-flow graph *and by the loop boundaries*".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import IRError
+from .types import ArrayType, Type, is_scalar
+from .values import BasicBlock, Operation, Value
+
+
+class Region:
+    """Base class of the structured control tree."""
+
+    def blocks(self) -> Iterator[BasicBlock]:
+        """All basic blocks in this region, in execution order."""
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["Region"]:
+        """This region and all nested regions, pre-order."""
+        yield self
+
+
+@dataclass
+class BlockRegion(Region):
+    """A leaf region: one straight-line basic block."""
+
+    block: BasicBlock
+
+    def blocks(self) -> Iterator[BasicBlock]:
+        yield self.block
+
+
+@dataclass
+class SeqRegion(Region):
+    """Sequential composition of sub-regions."""
+
+    items: list[Region] = field(default_factory=list)
+
+    def blocks(self) -> Iterator[BasicBlock]:
+        for item in self.items:
+            yield from item.blocks()
+
+    def walk(self) -> Iterator[Region]:
+        yield self
+        for item in self.items:
+            yield from item.walk()
+
+
+@dataclass
+class IfRegion(Region):
+    """Two-way branch.
+
+    ``cond_block`` computes ``cond`` (and any straight-line code hoisted
+    with it); then exactly one of ``then_region`` / ``else_region`` runs.
+    ``else_region`` may be None.
+    """
+
+    cond_block: BasicBlock
+    cond: Value
+    then_region: Region
+    else_region: Region | None = None
+
+    def blocks(self) -> Iterator[BasicBlock]:
+        yield self.cond_block
+        yield from self.then_region.blocks()
+        if self.else_region is not None:
+            yield from self.else_region.blocks()
+
+    def walk(self) -> Iterator[Region]:
+        yield self
+        yield from self.then_region.walk()
+        if self.else_region is not None:
+            yield from self.else_region.walk()
+
+
+@dataclass
+class LoopRegion(Region):
+    """A loop in one of two canonical shapes.
+
+    * Pre-test (``while``): ``test_block`` is separate and runs first
+      each iteration; the loop exits when ``cond`` is false
+      (``exit_on_true=False``).
+    * Post-test (``repeat … until``): the condition is computed inside
+      the *last block of the body* (``test_block`` is that block and
+      ``test_in_body`` is True); the loop exits when ``cond`` is true.
+      This matches the paper's sqrt example, where the exit comparison
+      is one of the operations scheduled *with* the loop body.
+
+    ``trip_count`` is an optional static iteration count used by loop
+    unrolling and by schedule-length accounting (e.g. 3 + 4x5 = 23).
+    """
+
+    body: Region
+    test_block: BasicBlock
+    cond: Value
+    exit_on_true: bool
+    test_in_body: bool
+    trip_count: int | None = None
+
+    def blocks(self) -> Iterator[BasicBlock]:
+        if not self.test_in_body:
+            yield self.test_block
+        yield from self.body.blocks()
+
+    def walk(self) -> Iterator[Region]:
+        yield self
+        yield from self.body.walk()
+
+
+@dataclass(frozen=True)
+class Port:
+    """A formal input or output of the procedure."""
+
+    name: str
+    type: Type
+
+
+class CDFG:
+    """A behavioral procedure, fully compiled to blocks and regions.
+
+    Attributes:
+        name: procedure name.
+        inputs / outputs: formal ports, in declaration order.
+        variables: every scalar variable (locals, inputs, outputs).
+        memories: array variables, realized as addressable memories.
+        body: the structured control region tree.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.inputs: list[Port] = []
+        self.outputs: list[Port] = []
+        self.variables: dict[str, Type] = {}
+        self.memories: dict[str, ArrayType] = {}
+        self.body: Region = SeqRegion([])
+        self._op_ids = 0
+        self._value_ids = 0
+        self._block_ids = 0
+
+    # ------------------------------------------------------------------
+    # Identity allocation
+    # ------------------------------------------------------------------
+
+    def next_op_id(self) -> int:
+        self._op_ids += 1
+        return self._op_ids
+
+    def next_value_id(self) -> int:
+        self._value_ids += 1
+        return self._value_ids
+
+    def new_block(self, name: str | None = None) -> BasicBlock:
+        """Create a fresh, empty basic block owned by this CDFG."""
+        self._block_ids += 1
+        return BasicBlock(self._block_ids, self, name)
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+
+    def add_input(self, name: str, type_: Type) -> None:
+        self._declare(name, type_)
+        self.inputs.append(Port(name, type_))
+
+    def add_output(self, name: str, type_: Type) -> None:
+        self._declare(name, type_)
+        self.outputs.append(Port(name, type_))
+
+    def add_variable(self, name: str, type_: Type) -> None:
+        self._declare(name, type_)
+
+    def _declare(self, name: str, type_: Type) -> None:
+        if name in self.variables or name in self.memories:
+            raise IRError(f"duplicate declaration of {name!r}")
+        if isinstance(type_, ArrayType):
+            self.memories[name] = type_
+        elif is_scalar(type_):
+            self.variables[name] = type_
+        else:
+            raise IRError(f"cannot declare {name!r} with type {type_}")
+
+    def type_of(self, name: str) -> Type:
+        """Declared type of a variable or memory."""
+        if name in self.variables:
+            return self.variables[name]
+        if name in self.memories:
+            return self.memories[name]
+        raise IRError(f"unknown variable {name!r}")
+
+    # ------------------------------------------------------------------
+    # Whole-graph queries
+    # ------------------------------------------------------------------
+
+    def blocks(self) -> list[BasicBlock]:
+        """Every basic block, in execution order."""
+        return list(self.body.blocks())
+
+    def operations(self) -> Iterator[Operation]:
+        """Every operation in every block."""
+        for block in self.blocks():
+            yield from block.ops
+
+    def loops(self) -> list[LoopRegion]:
+        """Every loop region, outermost first."""
+        return [r for r in self.body.walk() if isinstance(r, LoopRegion)]
+
+    def count_ops(self) -> int:
+        return sum(len(block) for block in self.blocks())
+
+    def validate(self) -> None:
+        """Check whole-graph invariants; raise :class:`IRError` on any
+        violation.  Used liberally in tests and after each transform.
+        """
+        seen_blocks: set[int] = set()
+        for block in self.blocks():
+            if block.id in seen_blocks:
+                raise IRError(f"block {block.name} appears twice in regions")
+            seen_blocks.add(block.id)
+            block.validate()
+            for op in block.ops:
+                if op.block is not block:
+                    raise IRError(f"{op!r} has stale block pointer")
+                for value in op.operands:
+                    producer_block = value.producer.block
+                    if producer_block.id not in seen_blocks:
+                        raise IRError(
+                            f"{op!r} uses {value!r} from a later/unreached "
+                            f"block {producer_block.name}"
+                        )
+                if op.kind.value in ("var_read", "var_write"):
+                    var = op.attrs["var"]
+                    if var not in self.variables:
+                        raise IRError(f"{op!r} touches undeclared var {var!r}")
+                if op.kind.value in ("load", "store"):
+                    mem = op.attrs["memory"]
+                    if mem not in self.memories:
+                        raise IRError(f"{op!r} touches undeclared memory {mem!r}")
+        for region in self.body.walk():
+            if isinstance(region, IfRegion):
+                if region.cond.producer.block is not region.cond_block:
+                    raise IRError(
+                        f"if-condition {region.cond!r} not computed in its "
+                        f"cond block"
+                    )
+            if isinstance(region, LoopRegion):
+                cond_block = region.cond.producer.block
+                if cond_block is not region.test_block:
+                    raise IRError(
+                        f"loop condition {region.cond!r} not computed in "
+                        f"the loop's test block"
+                    )
+
+    def __repr__(self) -> str:
+        return (
+            f"<CDFG {self.name}: {len(self.blocks())} blocks, "
+            f"{self.count_ops()} ops>"
+        )

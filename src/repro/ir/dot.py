@@ -1,0 +1,123 @@
+"""Graphviz (DOT) export of CDFGs, mirroring the paper's Fig. 1 style.
+
+Two renderings are provided: :func:`dataflow_dot` draws one block's
+data-flow graph (operations as nodes, values as arcs), and
+:func:`cdfg_dot` draws the whole procedure — blocks as clusters with the
+structured control edges between them — the "data-flow and control flow
+graphs shown separately … for intelligibility" of Fig. 1.
+"""
+
+from __future__ import annotations
+
+from .cdfg import CDFG, BlockRegion, IfRegion, LoopRegion, Region, SeqRegion
+from .values import BasicBlock
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def dataflow_dot(block: BasicBlock, name: str | None = None) -> str:
+    """DOT text for one block's data-flow graph."""
+    lines = [f'digraph "{_escape(name or block.name)}" {{']
+    lines.append("  node [shape=ellipse, fontname=Helvetica];")
+    for op in block.ops:
+        label = _escape(op.describe())
+        lines.append(f'  op{op.id} [label="{label}"];')
+    for op in block.ops:
+        for value in op.operands:
+            producer = value.producer
+            if producer.block is block:
+                hint = _escape(value.name or "")
+                lines.append(f'  op{producer.id} -> op{op.id} [label="{hint}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _control_lines(region: Region, lines: list[str],
+                   counter: list[int]) -> tuple[str, str]:
+    """Emit control nodes/edges for ``region``.
+
+    Returns the (entry, exit) DOT node names of the region.
+    """
+    if isinstance(region, BlockRegion):
+        node = f"cb{region.block.id}"
+        lines.append(
+            f'  {node} [shape=box, label="{_escape(region.block.name)}"];'
+        )
+        return node, node
+    if isinstance(region, SeqRegion):
+        if not region.items:
+            counter[0] += 1
+            node = f"empty{counter[0]}"
+            lines.append(f'  {node} [shape=point];')
+            return node, node
+        firsts_lasts = [_control_lines(item, lines, counter)
+                        for item in region.items]
+        for (_, prev_exit), (next_entry, _) in zip(firsts_lasts,
+                                                   firsts_lasts[1:]):
+            lines.append(f"  {prev_exit} -> {next_entry};")
+        return firsts_lasts[0][0], firsts_lasts[-1][1]
+    if isinstance(region, IfRegion):
+        cond = f"cb{region.cond_block.id}"
+        lines.append(
+            f'  {cond} [shape=diamond, label="{_escape(region.cond_block.name)}"];'
+        )
+        counter[0] += 1
+        join = f"join{counter[0]}"
+        lines.append(f"  {join} [shape=point];")
+        then_entry, then_exit = _control_lines(region.then_region, lines, counter)
+        lines.append(f'  {cond} -> {then_entry} [label="T"];')
+        lines.append(f"  {then_exit} -> {join};")
+        if region.else_region is not None:
+            else_entry, else_exit = _control_lines(
+                region.else_region, lines, counter
+            )
+            lines.append(f'  {cond} -> {else_entry} [label="F"];')
+            lines.append(f"  {else_exit} -> {join};")
+        else:
+            lines.append(f'  {cond} -> {join} [label="F"];')
+        return cond, join
+    if isinstance(region, LoopRegion):
+        body_entry, body_exit = _control_lines(region.body, lines, counter)
+        label = "T" if region.exit_on_true else "F"
+        if region.test_in_body:
+            # Post-test loop: the test lives in the body's last block.
+            lines.append(
+                f'  {body_exit} -> {body_entry} '
+                f'[style=dashed, label="loop (exit on {label})"];'
+            )
+            return body_entry, body_exit
+        test = f"cb{region.test_block.id}"
+        lines.append(
+            f'  {test} [shape=diamond, label="{_escape(region.test_block.name)}"];'
+        )
+        lines.append(f"  {test} -> {body_entry};")
+        lines.append(f"  {body_exit} -> {test} [style=dashed];")
+        return test, test
+    raise TypeError(f"unknown region {region!r}")
+
+
+def cdfg_dot(cdfg: CDFG) -> str:
+    """DOT text for the whole procedure: per-block DFG clusters plus the
+    structured control skeleton."""
+    lines = [f'digraph "{_escape(cdfg.name)}" {{']
+    lines.append("  compound=true; fontname=Helvetica;")
+    for block in cdfg.blocks():
+        lines.append(f"  subgraph cluster_{block.id} {{")
+        lines.append(f'    label="{_escape(block.name)}";')
+        for op in block.ops:
+            lines.append(
+                f'    op{op.id} [shape=ellipse, '
+                f'label="{_escape(op.describe())}"];'
+            )
+        for op in block.ops:
+            for value in op.operands:
+                if value.producer.block is block:
+                    lines.append(f"    op{value.producer.id} -> op{op.id};")
+        lines.append("  }")
+    control: list[str] = []
+    _control_lines(cdfg.body, control, [0])
+    lines.extend(control)
+    lines.append("}")
+    return "\n".join(lines)

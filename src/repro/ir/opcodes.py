@@ -1,0 +1,131 @@
+"""Operation kinds for the data-flow graph, with per-kind metadata.
+
+Each :class:`OpKind` carries the static facts the rest of the flow needs:
+its arity, its printable symbol, whether it is commutative (used by CSE
+to canonicalize), and which *default functional-unit class* executes it.
+The FU class is only a default — resource models and component libraries
+may remap kinds (e.g. the paper's "trivial special case" maps everything
+onto one universal functional unit).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OpKind(enum.Enum):
+    """Every operation the behavioral IR can express."""
+
+    # Data sources and sinks
+    CONST = "const"          # literal; value in attrs["value"]
+    VAR_READ = "var_read"    # upward-exposed read of a variable
+    VAR_WRITE = "var_write"  # final write of a variable in a block
+    # Arithmetic
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    INC = "inc"              # x + 1 after strength reduction
+    DEC = "dec"              # x - 1 after strength reduction
+    NEG = "neg"
+    SHL = "shl"              # shift left; amount is second operand
+    SHR = "shr"              # shift right; amount is second operand
+    # Bitwise / logical
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    # Comparison (result type BOOL)
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    # Selection (from if-conversion): MUX(cond, if_true, if_false)
+    MUX = "mux"
+    # Memory
+    LOAD = "load"            # LOAD(index); memory name in attrs["memory"]
+    STORE = "store"          # STORE(index, value); name in attrs["memory"]
+    # Scheduling boundary marker (the paper's "dummy nodes")
+    NOP = "nop"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static metadata for one :class:`OpKind`."""
+
+    arity: int                  # number of operands (-1 = variable)
+    symbol: str                 # printable operator symbol
+    commutative: bool = False
+    has_result: bool = True
+    fu_class: str | None = None  # default functional-unit class; None = free
+    is_compare: bool = False
+
+
+_INFO: dict[OpKind, OpInfo] = {
+    OpKind.CONST: OpInfo(0, "const", fu_class=None),
+    OpKind.VAR_READ: OpInfo(0, "read", fu_class=None),
+    OpKind.VAR_WRITE: OpInfo(1, "write", has_result=False, fu_class=None),
+    OpKind.ADD: OpInfo(2, "+", commutative=True, fu_class="add"),
+    OpKind.SUB: OpInfo(2, "-", fu_class="add"),
+    OpKind.MUL: OpInfo(2, "*", commutative=True, fu_class="mul"),
+    OpKind.DIV: OpInfo(2, "/", fu_class="div"),
+    OpKind.MOD: OpInfo(2, "mod", fu_class="div"),
+    OpKind.INC: OpInfo(1, "+1", fu_class="add"),
+    OpKind.DEC: OpInfo(1, "-1", fu_class="add"),
+    OpKind.NEG: OpInfo(1, "neg", fu_class="add"),
+    OpKind.SHL: OpInfo(2, "<<", fu_class="shift"),
+    OpKind.SHR: OpInfo(2, ">>", fu_class="shift"),
+    OpKind.AND: OpInfo(2, "&", commutative=True, fu_class="logic"),
+    OpKind.OR: OpInfo(2, "|", commutative=True, fu_class="logic"),
+    OpKind.XOR: OpInfo(2, "^", commutative=True, fu_class="logic"),
+    OpKind.NOT: OpInfo(1, "~", fu_class="logic"),
+    OpKind.EQ: OpInfo(2, "=", commutative=True, fu_class="cmp", is_compare=True),
+    OpKind.NE: OpInfo(2, "/=", commutative=True, fu_class="cmp", is_compare=True),
+    OpKind.LT: OpInfo(2, "<", fu_class="cmp", is_compare=True),
+    OpKind.LE: OpInfo(2, "<=", fu_class="cmp", is_compare=True),
+    OpKind.GT: OpInfo(2, ">", fu_class="cmp", is_compare=True),
+    OpKind.GE: OpInfo(2, ">=", fu_class="cmp", is_compare=True),
+    OpKind.MUX: OpInfo(3, "mux", fu_class=None),
+    OpKind.LOAD: OpInfo(1, "load", fu_class="mem"),
+    OpKind.STORE: OpInfo(2, "store", has_result=False, fu_class="mem"),
+    OpKind.NOP: OpInfo(0, "nop", has_result=False, fu_class=None),
+}
+
+
+def op_info(kind: OpKind) -> OpInfo:
+    """Metadata for ``kind``."""
+    return _INFO[kind]
+
+
+COMPARISONS = frozenset(k for k, i in _INFO.items() if i.is_compare)
+"""All comparison kinds (result type BOOL)."""
+
+COMMUTATIVE = frozenset(k for k, i in _INFO.items() if i.commutative)
+"""All commutative binary kinds."""
+
+#: Comparison kind obtained by swapping the operands of the key.
+SWAPPED_COMPARE: dict[OpKind, OpKind] = {
+    OpKind.LT: OpKind.GT,
+    OpKind.GT: OpKind.LT,
+    OpKind.LE: OpKind.GE,
+    OpKind.GE: OpKind.LE,
+    OpKind.EQ: OpKind.EQ,
+    OpKind.NE: OpKind.NE,
+}
+
+#: Comparison kind computing the logical negation of the key.
+NEGATED_COMPARE: dict[OpKind, OpKind] = {
+    OpKind.LT: OpKind.GE,
+    OpKind.GE: OpKind.LT,
+    OpKind.GT: OpKind.LE,
+    OpKind.LE: OpKind.GT,
+    OpKind.EQ: OpKind.NE,
+    OpKind.NE: OpKind.EQ,
+}

@@ -1,0 +1,23 @@
+"""Behavioral specification language (BSL) frontend.
+
+``compile_source`` is the main entry: BSL text in, validated CDFG out.
+"""
+
+from . import ast
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse
+from .semantics import Lowerer, compile_program, compile_source
+from .tokens import Token, TokenKind
+
+__all__ = [
+    "Lexer",
+    "Lowerer",
+    "Parser",
+    "Token",
+    "TokenKind",
+    "ast",
+    "compile_program",
+    "compile_source",
+    "parse",
+    "tokenize",
+]

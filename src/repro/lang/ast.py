@@ -1,0 +1,172 @@
+"""Abstract syntax tree for the behavioral specification language.
+
+The parser produces this tree; semantic analysis annotates expressions
+with types (the ``type`` field, filled in by
+:mod:`repro.lang.semantics`); lowering turns it into a CDFG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import SourceLocation
+from ..ir.types import Type
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base class for expressions.  ``type`` is set by semantic analysis
+    (None until then, and None for untyped literals pending context)."""
+
+    location: SourceLocation
+    type: Optional[Type] = field(default=None, init=False, compare=False)
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+
+
+@dataclass
+class RealLiteral(Expr):
+    value: float
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+
+
+@dataclass
+class IndexRef(Expr):
+    """Array element reference ``name[index]``."""
+
+    name: str
+    index: Expr
+
+
+@dataclass
+class Unary(Expr):
+    """Unary operators: ``-`` (negate), ``not`` (logical), ``~`` (bitwise)."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    """Binary operators, with source spelling in ``op``:
+    ``+ - * / mod << >> & | ^ and or = /= < <= > >=``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    location: SourceLocation
+
+
+@dataclass
+class Assign(Stmt):
+    """``target := value`` — target is a VarRef or IndexRef."""
+
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then_body: list[Stmt]
+    else_body: list[Stmt]
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: list[Stmt]
+
+
+@dataclass
+class Repeat(Stmt):
+    """``repeat body until cond`` — post-test loop."""
+
+    body: list[Stmt]
+    cond: Expr
+
+
+@dataclass
+class For(Stmt):
+    """``for var := start to/downto stop do body``; ``downward`` selects
+    the decreasing direction."""
+
+    var: str
+    start: Expr
+    stop: Expr
+    downward: bool
+    body: list[Stmt]
+
+
+@dataclass
+class Call(Stmt):
+    """Procedure call statement; always inlined during lowering."""
+
+    name: str
+    args: list[Expr]
+
+
+# ----------------------------------------------------------------------
+# Declarations
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    """A formal parameter: direction is 'input' or 'output'."""
+
+    name: str
+    type: Type
+    direction: str
+    location: SourceLocation
+
+
+@dataclass
+class VarDecl:
+    name: str
+    type: Type
+    location: SourceLocation
+
+
+@dataclass
+class Procedure:
+    name: str
+    params: list[Param]
+    decls: list[VarDecl]
+    body: list[Stmt]
+    location: SourceLocation
+
+
+@dataclass
+class Program:
+    """A compilation unit: one or more procedures.  The last procedure
+    is the synthesis entry point unless a name is given explicitly."""
+
+    procedures: list[Procedure]
+
+    def procedure(self, name: str) -> Procedure:
+        for proc in self.procedures:
+            if proc.name == name:
+                return proc
+        raise KeyError(f"no procedure named {name!r}")

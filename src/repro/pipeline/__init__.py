@@ -1,0 +1,19 @@
+"""Pipeline synthesis (Sehwa, paper §3.3/§4)."""
+
+from .sehwa import (
+    ModuloScheduler,
+    PipelinePoint,
+    PipelineSchedule,
+    explore_pipeline,
+    find_best_pipeline,
+    minimum_initiation_interval,
+)
+
+__all__ = [
+    "ModuloScheduler",
+    "PipelinePoint",
+    "PipelineSchedule",
+    "explore_pipeline",
+    "find_best_pipeline",
+    "minimum_initiation_interval",
+]

@@ -1,0 +1,234 @@
+"""Pipeline synthesis in the style of Sehwa (Park & Parker).
+
+§3.3: "Synthesis of pipelined data paths is a design domain which has
+now been characterized by a foundation of theory and implemented by the
+program Sehwa."  Sehwa explores the cost/performance space of pipelined
+datapaths: successive task initiations are launched every *initiation
+interval* (II) cycles, so operations from different activations overlap
+and two operations conflict on a functional unit iff they occupy the
+same control step *modulo II*.
+
+Provided here:
+
+* :class:`PipelineSchedule` — a schedule plus its II, with a modulo
+  resource checker;
+* :class:`ModuloScheduler` — list scheduling with modulo reservation
+  (resource-constrained, finds a schedule for a given II or fails);
+* :func:`minimum_initiation_interval` — the classic resource lower
+  bound ``ceil(Σ delay / units)`` per class;
+* :func:`find_best_pipeline` — smallest feasible II for the given
+  resources (the Sehwa performance-first search);
+* :func:`explore_pipeline` — the cost/performance table (FU budget →
+  II, latency, throughput) reproducing Sehwa's trade-off curves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import SchedulingError
+from ..scheduling.base import Schedule, SchedulingProblem
+from ..scheduling.list_scheduler import path_length_priority
+
+
+class PipelineSchedule(Schedule):
+    """A schedule executed with overlapped activations every II cycles."""
+
+    def __init__(self, problem: SchedulingProblem, start,
+                 initiation_interval: int,
+                 scheduler: str = "modulo") -> None:
+        super().__init__(problem, start, scheduler)
+        self.initiation_interval = initiation_interval
+
+    @property
+    def throughput(self) -> float:
+        """Task initiations per cycle."""
+        return 1.0 / self.initiation_interval
+
+    def modulo_usage(self) -> dict[tuple[int, str], int]:
+        """Units busy per (step mod II, class) across all activations."""
+        usage: dict[tuple[int, str], int] = {}
+        problem = self.problem
+        for op in problem.ops:
+            cls = problem.op_class(op.id)
+            if cls is None:
+                continue
+            begin = self.start[op.id]
+            for k in range(problem.occupancy(op.id)):
+                slot = ((begin + k) % self.initiation_interval, cls)
+                usage[slot] = usage.get(slot, 0) + 1
+        return usage
+
+    def validate(self) -> None:
+        """Base legality plus the modulo resource constraint (which
+        subsumes the base per-step usage check)."""
+        super().validate()
+        for (slot, cls), used in sorted(self.modulo_usage().items()):
+            limit = self.problem.constraints.limit(cls)
+            if limit is not None and used > limit:
+                raise SchedulingError(
+                    f"[{self.scheduler}] modulo slot {slot} uses {used} "
+                    f"{cls!r} units, limit {limit} "
+                    f"(II={self.initiation_interval})"
+                )
+
+
+def minimum_initiation_interval(problem: SchedulingProblem) -> int:
+    """Resource-constrained II lower bound: per class,
+    ceil(total busy steps / units)."""
+    busy: dict[str, int] = {}
+    for op in problem.ops:
+        cls = problem.op_class(op.id)
+        if cls is None:
+            continue
+        busy[cls] = busy.get(cls, 0) + problem.occupancy(op.id)
+    bound = 1
+    for cls, total in busy.items():
+        limit = problem.constraints.limit(cls)
+        if limit is not None:
+            bound = max(bound, math.ceil(total / limit))
+    return bound
+
+
+class ModuloScheduler:
+    """List scheduling with a modulo reservation table.
+
+    Args:
+        problem: the region to pipeline (acyclic — loop-carried
+            dependences are the caller's responsibility, e.g. via
+            unrolled or feed-forward workloads like filters).
+        initiation_interval: II to schedule against.
+    """
+
+    name = "modulo"
+
+    def __init__(self, problem: SchedulingProblem,
+                 initiation_interval: int) -> None:
+        self.problem = problem
+        self.initiation_interval = initiation_interval
+
+    def schedule(self) -> PipelineSchedule:
+        problem = self.problem
+        interval = self.initiation_interval
+        priority = path_length_priority(problem)
+        # Pick the highest-priority ready op each round (standard
+        # modulo list scheduling).
+        ready_preds = {
+            op_id: set(problem.graph.predecessors(op_id))
+            for op_id in problem.graph.nodes
+        }
+        start: dict[int, int] = {}
+        usage: dict[tuple[int, str], int] = {}
+        pending = set(problem.graph.nodes)
+
+        while pending:
+            candidates = [
+                op_id for op_id in pending if not ready_preds[op_id]
+            ]
+            if not candidates:
+                raise SchedulingError("cyclic dependence in pipeline region")
+            candidates.sort(key=lambda op_id: (-priority[op_id], op_id))
+            op_id = candidates[0]
+            earliest = 0
+            for pred in problem.graph.predecessors(op_id):
+                offset = problem.edge_offset(pred, op_id)
+                earliest = max(earliest, start[pred] + offset)
+            step = self._place(op_id, earliest, usage)
+            if step is None:
+                raise SchedulingError(
+                    f"no modulo slot for op{op_id} at II="
+                    f"{interval}"
+                )
+            start[op_id] = step
+            pending.discard(op_id)
+            for succ in problem.graph.successors(op_id):
+                ready_preds[succ].discard(op_id)
+
+        return PipelineSchedule(problem, start, interval,
+                                scheduler=self.name)
+
+    def _place(self, op_id: int, earliest: int,
+               usage: dict[tuple[int, str], int]) -> int | None:
+        problem = self.problem
+        interval = self.initiation_interval
+        cls = problem.op_class(op_id)
+        if cls is None:
+            return earliest
+        limit = problem.constraints.limit(cls)
+        busy = problem.occupancy(op_id)
+        if limit is not None and busy > 0:
+            # Trying II consecutive starts covers every residue class.
+            for offset in range(interval):
+                step = earliest + offset
+                slots = [((step + k) % interval, cls) for k in range(busy)]
+                if all(usage.get(slot, 0) < limit for slot in slots):
+                    for slot in slots:
+                        usage[slot] = usage.get(slot, 0) + 1
+                    return step
+            return None
+        return earliest
+
+
+def find_best_pipeline(problem: SchedulingProblem,
+                       max_interval: int | None = None
+                       ) -> PipelineSchedule:
+    """Smallest feasible II under the problem's resource constraints."""
+    lower = minimum_initiation_interval(problem)
+    upper = max_interval or max(lower, problem.critical_path(), 1) + len(
+        problem.ops
+    )
+    for interval in range(lower, upper + 1):
+        try:
+            schedule = ModuloScheduler(problem, interval).schedule()
+            schedule.validate()
+            return schedule
+        except SchedulingError:
+            continue
+    raise SchedulingError(
+        f"no feasible pipeline up to II={upper}"
+    )
+
+
+@dataclass
+class PipelinePoint:
+    """One row of the Sehwa cost/performance table."""
+
+    fu_limits: dict[str, int]
+    initiation_interval: int
+    latency: int
+    throughput: float
+
+    def row(self) -> str:
+        limits = ", ".join(
+            f"{cls}={n}" for cls, n in sorted(self.fu_limits.items())
+        )
+        return (
+            f"{limits:>24}  II={self.initiation_interval:3d}  "
+            f"latency={self.latency:3d}  "
+            f"throughput={self.throughput:6.3f}/cycle"
+        )
+
+
+def explore_pipeline(problem_factory, limit_sets) -> list[PipelinePoint]:
+    """Sehwa's exploration: one pipeline per resource budget.
+
+    Args:
+        problem_factory: callable(ResourceConstraints) → problem.
+        limit_sets: iterable of per-class limit dicts.
+    """
+    from ..scheduling.base import ResourceConstraints
+
+    points = []
+    for limits in limit_sets:
+        problem = problem_factory(ResourceConstraints(dict(limits)))
+        schedule = find_best_pipeline(problem)
+        points.append(
+            PipelinePoint(
+                fu_limits=dict(limits),
+                initiation_interval=schedule.initiation_interval,
+                latency=schedule.length,
+                throughput=schedule.throughput,
+            )
+        )
+    return points

@@ -1,0 +1,13 @@
+"""RTL output: Verilog/VHDL emission, testbench generation, DOT."""
+
+from .testbench import emit_testbench
+from .verilog import VerilogEmitter, emit_verilog
+from .vhdl import VHDLEmitter, emit_vhdl
+
+__all__ = [
+    "VHDLEmitter",
+    "VerilogEmitter",
+    "emit_testbench",
+    "emit_verilog",
+    "emit_vhdl",
+]

@@ -1,0 +1,55 @@
+"""As-late-as-possible scheduling (unconstrained, deadline-driven).
+
+ALAP places each operation at the latest step that still lets all of
+its successors finish by the deadline.  On its own it is rarely the
+final schedule; its role is to bound each op's legal range —
+``[ASAP(op), ALAP(op)]`` is the *freedom* (MAHA) or *time frame*
+(force-directed/HAL) every global scheduler in this package consumes.
+"""
+
+from __future__ import annotations
+
+from ..errors import SchedulingError
+from .base import Schedule, Scheduler
+
+
+class ALAPScheduler(Scheduler):
+    """Latest-start schedule against a deadline (resource-unconstrained).
+
+    Args:
+        problem: the scheduling problem.
+        deadline: number of control steps available; defaults to the
+            problem's ``time_limit`` or, failing that, the critical
+            path length (the tightest feasible deadline).
+    """
+
+    name = "alap"
+
+    def __init__(self, problem, deadline: int | None = None) -> None:
+        super().__init__(problem)
+        if deadline is None:
+            deadline = problem.time_limit
+        if deadline is None:
+            deadline = max(problem.critical_path(), 1)
+        self.deadline = deadline
+
+    def schedule(self) -> Schedule:
+        problem = self.problem
+        if problem.critical_path() > self.deadline:
+            raise SchedulingError(
+                f"deadline {self.deadline} shorter than critical path "
+                f"{problem.critical_path()}"
+            )
+        start: dict[int, int] = {}
+        for op_id in reversed(problem.topological()):
+            delay = problem.delay(op_id)
+            latest = self.deadline - max(delay, 1)
+            for succ in problem.graph.successors(op_id):
+                offset = problem.edge_offset(op_id, succ)
+                latest = min(latest, start[succ] - offset)
+            if latest < 0:
+                raise SchedulingError(
+                    f"op{op_id} cannot meet deadline {self.deadline}"
+                )
+            start[op_id] = latest
+        return Schedule(problem, start, scheduler=self.name)

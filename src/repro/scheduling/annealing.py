@@ -1,0 +1,118 @@
+"""Simulated-annealing transformational scheduling (CAMAD-style).
+
+§3.1.2: transformational algorithms "differ in how they choose what
+transformations to apply … Another approach to scheduling by
+transformation is to use heuristics to guide the process.
+Transformations are chosen that promise to move the design closer to
+the given constraints or to optimize the objective" (YSC, CAMAD).
+
+This scheduler starts from a feasible list schedule and explores the
+neighbourhood by *move transformations* — shifting one operation to a
+different legal control step (the serial/parallel moves of the paper's
+transformational family) — accepting uphill moves with a decaying
+probability.  All randomness comes from a seeded linear-congruential
+generator, so results are reproducible.
+
+The objective is schedule length with a small register-pressure tie
+breaker, so among equal-length schedules the annealer prefers ones
+with fewer simultaneously live values.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..allocation.lifetimes import compute_lifetimes, minimum_registers
+from .base import Schedule, Scheduler, SchedulingProblem
+from .list_scheduler import ListScheduler
+
+
+class _LCG:
+    def __init__(self, seed: int) -> None:
+        self._state = (seed & 0x7FFFFFFF) or 1
+
+    def next_unit(self) -> float:
+        self._state = (self._state * 1103515245 + 12345) & 0x7FFFFFFF
+        return self._state / float(1 << 31)
+
+    def below(self, bound: int) -> int:
+        return int(self.next_unit() * bound) % bound
+
+
+class SimulatedAnnealingScheduler(Scheduler):
+    """Transformational scheduler with probabilistic hill escapes.
+
+    Args:
+        problem: the scheduling problem (resource constraints honoured).
+        seed: RNG seed (results are deterministic per seed).
+        moves: total move attempts.
+        initial_temperature / cooling: annealing schedule.
+    """
+
+    name = "annealing"
+
+    def __init__(self, problem: SchedulingProblem, seed: int = 1,
+                 moves: int = 2000, initial_temperature: float = 2.0,
+                 cooling: float = 0.995) -> None:
+        super().__init__(problem)
+        self._rng = _LCG(seed)
+        self._moves = moves
+        self._temperature = initial_temperature
+        self._cooling = cooling
+
+    # ------------------------------------------------------------------
+
+    def _cost(self, schedule: Schedule) -> tuple[int, int]:
+        pressure = minimum_registers(compute_lifetimes(schedule))
+        return schedule.length, pressure
+
+    def _legal(self, start: dict[int, int]) -> bool:
+        try:
+            Schedule(self.problem, start, scheduler=self.name).validate()
+            return True
+        except Exception:
+            return False
+
+    def schedule(self) -> Schedule:
+        problem = self.problem
+        incumbent = ListScheduler(problem, "path_length").schedule()
+        current = dict(incumbent.start)
+        current_cost = self._cost(incumbent)
+        best = dict(current)
+        best_cost = current_cost
+        op_ids = [op.id for op in problem.ops]
+        temperature = self._temperature
+
+        for _ in range(self._moves):
+            op_id = op_ids[self._rng.below(len(op_ids))]
+            delta = 1 if self._rng.next_unit() < 0.5 else -1
+            candidate = dict(current)
+            candidate[op_id] = max(0, candidate[op_id] + delta)
+            if candidate[op_id] == current[op_id]:
+                continue
+            if not self._legal(candidate):
+                continue
+            candidate_schedule = Schedule(problem, candidate,
+                                          scheduler=self.name)
+            candidate_cost = self._cost(candidate_schedule)
+            worse = candidate_cost > current_cost
+            if worse:
+                gap = (
+                    (candidate_cost[0] - current_cost[0])
+                    + 0.1 * (candidate_cost[1] - current_cost[1])
+                )
+                accept = (
+                    self._rng.next_unit()
+                    < math.exp(-gap / max(temperature, 1e-9))
+                )
+            else:
+                accept = True
+            if accept:
+                current = candidate
+                current_cost = candidate_cost
+                if candidate_cost < best_cost:
+                    best = dict(candidate)
+                    best_cost = candidate_cost
+            temperature *= self._cooling
+
+        return Schedule(problem, best, scheduler=self.name)

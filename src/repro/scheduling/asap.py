@@ -1,0 +1,73 @@
+"""As-soon-as-possible scheduling.
+
+The paper's §3.1.2: "The simplest type of scheduling … is local both in
+the selection of the operation to be scheduled and in where it is
+placed."  Operations are taken in topological order and each is put in
+the earliest control step permitted by its dependences and by the
+resource limits.  With unlimited resources this yields the dataflow
+ASAP levels; with limits, the fixed selection order can block critical
+operations behind non-critical ones — the failure mode of Fig. 3 that
+list scheduling (Fig. 4) fixes.
+
+This is the scheduling style of the CMUDA, MIMOLA and Flamel systems.
+"""
+
+from __future__ import annotations
+
+from .base import Schedule, Scheduler
+
+
+class ASAPScheduler(Scheduler):
+    """Topological-order earliest-fit scheduler."""
+
+    name = "asap"
+
+    def schedule(self) -> Schedule:
+        problem = self.problem
+        start: dict[int, int] = {}
+        usage: dict[tuple[int, str], int] = {}
+
+        for op_id in self._selection_order():
+            earliest = 0
+            for pred in problem.graph.predecessors(op_id):
+                offset = problem.edge_offset(pred, op_id)
+                earliest = max(earliest, start[pred] + offset)
+            step = self._earliest_fit(op_id, earliest, usage)
+            start[op_id] = step
+            self._occupy(op_id, step, usage)
+
+        return Schedule(problem, start, scheduler=self.name)
+
+    # ------------------------------------------------------------------
+
+    def _selection_order(self) -> list[int]:
+        """Topological order with ties broken by op id — the "fixed
+        order, usually as they occur in the data flow graph" selection
+        rule.  Subclasses (list scheduling) override priority."""
+        return self.problem.topological()
+
+    def _earliest_fit(self, op_id: int, earliest: int,
+                      usage: dict[tuple[int, str], int]) -> int:
+        problem = self.problem
+        cls = problem.op_class(op_id)
+        if cls is None:
+            return earliest
+        limit = problem.constraints.limit(cls)
+        occupancy = problem.occupancy(op_id)
+        step = earliest
+        while True:
+            if limit is None or all(
+                usage.get((step + k, cls), 0) < limit
+                for k in range(occupancy)
+            ):
+                return step
+            step += 1
+
+    def _occupy(self, op_id: int, step: int,
+                usage: dict[tuple[int, str], int]) -> None:
+        problem = self.problem
+        cls = problem.op_class(op_id)
+        if cls is None:
+            return
+        for k in range(problem.occupancy(op_id)):
+            usage[(step + k, cls)] = usage.get((step + k, cls), 0) + 1

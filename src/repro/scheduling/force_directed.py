@@ -1,0 +1,205 @@
+"""Force-directed scheduling (Paulin & Knight's HAL system).
+
+§3.1.2: "the range of possible control steps for each operation is used
+to form a so-called Distribution Graph.  The distribution graph shows,
+for each control step, how heavily loaded that step is, given that all
+possible schedules are equally likely.  If an operation could be done
+in any of k control steps, then 1/k is added to each of those control
+steps … Operations are then selected and placed so as to balance the
+distribution as much as possible."
+
+This is a *time-constrained* scheduler: it minimizes the number of
+functional units needed to meet a deadline.  "The number of functional
+units allocated is then the maximum number required in any control
+step."
+"""
+
+from __future__ import annotations
+
+from ..errors import SchedulingError
+from .base import Schedule, Scheduler, SchedulingProblem
+from .mobility import TimeFrames, compute_time_frames
+
+
+def _frames_with_fixed(problem: SchedulingProblem, deadline: int,
+                       fixed: dict[int, int]) -> TimeFrames:
+    """ASAP/ALAP frames where ``fixed`` ops are pinned to their step."""
+    asap: dict[int, int] = {}
+    for op_id in problem.topological():
+        earliest = 0
+        for pred in problem.graph.predecessors(op_id):
+            offset = problem.edge_offset(pred, op_id)
+            earliest = max(earliest, asap[pred] + offset)
+        if op_id in fixed:
+            if fixed[op_id] < earliest:
+                raise SchedulingError(
+                    f"op{op_id} pinned at {fixed[op_id]} before its "
+                    f"earliest legal step {earliest}"
+                )
+            earliest = fixed[op_id]
+        asap[op_id] = earliest
+    alap: dict[int, int] = {}
+    for op_id in reversed(problem.topological()):
+        delay = problem.delay(op_id)
+        latest = deadline - max(delay, 1)
+        for succ in problem.graph.successors(op_id):
+            offset = problem.edge_offset(op_id, succ)
+            latest = min(latest, alap[succ] - offset)
+        if op_id in fixed:
+            if fixed[op_id] > latest:
+                raise SchedulingError(
+                    f"op{op_id} pinned at {fixed[op_id]} after its "
+                    f"latest legal step {latest}"
+                )
+            latest = fixed[op_id]
+        if latest < asap[op_id]:
+            raise SchedulingError(
+                f"op{op_id} has empty time frame under deadline {deadline}"
+            )
+        alap[op_id] = latest
+    return TimeFrames(asap=asap, alap=alap, deadline=deadline)
+
+
+def _occupancy_probability(frames: TimeFrames, delay: int, op_id: int,
+                           step: int) -> float:
+    """Probability that the op is active in ``step`` when every start in
+    its frame is equally likely (multicycle ops occupy delay steps)."""
+    first = frames.asap[op_id]
+    last = frames.alap[op_id]
+    width = last - first + 1
+    span = max(delay, 1)
+    active_starts = sum(
+        1 for t in range(first, last + 1) if t <= step <= t + span - 1
+    )
+    return active_starts / width
+
+
+def distribution_graph(problem: SchedulingProblem, frames: TimeFrames,
+                       resource_class: str) -> list[float]:
+    """The HAL distribution graph for one resource class (Fig. 5)."""
+    graph = [0.0] * frames.deadline
+    for op in problem.ops:
+        if problem.op_class(op.id) != resource_class:
+            continue
+        delay = problem.delay(op.id)
+        for step in range(frames.deadline):
+            graph[step] += _occupancy_probability(
+                frames, delay, op.id, step
+            )
+    return graph
+
+
+class ForceDirectedScheduler(Scheduler):
+    """Time-constrained scheduler balancing distribution graphs.
+
+    Args:
+        problem: the scheduling problem.
+        deadline: available control steps; defaults to the problem's
+            time limit, else the critical path length.
+    """
+
+    name = "force-directed"
+
+    def __init__(self, problem: SchedulingProblem,
+                 deadline: int | None = None) -> None:
+        super().__init__(problem)
+        if deadline is None:
+            deadline = problem.time_limit
+        if deadline is None:
+            base = compute_time_frames(problem)
+            deadline = base.deadline
+        self.deadline = deadline
+
+    def schedule(self) -> Schedule:
+        problem = self.problem
+        fixed: dict[int, int] = {}
+        pending = set(problem.compute_op_ids())
+
+        while pending:
+            frames = _frames_with_fixed(problem, self.deadline, fixed)
+            graphs = {
+                cls: distribution_graph(problem, frames, cls)
+                for cls in problem.model.classes_used(problem.ops)
+            }
+            best: tuple[float, int, int] | None = None
+            for op_id in sorted(pending):
+                cls = problem.op_class(op_id)
+                assert cls is not None
+                for step in frames.frame(op_id):
+                    force = self._total_force(
+                        problem, frames, graphs, op_id, step
+                    )
+                    key = (force, op_id, step)
+                    if best is None or key < best:
+                        best = key
+            assert best is not None
+            _, op_id, step = best
+            fixed[op_id] = step
+            pending.discard(op_id)
+
+        # Free ops take their earliest start under the pinned schedule.
+        frames = _frames_with_fixed(problem, self.deadline, fixed)
+        start = dict(fixed)
+        for op in problem.ops:
+            if op.id not in start:
+                start[op.id] = frames.asap[op.id]
+        return Schedule(problem, start, scheduler=self.name)
+
+    # ------------------------------------------------------------------
+
+    def _total_force(self, problem: SchedulingProblem, frames: TimeFrames,
+                     graphs: dict[str, list[float]], op_id: int,
+                     step: int) -> float:
+        """Self force of pinning ``op_id`` at ``step`` plus the implied
+        forces on its direct predecessors and successors."""
+        force = self._self_force(problem, frames, graphs, op_id,
+                                 step, step)
+        delay = problem.delay(op_id)
+        for pred in problem.graph.predecessors(op_id):
+            offset = problem.edge_offset(pred, op_id)
+            new_last = min(frames.alap[pred], step - offset)
+            if new_last < frames.alap[pred]:
+                force += self._self_force(
+                    problem, frames, graphs, pred,
+                    frames.asap[pred], new_last,
+                )
+        for succ in problem.graph.successors(op_id):
+            offset = problem.edge_offset(op_id, succ)
+            new_first = max(frames.asap[succ], step + offset)
+            if new_first > frames.asap[succ]:
+                force += self._self_force(
+                    problem, frames, graphs, succ,
+                    new_first, frames.alap[succ],
+                )
+        return force
+
+    def _self_force(self, problem: SchedulingProblem, frames: TimeFrames,
+                    graphs: dict[str, list[float]], op_id: int,
+                    new_first: int, new_last: int) -> float:
+        """Change in (DG-weighted) expected load if the op's frame
+        shrinks from its current range to ``[new_first, new_last]``."""
+        cls = problem.op_class(op_id)
+        if cls is None:
+            return 0.0
+        graph = graphs[cls]
+        delay = problem.delay(op_id)
+        span = max(delay, 1)
+        old_first, old_last = frames.asap[op_id], frames.alap[op_id]
+
+        def probabilities(first: int, last: int) -> dict[int, float]:
+            width = last - first + 1
+            probs: dict[int, float] = {}
+            for t in range(first, last + 1):
+                for s in range(t, t + span):
+                    probs[s] = probs.get(s, 0.0) + 1.0 / width
+            return probs
+
+        old_probs = probabilities(old_first, old_last)
+        new_probs = probabilities(new_first, new_last)
+        force = 0.0
+        for s in set(old_probs) | set(new_probs):
+            if s < len(graph):
+                force += graph[s] * (
+                    new_probs.get(s, 0.0) - old_probs.get(s, 0.0)
+                )
+        return force

@@ -1,0 +1,144 @@
+"""Freedom-based scheduling (Parker's MAHA system).
+
+§3.1.2: "In freedom-based scheduling, the operations on the critical
+path are scheduled first and assigned to functional units.  Then the
+other operations are scheduled and assigned one at a time.  At each
+step the unscheduled operation with the least freedom … is chosen, so
+that operations that might present more difficult scheduling problems
+are taken care of first, before they become blocked."
+
+MAHA performs scheduling and FU allocation *simultaneously* (§3.1.1:
+"adding functional units only when it cannot share existing ones"), so
+this scheduler also produces an operation→FU-instance assignment in
+``fu_assignment`` — usable directly as a datapath allocation seed.
+"""
+
+from __future__ import annotations
+
+from ..errors import SchedulingError
+from .base import Schedule, Scheduler, SchedulingProblem
+from .force_directed import _frames_with_fixed
+from .mobility import compute_time_frames
+
+
+class FreedomBasedScheduler(Scheduler):
+    """Least-freedom-first scheduler with on-the-fly FU allocation.
+
+    Args:
+        problem: the scheduling problem.  Resource constraints, when
+            present, cap how many FU instances may be created per
+            class; otherwise units are added as needed.
+        deadline: control steps available (default: time limit, else
+            critical path; the deadline stretches automatically when
+            resource caps make it infeasible).
+    """
+
+    name = "freedom-based"
+
+    def __init__(self, problem: SchedulingProblem,
+                 deadline: int | None = None) -> None:
+        super().__init__(problem)
+        if deadline is None:
+            deadline = problem.time_limit
+        if deadline is None:
+            deadline = compute_time_frames(problem).deadline
+        self.deadline = deadline
+        #: op id -> (resource class, unit index); filled by schedule().
+        self.fu_assignment: dict[int, tuple[str, int]] = {}
+
+    def schedule(self) -> Schedule:
+        return self._schedule_with_deadline(self.deadline)
+
+    # ------------------------------------------------------------------
+
+    def _schedule_with_deadline(self, deadline: int) -> Schedule:
+        problem = self.problem
+        fixed: dict[int, int] = {}
+        # unit busy steps: (cls, index) -> set of steps occupied
+        units: dict[tuple[str, int], set[int]] = {}
+        unit_count: dict[str, int] = {}
+        assignment: dict[int, tuple[str, int]] = {}
+        pending = set(problem.compute_op_ids())
+        insertions = 0
+        insertion_budget = sum(
+            max(problem.delay(op_id), 1)
+            for op_id in problem.compute_op_ids()
+        ) + len(problem.ops) + 8  # delay >= occupancy, so this covers
+
+        while pending:
+            frames = _frames_with_fixed(problem, deadline, fixed)
+            # Least freedom first; critical-path ops (freedom 0) lead.
+            op_id = min(
+                pending,
+                key=lambda i: (frames.mobility(i), frames.asap[i], i),
+            )
+            cls = problem.op_class(op_id)
+            assert cls is not None
+            busy = problem.occupancy(op_id)
+            placed = self._try_place(
+                op_id, cls, busy, frames, fixed, units, unit_count,
+                assignment,
+            )
+            if not placed:
+                # MAHA's escape hatch: "additional control steps are
+                # added" — insert a step at the op's earliest legal
+                # position, shifting every later fixed op down by one.
+                insertions += 1
+                if insertions > insertion_budget:
+                    raise SchedulingError(
+                        f"op{op_id} cannot be placed even after "
+                        f"{insertions - 1} step insertions"
+                    )
+                insert_at = frames.asap[op_id]
+                # Shift every fixed op still active at/after the
+                # insertion point, keeping multicycle spans intact.
+                for other, step in list(fixed.items()):
+                    end = step + max(problem.delay(other), 1) - 1
+                    if end >= insert_at:
+                        fixed[other] = step + 1
+                units.clear()
+                for other, (other_cls, index) in assignment.items():
+                    busy_set = units.setdefault(
+                        (other_cls, index), set()
+                    )
+                    busy_set.update(
+                        range(
+                            fixed[other],
+                            fixed[other] + problem.occupancy(other),
+                        )
+                    )
+                deadline += 1
+                continue
+            pending.discard(op_id)
+
+        frames = _frames_with_fixed(problem, deadline, fixed)
+        start = dict(fixed)
+        for op in problem.ops:
+            if op.id not in start:
+                start[op.id] = frames.asap[op.id]
+        self.fu_assignment = assignment
+        return Schedule(problem, start, scheduler=self.name)
+
+    def _try_place(self, op_id, cls, occupancy, frames, fixed, units,
+                   unit_count, assignment) -> bool:
+        problem = self.problem
+        for step in frames.frame(op_id):
+            needed = set(range(step, step + occupancy))
+            # Prefer sharing an existing unit of this class.
+            for index in range(unit_count.get(cls, 0)):
+                busy_set = units[(cls, index)]
+                if not needed & busy_set:
+                    busy_set |= needed
+                    assignment[op_id] = (cls, index)
+                    fixed[op_id] = step
+                    return True
+            # Otherwise open a new unit, if the cap allows.
+            limit = problem.constraints.limit(cls)
+            if limit is None or unit_count.get(cls, 0) < limit:
+                index = unit_count.get(cls, 0)
+                unit_count[cls] = index + 1
+                units[(cls, index)] = set(needed)
+                assignment[op_id] = (cls, index)
+                fixed[op_id] = step
+                return True
+        return False

@@ -1,0 +1,148 @@
+"""List scheduling with pluggable priority functions.
+
+§3.1.2: "List scheduling overcomes [ASAP's] problem by using a more
+global criterion for selecting the next operation … For each control
+step to be scheduled, the operations that are available to be scheduled
+into that control step … are kept in a list, ordered by some priority
+function."  Studies cited by the paper found it "works nearly as well
+as branch-and-bound scheduling in microcode optimization".
+
+Three priority functions from the paper's survey are provided:
+
+* :func:`path_length_priority` — "the length of the path from the
+  operation to the end of the block" (the BUD system; also the classic
+  critical-path list scheduling of Fig. 4);
+* :func:`urgency_priority` — the op's latest legal start (ALAP step):
+  smaller = more urgent.  This is the Elf/ISYN "urgency … length of the
+  shortest path from that operation to the nearest local constraint",
+  with the block deadline as the constraint;
+* :func:`mobility_priority` — ALAP minus ASAP: ops with the least
+  freedom first.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..ir.dfg import path_length_to_sink
+from .base import Schedule, Scheduler, SchedulingProblem
+from .mobility import compute_time_frames
+
+PriorityFn = Callable[[SchedulingProblem], dict[int, float]]
+"""Maps each op id to a priority; *higher runs first*."""
+
+
+def path_length_priority(problem: SchedulingProblem) -> dict[int, float]:
+    """Longest delay-weighted path from the op to any sink (BUD)."""
+    return dict(path_length_to_sink(problem.graph, problem.model.delay))
+
+
+def urgency_priority(problem: SchedulingProblem) -> dict[int, float]:
+    """Negated ALAP start: ops that must start sooner come first."""
+    frames = compute_time_frames(problem)
+    return {op_id: -frames.alap[op_id] for op_id in frames.alap}
+
+
+def mobility_priority(problem: SchedulingProblem) -> dict[int, float]:
+    """Negated mobility: least-slack ops first (zero slack = critical)."""
+    frames = compute_time_frames(problem)
+    return {op_id: -frames.mobility(op_id) for op_id in frames.asap}
+
+
+PRIORITY_FUNCTIONS: dict[str, PriorityFn] = {
+    "path_length": path_length_priority,
+    "urgency": urgency_priority,
+    "mobility": mobility_priority,
+}
+
+
+class ListScheduler(Scheduler):
+    """Resource-constrained list scheduler.
+
+    Args:
+        problem: the scheduling problem (constraints are honoured).
+        priority: a :data:`PriorityFn` or the name of a registered one.
+    """
+
+    name = "list"
+
+    def __init__(self, problem: SchedulingProblem,
+                 priority: PriorityFn | str = "path_length") -> None:
+        super().__init__(problem)
+        if isinstance(priority, str):
+            self.name = f"list/{priority}"
+            priority = PRIORITY_FUNCTIONS[priority]
+        self._priority_fn = priority
+
+    def schedule(self) -> Schedule:
+        problem = self.problem
+        priority = self._priority_fn(problem)
+        start: dict[int, int] = {}
+        usage: dict[tuple[int, str], int] = {}
+        unscheduled = {op.id for op in problem.ops}
+        unscheduled_preds = {
+            op_id: set(problem.graph.predecessors(op_id))
+            for op_id in unscheduled
+        }
+
+        step = 0
+        guard = 0
+        while unscheduled:
+            guard += 1
+            if guard > 10 * len(problem.ops) + problem.critical_path() + 100:
+                raise AssertionError("list scheduler failed to converge")
+            progressed = True
+            while progressed:
+                progressed = False
+                candidates = [
+                    op_id
+                    for op_id in unscheduled
+                    if not unscheduled_preds[op_id]
+                    and self._ready_step(op_id, start) <= step
+                ]
+                candidates.sort(key=lambda op_id: (-priority[op_id], op_id))
+                for op_id in candidates:
+                    placed_at = self._try_place(op_id, step, start, usage)
+                    if placed_at is None:
+                        continue
+                    unscheduled.discard(op_id)
+                    for succ in problem.graph.successors(op_id):
+                        if succ in unscheduled_preds:
+                            unscheduled_preds[succ].discard(op_id)
+                    progressed = True
+            step += 1
+
+        return Schedule(problem, start, scheduler=self.name)
+
+    # ------------------------------------------------------------------
+
+    def _ready_step(self, op_id: int, start: dict[int, int]) -> int:
+        problem = self.problem
+        ready = 0
+        for pred in problem.graph.predecessors(op_id):
+            offset = problem.edge_offset(pred, op_id)
+            ready = max(ready, start[pred] + offset)
+        return ready
+
+    def _try_place(self, op_id: int, step: int, start: dict[int, int],
+                   usage: dict[tuple[int, str], int]) -> int | None:
+        """Place ``op_id`` in ``step`` if resources allow; free ops are
+        placed at their ready step (chaining)."""
+        problem = self.problem
+        cls = problem.op_class(op_id)
+        if cls is None:
+            start[op_id] = self._ready_step(op_id, start)
+            return start[op_id]
+        if self._ready_step(op_id, start) > step:
+            return None
+        limit = problem.constraints.limit(cls)
+        occupancy = problem.occupancy(op_id)
+        if limit is not None and any(
+            usage.get((step + k, cls), 0) >= limit
+            for k in range(occupancy)
+        ):
+            return None
+        for k in range(occupancy):
+            usage[(step + k, cls)] = usage.get((step + k, cls), 0) + 1
+        start[op_id] = step
+        return step

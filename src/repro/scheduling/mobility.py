@@ -1,0 +1,95 @@
+"""Time frames: ASAP/ALAP ranges and mobility ("freedom") per op.
+
+§3.1.2: "the range of possible control step assignments for each
+operation is calculated, given the time constraints and the precedence
+relations" — the starting point of both freedom-based (MAHA) and
+force-directed (HAL) scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SchedulingError
+from .base import SchedulingProblem
+
+
+@dataclass
+class TimeFrames:
+    """Legal start ranges per op under a deadline (no resource limits).
+
+    Attributes:
+        asap: earliest legal start per op id.
+        alap: latest legal start per op id.
+        deadline: the number of steps the frames were computed against.
+    """
+
+    asap: dict[int, int]
+    alap: dict[int, int]
+    deadline: int
+
+    def mobility(self, op_id: int) -> int:
+        """Slack of the op: ``alap - asap`` (0 = on the critical path)."""
+        return self.alap[op_id] - self.asap[op_id]
+
+    def frame(self, op_id: int) -> range:
+        """All legal start steps for the op."""
+        return range(self.asap[op_id], self.alap[op_id] + 1)
+
+    def critical_ops(self) -> list[int]:
+        """Ops with zero mobility, sorted by ASAP step then id."""
+        return sorted(
+            (op_id for op_id in self.asap if self.mobility(op_id) == 0),
+            key=lambda op_id: (self.asap[op_id], op_id),
+        )
+
+
+def unconstrained_asap(problem: SchedulingProblem) -> dict[int, int]:
+    """Pure dataflow earliest starts (resources ignored)."""
+    start: dict[int, int] = {}
+    for op_id in problem.topological():
+        earliest = 0
+        for pred in problem.graph.predecessors(op_id):
+            offset = problem.edge_offset(pred, op_id)
+            earliest = max(earliest, start[pred] + offset)
+        start[op_id] = earliest
+    return start
+
+
+def unconstrained_alap(problem: SchedulingProblem,
+                       deadline: int) -> dict[int, int]:
+    """Pure dataflow latest starts against ``deadline`` steps."""
+    start: dict[int, int] = {}
+    for op_id in reversed(problem.topological()):
+        delay = problem.delay(op_id)
+        latest = deadline - max(delay, 1)
+        for succ in problem.graph.successors(op_id):
+            offset = problem.edge_offset(op_id, succ)
+            latest = min(latest, start[succ] - offset)
+        if latest < 0:
+            raise SchedulingError(
+                f"op{op_id} cannot meet deadline {deadline}"
+            )
+        start[op_id] = latest
+    return start
+
+
+def compute_time_frames(problem: SchedulingProblem,
+                        deadline: int | None = None) -> TimeFrames:
+    """ASAP/ALAP frames for every op.
+
+    ``deadline`` defaults to the problem's time limit, else the critical
+    path length (every critical op then has zero mobility).
+    """
+    asap = unconstrained_asap(problem)
+    if deadline is None:
+        deadline = problem.time_limit
+    if deadline is None:
+        length = max(
+            (asap[op.id] + max(problem.delay(op.id), 1)
+             for op in problem.ops),
+            default=0,
+        )
+        deadline = max(length, 1)
+    alap = unconstrained_alap(problem, deadline)
+    return TimeFrames(asap=asap, alap=alap, deadline=deadline)

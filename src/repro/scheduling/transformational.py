@@ -1,0 +1,279 @@
+"""Transformational schedulers: exhaustive search, branch-and-bound,
+and the YSC-style heuristic serializer.
+
+§3.1.2 splits scheduling algorithms into transformational and
+iterative/constructive.  The transformational family "begins with a
+default schedule, usually either maximally serial or maximally
+parallel, and applies transformations to it":
+
+* :class:`ExhaustiveScheduler` — Barbacci's EXPL "tried all possible
+  combinations of serial and parallel transformations and chose the
+  best design found … computationally very expensive".  We enumerate
+  every resource-legal start assignment within a horizon and keep the
+  best; ``states_visited`` exposes the cost the paper warns about.
+* :class:`BranchAndBoundScheduler` — the same search "improved somewhat
+  by using branch-and-bound techniques, which cut off the search along
+  any path that can be recognized to be suboptimal".  The lower bound
+  is the delay-accurate tail (remaining critical path) of each op.
+  The result is provably optimal in schedule length.
+* :class:`YSCScheduler` — the Yorktown Silicon Compiler heuristic:
+  "begins with each operation being done on a separate functional unit
+  and all operations being done in the same control step", then adds
+  control steps where resources conflict, moving the most mobile
+  operations later until the constraints are met.
+"""
+
+from __future__ import annotations
+
+from ..errors import SchedulingError
+from .base import (
+    Schedule,
+    Scheduler,
+    SchedulingProblem,
+)
+from .list_scheduler import ListScheduler
+from .mobility import unconstrained_asap
+
+_DEFAULT_MAX_OPS = 24
+
+
+def _tails(problem: SchedulingProblem) -> dict[int, int]:
+    """tail(op) = minimal steps from op's start to the schedule's end,
+    computed with the exact dependence-offset arithmetic (so it is a
+    safe lower bound for branch-and-bound pruning)."""
+    tails: dict[int, int] = {}
+    for op_id in reversed(problem.topological()):
+        delay = problem.delay(op_id)
+        best = max(delay, 1)
+        for succ in problem.graph.successors(op_id):
+            offset = problem.edge_offset(op_id, succ)
+            best = max(best, offset + tails[succ])
+        tails[op_id] = best
+    return tails
+
+
+class BranchAndBoundScheduler(Scheduler):
+    """Optimal resource-constrained scheduler (branch and bound).
+
+    Args:
+        problem: the scheduling problem (resource constraints honoured).
+        max_ops: safety cap on problem size — the search is exponential
+            in the worst case.
+        prune: enable lower-bound pruning (True).  With ``prune=False``
+            the search enumerates the entire bounded space (EXPL-style
+            exhaustive search); the optimum found is identical.
+
+    After :meth:`schedule`, ``states_visited`` holds the number of
+    partial assignments explored — the paper's cost argument made
+    measurable.
+    """
+
+    name = "branch-and-bound"
+
+    def __init__(self, problem: SchedulingProblem,
+                 max_ops: int = _DEFAULT_MAX_OPS,
+                 prune: bool = True) -> None:
+        super().__init__(problem)
+        self._prune = prune
+        self.states_visited = 0
+        if len(problem.compute_op_ids()) > max_ops:
+            raise SchedulingError(
+                f"{self.name} limited to {max_ops} resource-using ops "
+                f"({len(problem.compute_op_ids())} given); use list or "
+                f"force-directed scheduling for larger regions"
+            )
+
+    def schedule(self) -> Schedule:
+        problem = self.problem
+        # A good feasible schedule bounds the search space.  The list
+        # incumbent may violate *maximum* timing offsets (constructive
+        # schedulers only honour minimums); in that case search from a
+        # loose horizon instead.
+        incumbent = ListScheduler(problem, "path_length").schedule()
+        try:
+            incumbent.validate()
+            best_length = incumbent.length
+            best_start = dict(incumbent.start)
+        except SchedulingError:
+            best_length = incumbent.length + len(problem.ops) + 1
+            best_start = {}
+        if not problem.ops:
+            return Schedule(problem, {}, scheduler=self.name)
+
+        order = problem.topological()
+        tails = _tails(problem)
+        preds = {
+            op_id: list(problem.graph.predecessors(op_id))
+            for op_id in order
+        }
+        delays = {op_id: problem.delay(op_id) for op_id in order}
+        occupancy = {
+            op_id: problem.occupancy(op_id) for op_id in order
+        }
+        classes = {op_id: problem.op_class(op_id) for op_id in order}
+        limits = {
+            cls: problem.constraints.limit(cls)
+            for cls in problem.model.classes_used(problem.ops)
+        }
+
+        # Timing windows, indexed by the later (topologically) op.
+        windows_by_to: dict[int, list] = {}
+        for constraint in problem.timing_constraints:
+            windows_by_to.setdefault(constraint.to_op, []).append(
+                constraint
+            )
+
+        start: dict[int, int] = {}
+        usage: dict[tuple[int, str], int] = {}
+        self.states_visited = 0
+
+        def horizon() -> int:
+            """Latest useful start bound given the current best."""
+            return best_length - 1
+
+        def dfs(index: int, partial_bound: int) -> None:
+            nonlocal best_length, best_start
+            self.states_visited += 1
+            if index == len(order):
+                if partial_bound < best_length:
+                    best_length = partial_bound
+                    best_start = dict(start)
+                return
+            op_id = order[index]
+            delay = delays[op_id]
+            cls = classes[op_id]
+            ready = 0
+            for pred in preds[op_id]:
+                offset = problem.edge_offset(pred, op_id)
+                ready = max(ready, start[pred] + offset)
+            latest = horizon() if self._prune else best_length - 1
+            # Any start beyond best_length - tail cannot improve (or,
+            # without pruning, cannot stay within the horizon).
+            latest = min(latest, best_length - tails[op_id] - (
+                1 if self._prune else 0
+            ))
+            # Designer timing windows against already-placed partners.
+            for constraint in windows_by_to.get(op_id, []):
+                if constraint.from_op in start:
+                    base = start[constraint.from_op]
+                    if constraint.min_offset is not None:
+                        ready = max(ready, base + constraint.min_offset)
+                    if constraint.max_offset is not None:
+                        latest = min(latest, base + constraint.max_offset)
+            busy = occupancy[op_id]
+            for step in range(ready, latest + 1):
+                if cls is not None:
+                    limit = limits.get(cls)
+                    if limit is not None and any(
+                        usage.get((step + k, cls), 0) >= limit
+                        for k in range(busy)
+                    ):
+                        continue
+                    for k in range(busy):
+                        usage[(step + k, cls)] = (
+                            usage.get((step + k, cls), 0) + 1
+                        )
+                start[op_id] = step
+                new_bound = max(partial_bound, step + tails[op_id])
+                if not self._prune or new_bound < best_length:
+                    dfs(index + 1, new_bound)
+                del start[op_id]
+                if cls is not None:
+                    for k in range(busy):
+                        usage[(step + k, cls)] -= 1
+
+        dfs(0, 0)
+        if not best_start and problem.ops:
+            raise SchedulingError(
+                f"[{self.name}] no schedule satisfies the constraints "
+                f"of {problem.label}"
+            )
+        return Schedule(problem, best_start, scheduler=self.name)
+
+
+class ExhaustiveScheduler(BranchAndBoundScheduler):
+    """EXPL-style exhaustive search (branch and bound with pruning
+    disabled): visits the whole bounded design space."""
+
+    name = "exhaustive"
+
+    def __init__(self, problem: SchedulingProblem,
+                 max_ops: int = 12) -> None:
+        super().__init__(problem, max_ops=max_ops, prune=False)
+
+
+class YSCScheduler(Scheduler):
+    """Yorktown Silicon Compiler heuristic: maximally parallel start,
+    then serialize over-subscribed steps by postponing mobile ops.
+
+    §3.1.1: "It begins with each operation being done on a separate
+    functional unit and all operations being done in the same control
+    step … If there is too much hardware or there are too many
+    operations chained together in the same control step, more control
+    steps are added and the datapath structure is again optimized.
+    This process is repeated until the hardware and time constraints
+    are met."
+    """
+
+    name = "ysc"
+
+    def schedule(self) -> Schedule:
+        problem = self.problem
+        start = unconstrained_asap(problem)
+        delays = {op.id: problem.delay(op.id) for op in problem.ops}
+        guard = 0
+
+        while True:
+            guard += 1
+            if guard > 100 * (len(problem.ops) + 1) ** 2:
+                raise SchedulingError("YSC serialization did not converge")
+            violation = self._first_violation(start, delays)
+            if violation is None:
+                return Schedule(problem, start, scheduler=self.name)
+            step, cls, op_ids = violation
+            # Postpone the op with the most slack below it (largest
+            # remaining tail = most critical stays put).
+            tails = _tails(problem)
+            victim = max(op_ids, key=lambda i: (-tails[i], i))
+            start[victim] = step + 1
+            self._repair_successors(start, delays, victim)
+
+    # ------------------------------------------------------------------
+
+    def _first_violation(
+        self, start: dict[int, int], delays: dict[int, int]
+    ) -> tuple[int, str, list[int]] | None:
+        problem = self.problem
+        if not start:
+            return None
+        length = max(
+            start[op.id] + max(delays[op.id], 1) for op in problem.ops
+        )
+        for step in range(length):
+            counts: dict[str, list[int]] = {}
+            for op in problem.ops:
+                cls = problem.op_class(op.id)
+                if cls is None:
+                    continue
+                begin = start[op.id]
+                busy = max(problem.occupancy(op.id), 1)
+                if begin <= step <= begin + busy - 1:
+                    counts.setdefault(cls, []).append(op.id)
+            for cls, op_ids in sorted(counts.items()):
+                limit = problem.constraints.limit(cls)
+                if limit is not None and len(op_ids) > limit:
+                    movable = [i for i in op_ids if start[i] == step]
+                    if movable:
+                        return step, cls, movable
+        return None
+
+    def _repair_successors(self, start: dict[int, int],
+                           delays: dict[int, int], moved: int) -> None:
+        """Push successors later so dependences hold again."""
+        problem = self.problem
+        for op_id in problem.topological():
+            earliest = start[op_id]
+            for pred in problem.graph.predecessors(op_id):
+                offset = problem.edge_offset(pred, op_id)
+                earliest = max(earliest, start[pred] + offset)
+            start[op_id] = earliest

@@ -1,0 +1,215 @@
+"""Behavioral (algorithm-level) interpreter for CDFGs.
+
+This executes the IR directly — the reference semantics of a design
+before any scheduling or allocation has happened.  It is the golden
+model the RTL simulator is checked against (the paper's §4 "design
+verification": showing each synthesis step preserves the behavior of
+the initial specification).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import SimulationError
+from ..ir.cdfg import (
+    CDFG,
+    BlockRegion,
+    IfRegion,
+    LoopRegion,
+    Region,
+    SeqRegion,
+)
+from ..ir.opcodes import OpKind
+from ..ir.values import BasicBlock
+from .semantics import Number, coerce, evaluate
+
+DEFAULT_MAX_ITERATIONS = 1_000_000
+
+
+@dataclass
+class ExecutionStats:
+    """Dynamic execution counts gathered during a behavioral run."""
+
+    blocks_executed: int = 0
+    ops_executed: int = 0
+    op_histogram: dict[OpKind, int] = field(default_factory=dict)
+    loop_iterations: dict[int, int] = field(default_factory=dict)
+
+    def count(self, kind: OpKind) -> None:
+        self.ops_executed += 1
+        self.op_histogram[kind] = self.op_histogram.get(kind, 0) + 1
+
+
+class BehavioralSimulator:
+    """Executes a CDFG over concrete inputs.
+
+    Example::
+
+        sim = BehavioralSimulator(cdfg)
+        outputs = sim.run({"X": 0.5})
+        print(outputs["Y"])
+    """
+
+    def __init__(self, cdfg: CDFG,
+                 max_iterations: int = DEFAULT_MAX_ITERATIONS) -> None:
+        self._cdfg = cdfg
+        self._max_iterations = max_iterations
+        self.stats = ExecutionStats()
+        self._env: dict[str, Number] = {}
+        self._memories: dict[str, list[Number]] = {}
+        self._values: dict[int, Number] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(self, inputs: dict[str, Number],
+            memories: dict[str, list[Number]] | None = None
+            ) -> dict[str, Number]:
+        """Execute the procedure once.
+
+        Args:
+            inputs: value for every input port (coerced to port types).
+            memories: optional initial contents per memory; missing
+                memories start zero-filled.
+
+        Returns:
+            A dict with the final value of every output port.
+        """
+        self.stats = ExecutionStats()
+        self._values = {}
+        self._env = {
+            name: coerce(0, type_)
+            for name, type_ in self._cdfg.variables.items()
+        }
+        for port in self._cdfg.inputs:
+            if port.name not in inputs:
+                raise SimulationError(f"missing input {port.name!r}")
+            self._env[port.name] = coerce(inputs[port.name], port.type)
+        unknown = set(inputs) - {p.name for p in self._cdfg.inputs}
+        if unknown:
+            raise SimulationError(f"unknown inputs: {sorted(unknown)}")
+
+        self._memories = {}
+        memories = memories or {}
+        for name, array_type in self._cdfg.memories.items():
+            if name in memories:
+                contents = [
+                    coerce(v, array_type.element) for v in memories[name]
+                ]
+                if len(contents) != array_type.length:
+                    raise SimulationError(
+                        f"memory {name!r} expects {array_type.length} "
+                        f"elements, got {len(contents)}"
+                    )
+            else:
+                contents = [coerce(0, array_type.element)] * array_type.length
+            self._memories[name] = contents
+
+        self._exec_region(self._cdfg.body)
+        return {
+            port.name: self._env[port.name] for port in self._cdfg.outputs
+        }
+
+    def memory_contents(self, name: str) -> list[Number]:
+        """Final contents of a memory after :meth:`run`."""
+        return list(self._memories[name])
+
+    # ------------------------------------------------------------------
+
+    def _exec_region(self, region: Region) -> None:
+        if isinstance(region, BlockRegion):
+            self._exec_block(region.block)
+        elif isinstance(region, SeqRegion):
+            for item in region.items:
+                self._exec_region(item)
+        elif isinstance(region, IfRegion):
+            self._exec_block(region.cond_block)
+            if self._values[region.cond.id]:
+                self._exec_region(region.then_region)
+            elif region.else_region is not None:
+                self._exec_region(region.else_region)
+        elif isinstance(region, LoopRegion):
+            self._exec_loop(region)
+        else:  # pragma: no cover
+            raise SimulationError(f"unknown region {region!r}")
+
+    def _exec_loop(self, region: LoopRegion) -> None:
+        iterations = 0
+        region_key = id(region)
+        while True:
+            if iterations >= self._max_iterations:
+                raise SimulationError(
+                    f"loop exceeded {self._max_iterations} iterations"
+                )
+            if region.test_in_body:
+                # Post-test: body (which computes the condition) first.
+                self._exec_region(region.body)
+                iterations += 1
+                exit_now = bool(self._values[region.cond.id]) == \
+                    region.exit_on_true
+                if exit_now:
+                    break
+            else:
+                self._exec_block(region.test_block)
+                exit_now = bool(self._values[region.cond.id]) == \
+                    region.exit_on_true
+                if exit_now:
+                    break
+                self._exec_region(region.body)
+                iterations += 1
+        self.stats.loop_iterations[region_key] = (
+            self.stats.loop_iterations.get(region_key, 0) + iterations
+        )
+
+    def _exec_block(self, block: BasicBlock) -> None:
+        self.stats.blocks_executed += 1
+        for op in block.ops:
+            self.stats.count(op.kind)
+            if op.kind is OpKind.VAR_READ:
+                assert op.result is not None
+                self._values[op.result.id] = self._env[op.attrs["var"]]
+            elif op.kind is OpKind.VAR_WRITE:
+                var = op.attrs["var"]
+                value = self._values[op.operands[0].id]
+                self._env[var] = coerce(value, self._cdfg.variables[var])
+            elif op.kind is OpKind.LOAD:
+                memory = self._memories[op.attrs["memory"]]
+                index = int(self._values[op.operands[0].id])
+                if not 0 <= index < len(memory):
+                    raise SimulationError(
+                        f"load index {index} out of range for "
+                        f"{op.attrs['memory']!r}"
+                    )
+                assert op.result is not None
+                self._values[op.result.id] = memory[index]
+            elif op.kind is OpKind.STORE:
+                memory = self._memories[op.attrs["memory"]]
+                index = int(self._values[op.operands[0].id])
+                if not 0 <= index < len(memory):
+                    raise SimulationError(
+                        f"store index {index} out of range for "
+                        f"{op.attrs['memory']!r}"
+                    )
+                element = self._cdfg.memories[op.attrs["memory"]].element
+                memory[index] = coerce(
+                    self._values[op.operands[1].id], element
+                )
+            elif op.kind is OpKind.NOP:
+                continue
+            else:
+                operands = [self._values[v.id] for v in op.operands]
+                types = [v.type for v in op.operands]
+                result_type = op.result.type if op.result else None
+                result = evaluate(
+                    op.kind, operands, types, result_type, op.attrs
+                )
+                if op.result is not None:
+                    self._values[op.result.id] = result
+
+
+def run_behavior(cdfg: CDFG, inputs: dict[str, Number],
+                 memories: dict[str, list[Number]] | None = None
+                 ) -> dict[str, Number]:
+    """One-shot helper: simulate ``cdfg`` and return its outputs."""
+    return BehavioralSimulator(cdfg).run(inputs, memories)

@@ -1,0 +1,194 @@
+"""Behavior ↔ RTL equivalence checking by co-simulation.
+
+§4 names design verification — "the proof that a detailed design
+implements the exact design stated in the specification" — as an open
+problem.  The practical instrument this library provides is exhaustive
+co-simulation over supplied (or generated) input vectors: the
+behavioral interpreter executes the *specification semantics*, the RTL
+simulator executes the *synthesized design*, and both share one
+arithmetic semantics module, so any divergence indicts the synthesis
+steps (schedule, allocation, storage plan or controller), not the
+number system.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..core.design import SynthesizedDesign
+from ..errors import EquivalenceError
+from ..ir.cdfg import CDFG
+from ..ir.types import FixedType, IntType
+from .behavior import BehavioralSimulator
+from .rtl_sim import RTLSimulator
+from .semantics import Number
+
+
+@dataclass
+class VectorResult:
+    """Outcome of one co-simulated input vector."""
+
+    inputs: dict[str, Number]
+    behavioral: dict[str, Number]
+    rtl: dict[str, Number]
+    cycles: int
+
+    @property
+    def matches(self) -> bool:
+        return self.behavioral == self.rtl
+
+
+@dataclass
+class EquivalenceReport:
+    """All co-simulation results plus summary statistics."""
+
+    results: list[VectorResult] = field(default_factory=list)
+
+    @property
+    def vectors(self) -> int:
+        return len(self.results)
+
+    @property
+    def mismatches(self) -> list[VectorResult]:
+        return [result for result in self.results if not result.matches]
+
+    @property
+    def equivalent(self) -> bool:
+        return not self.mismatches
+
+    @property
+    def max_cycles(self) -> int:
+        return max((result.cycles for result in self.results), default=0)
+
+
+def default_vectors(cdfg: CDFG, count: int = 8,
+                    seed: int = 12345) -> list[dict[str, Number]]:
+    """Deterministic corner-plus-pseudorandom input vectors.
+
+    Corners: all-zero (when legal), all-min, all-max, all-one.  The
+    remainder are linear-congruential pseudorandom values inside each
+    input's representable range (no ``random`` module — determinism is
+    part of the library's contract).
+    """
+    state = seed
+
+    def next_unit() -> float:
+        nonlocal state
+        state = (state * 1103515245 + 12345) % (1 << 31)
+        return state / float(1 << 31)
+
+    def sample(type_) -> Number:
+        if isinstance(type_, IntType):
+            low, high = type_.min_value, type_.max_value
+            return low + int(next_unit() * (high - low + 1))
+        assert isinstance(type_, FixedType)
+        as_int = IntType(type_.width, type_.signed)
+        stored = (
+            as_int.min_value
+            + int(next_unit() * (as_int.max_value - as_int.min_value + 1))
+        )
+        return stored / type_.scale
+
+    vectors: list[dict[str, Number]] = []
+    corners: list[Number | str] = ["zero", "one", "min", "max"]
+    for corner in corners[: min(count, 4)]:
+        vector: dict[str, Number] = {}
+        for port in cdfg.inputs:
+            type_ = port.type
+            if corner == "zero":
+                vector[port.name] = 0
+            elif corner == "one":
+                vector[port.name] = 1
+            elif corner == "min":
+                if isinstance(type_, IntType):
+                    vector[port.name] = type_.min_value
+                else:
+                    assert isinstance(type_, FixedType)
+                    as_int = IntType(type_.width, type_.signed)
+                    vector[port.name] = as_int.min_value / type_.scale
+            else:
+                if isinstance(type_, IntType):
+                    vector[port.name] = type_.max_value
+                else:
+                    assert isinstance(type_, FixedType)
+                    as_int = IntType(type_.width, type_.signed)
+                    vector[port.name] = as_int.max_value / type_.scale
+        vectors.append(vector)
+    while len(vectors) < count:
+        vectors.append(
+            {port.name: sample(port.type) for port in cdfg.inputs}
+        )
+    return vectors
+
+
+def check_behavioral_equivalence(
+    before: CDFG,
+    after: CDFG,
+    vectors: list[dict[str, Number]] | None = None,
+    memories: dict[str, list[Number]] | None = None,
+) -> EquivalenceReport:
+    """Compare two CDFGs behaviorally (the §4 'each step in the
+    synthesis process preserves the behavior' check, instrumented as
+    co-simulation).
+
+    Used by the transform test-suite: the pre-transformation graph is
+    the specification, the post-transformation graph the implementation.
+    Inputs/outputs must agree by name.
+    """
+    if {p.name for p in before.inputs} != {p.name for p in after.inputs}:
+        raise EquivalenceError("input ports differ between CDFGs")
+    if {p.name for p in before.outputs} != {
+        p.name for p in after.outputs
+    }:
+        raise EquivalenceError("output ports differ between CDFGs")
+    if vectors is None:
+        vectors = default_vectors(before)
+    report = EquivalenceReport()
+    for inputs in vectors:
+        reference = BehavioralSimulator(before).run(inputs, memories)
+        candidate = BehavioralSimulator(after).run(inputs, memories)
+        result = VectorResult(inputs, reference, candidate, 0)
+        report.results.append(result)
+        if not result.matches:
+            raise EquivalenceError(
+                f"transformed {after.name} diverges on {inputs}: "
+                f"before={reference} after={candidate}"
+            )
+    return report
+
+
+def check_equivalence(design: SynthesizedDesign,
+                      vectors: list[dict[str, Number]] | None = None,
+                      memories: dict[str, list[Number]] | None = None,
+                      raise_on_mismatch: bool = True
+                      ) -> EquivalenceReport:
+    """Co-simulate the design against its own CDFG's behavior.
+
+    Note: the design's CDFG is the *optimized* IR; transformation
+    correctness is checked separately (tests co-simulate pre- vs
+    post-optimization CDFGs behaviorally).
+
+    Args:
+        design: the synthesized design.
+        vectors: input vectors; defaults to :func:`default_vectors`.
+        memories: optional initial memory contents used for all runs.
+        raise_on_mismatch: raise :class:`EquivalenceError` on the first
+            diverging vector (default) instead of just recording it.
+    """
+    cdfg = design.cdfg
+    if vectors is None:
+        vectors = default_vectors(cdfg)
+    report = EquivalenceReport()
+    for inputs in vectors:
+        behavioral = BehavioralSimulator(cdfg).run(inputs, memories)
+        rtl_sim = RTLSimulator(design)
+        rtl = rtl_sim.run(inputs, memories)
+        result = VectorResult(inputs, behavioral, rtl, rtl_sim.cycles)
+        report.results.append(result)
+        if raise_on_mismatch and not result.matches:
+            raise EquivalenceError(
+                f"design {cdfg.name} diverges on {inputs}: "
+                f"behavioral={behavioral} rtl={rtl}"
+            )
+    return report

@@ -1,0 +1,137 @@
+"""Shared evaluation semantics for IR operations.
+
+Both the behavioral interpreter and the cycle-accurate RTL simulator
+evaluate operations through this single module, so the equivalence
+checker compares two *schedules* of the same arithmetic — not two
+arithmetic implementations.  Integer values wrap like hardware
+registers; fixed-point values are quantized to their type's grid after
+every operation (modelling a datapath whose registers all carry the
+declared format).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import SimulationError
+from ..ir.opcodes import OpKind
+from ..ir.types import FixedType, IntType, Type
+
+Number = int | float
+
+
+def coerce(value: Number, type_: Type) -> Number:
+    """Clamp ``value`` onto the representable grid of ``type_``."""
+    if isinstance(type_, IntType):
+        return type_.wrap(int(value))
+    if isinstance(type_, FixedType):
+        return type_.quantize(float(value))
+    raise SimulationError(f"cannot coerce to non-scalar type {type_}")
+
+
+def _as_bits(value: Number, type_: Type) -> int:
+    """Bit pattern of a value (for bitwise operations)."""
+    if isinstance(type_, IntType):
+        return int(value) & ((1 << type_.width) - 1)
+    if isinstance(type_, FixedType):
+        return int(round(float(value) * type_.scale)) & ((1 << type_.width) - 1)
+    raise SimulationError(f"no bit pattern for type {type_}")
+
+
+def evaluate(kind: OpKind, operands: list[Number],
+             operand_types: list[Type], result_type: Type | None,
+             attrs: dict[str, Any] | None = None) -> Number:
+    """Evaluate one operation.
+
+    Args:
+        kind: the operation kind (must be a pure computation — variable,
+            memory and control kinds are handled by the simulators).
+        operands: operand values.
+        operand_types: their types (needed for bit-pattern operations).
+        result_type: the type the result is coerced to.
+        attrs: operation attributes (``value`` for CONST).
+
+    Returns:
+        The result value, coerced onto ``result_type``.
+    """
+    attrs = attrs or {}
+    if kind is OpKind.CONST:
+        assert result_type is not None
+        return coerce(attrs["value"], result_type)
+
+    if kind is OpKind.ADD:
+        raw: Number = operands[0] + operands[1]
+    elif kind is OpKind.SUB:
+        raw = operands[0] - operands[1]
+    elif kind is OpKind.MUL:
+        raw = operands[0] * operands[1]
+    elif kind is OpKind.DIV:
+        if operands[1] == 0:
+            raise SimulationError("division by zero")
+        if isinstance(result_type, IntType):
+            # Hardware-style truncating division (toward zero).
+            quotient = abs(int(operands[0])) // abs(int(operands[1]))
+            negative = (operands[0] < 0) != (operands[1] < 0)
+            raw = -quotient if negative else quotient
+        else:
+            raw = operands[0] / operands[1]
+    elif kind is OpKind.MOD:
+        if operands[1] == 0:
+            raise SimulationError("modulo by zero")
+        quotient = abs(int(operands[0])) // abs(int(operands[1]))
+        negative = (operands[0] < 0) != (operands[1] < 0)
+        quotient = -quotient if negative else quotient
+        raw = int(operands[0]) - quotient * int(operands[1])
+    elif kind is OpKind.INC:
+        raw = operands[0] + 1
+    elif kind is OpKind.DEC:
+        raw = operands[0] - 1
+    elif kind is OpKind.NEG:
+        raw = -operands[0]
+    elif kind is OpKind.SHL:
+        amount = int(operands[1])
+        if amount < 0:
+            raise SimulationError(f"negative shift amount {amount}")
+        raw = operands[0] * (1 << amount)
+    elif kind is OpKind.SHR:
+        amount = int(operands[1])
+        if amount < 0:
+            raise SimulationError(f"negative shift amount {amount}")
+        if isinstance(operand_types[0], FixedType):
+            raw = operands[0] / (1 << amount)
+        else:
+            raw = int(operands[0]) >> amount
+    elif kind in (OpKind.AND, OpKind.OR, OpKind.XOR):
+        left = _as_bits(operands[0], operand_types[0])
+        right = _as_bits(operands[1], operand_types[1])
+        if kind is OpKind.AND:
+            raw = left & right
+        elif kind is OpKind.OR:
+            raw = left | right
+        else:
+            raw = left ^ right
+        assert isinstance(result_type, IntType)
+        return result_type.wrap(raw)
+    elif kind is OpKind.NOT:
+        bits = _as_bits(operands[0], operand_types[0])
+        assert isinstance(result_type, IntType)
+        return result_type.wrap(~bits)
+    elif kind is OpKind.EQ:
+        return int(operands[0] == operands[1])
+    elif kind is OpKind.NE:
+        return int(operands[0] != operands[1])
+    elif kind is OpKind.LT:
+        return int(operands[0] < operands[1])
+    elif kind is OpKind.LE:
+        return int(operands[0] <= operands[1])
+    elif kind is OpKind.GT:
+        return int(operands[0] > operands[1])
+    elif kind is OpKind.GE:
+        return int(operands[0] >= operands[1])
+    elif kind is OpKind.MUX:
+        raw = operands[1] if operands[0] else operands[2]
+    else:
+        raise SimulationError(f"evaluate() cannot execute {kind}")
+
+    assert result_type is not None
+    return coerce(raw, result_type)

@@ -1,0 +1,69 @@
+"""High-level transformations (the paper's §2 optimization step).
+
+:func:`standard_pipeline` assembles the default optimizer: constant
+folding, CSE, strength reduction, counter narrowing, trip-count
+analysis and DCE, run to a fixpoint.  Loop unrolling and tree-height
+reduction are opt-in (they trade area/register pressure for speed, a
+design-space decision rather than an always-win).
+"""
+
+from .base import Pass, PassManager, PassReport
+from .clone import RegionCloner
+from .constprop import ConstantFolding
+from .counter import CounterNarrowing
+from .cse import CommonSubexpressionElimination
+from .dce import DeadCodeElimination
+from .if_conversion import IfConversion
+from .strength import StrengthReduction
+from .tree_height import TreeHeightReduction
+from .tripcount import TripCountAnalysis, match_counter, simulate_trip_count
+from .unroll import LoopUnrolling
+
+__all__ = [
+    "CommonSubexpressionElimination",
+    "ConstantFolding",
+    "CounterNarrowing",
+    "DeadCodeElimination",
+    "IfConversion",
+    "LoopUnrolling",
+    "Pass",
+    "PassManager",
+    "PassReport",
+    "RegionCloner",
+    "StrengthReduction",
+    "TreeHeightReduction",
+    "TripCountAnalysis",
+    "match_counter",
+    "optimize",
+    "simulate_trip_count",
+    "standard_pipeline",
+]
+
+
+def standard_pipeline(unroll: bool = False,
+                      tree_height: bool = False) -> PassManager:
+    """The default optimization pipeline.
+
+    Args:
+        unroll: also fully unroll constant-trip loops.
+        tree_height: also rebalance associative chains.
+    """
+    passes: list[Pass] = [
+        ConstantFolding(),
+        CommonSubexpressionElimination(),
+        StrengthReduction(),
+        CounterNarrowing(),
+        TripCountAnalysis(),
+        DeadCodeElimination(),
+    ]
+    if tree_height:
+        passes.append(TreeHeightReduction())
+    if unroll:
+        passes.append(LoopUnrolling())
+    return PassManager(passes)
+
+
+def optimize(cdfg, unroll: bool = False,
+             tree_height: bool = False) -> PassReport:
+    """Run the standard pipeline on ``cdfg`` in place."""
+    return standard_pipeline(unroll=unroll, tree_height=tree_height).run(cdfg)

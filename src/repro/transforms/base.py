@@ -1,0 +1,80 @@
+"""Pass infrastructure for high-level transformations.
+
+The tutorial's §2 lists the standard menu — dead code elimination,
+constant propagation, common subexpression elimination, inline
+expansion, loop unrolling, plus hardware-specific local transformations
+(strength reduction, counter narrowing).  Each is a :class:`Pass`; the
+:class:`PassManager` runs a pipeline to a fixpoint and records what
+fired, which is also the library's "self-documenting design process"
+hook (§1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.cdfg import CDFG
+
+
+class Pass:
+    """One rewrite over a CDFG.
+
+    Subclasses implement :meth:`run` and return True when they changed
+    the graph.  Passes must leave the CDFG valid (``cdfg.validate()``)
+    after every run; the manager checks this in debug mode.
+    """
+
+    #: Stable name used in reports and pipeline specs.
+    name: str = "pass"
+
+    def run(self, cdfg: CDFG) -> bool:
+        raise NotImplementedError
+
+
+@dataclass
+class PassReport:
+    """What happened during one pipeline execution."""
+
+    applied: list[str] = field(default_factory=list)
+    iterations: int = 0
+
+    def count(self, name: str) -> int:
+        return self.applied.count(name)
+
+    def __str__(self) -> str:
+        if not self.applied:
+            return "no transformations applied"
+        return (
+            f"{self.iterations} iteration(s): " + ", ".join(self.applied)
+        )
+
+
+class PassManager:
+    """Runs a list of passes repeatedly until none makes progress.
+
+    Args:
+        passes: pipeline, in order.
+        max_iterations: fixpoint bound (guards against oscillation).
+        validate: re-validate the CDFG after every pass that fired.
+    """
+
+    def __init__(self, passes: list[Pass], max_iterations: int = 20,
+                 validate: bool = True) -> None:
+        self._passes = list(passes)
+        self._max_iterations = max_iterations
+        self._validate = validate
+
+    def run(self, cdfg: CDFG) -> PassReport:
+        report = PassReport()
+        for _ in range(self._max_iterations):
+            changed = False
+            for pass_ in self._passes:
+                if pass_.run(cdfg):
+                    changed = True
+                    report.applied.append(pass_.name)
+                    if self._validate:
+                        cdfg.validate()
+            report.iterations += 1
+            if not changed:
+                break
+        return report

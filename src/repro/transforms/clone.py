@@ -1,0 +1,109 @@
+"""Deep-cloning of regions and blocks (used by loop unrolling).
+
+Cloning creates fresh operations and values with new ids, remapping
+intra-region value references.  Variable reads/writes keep their
+variable names — the loop-carried state flows through the variables,
+which is exactly what makes unrolled iterations compose sequentially.
+"""
+
+from __future__ import annotations
+
+from ..ir.cdfg import (
+    CDFG,
+    BlockRegion,
+    IfRegion,
+    LoopRegion,
+    Region,
+    SeqRegion,
+)
+from ..ir.values import BasicBlock, Operation, Value
+
+
+class RegionCloner:
+    """Clones regions within one CDFG, remapping values."""
+
+    def __init__(self, cdfg: CDFG) -> None:
+        self._cdfg = cdfg
+        self.value_map: dict[int, Value] = {}
+
+    def clone_block(self, block: BasicBlock) -> BasicBlock:
+        new_block = self._cdfg.new_block(f"{block.name}'")
+        for op in block.ops:
+            operands = []
+            for value in op.operands:
+                mapped = self.value_map.get(value.id)
+                if mapped is None:
+                    # Reference to a value outside the cloned region:
+                    # keep it (legal only if its block executes earlier).
+                    mapped = value
+                operands.append(mapped)
+            new_op = Operation(
+                self._cdfg.next_op_id(), op.kind, operands, new_block,
+                dict(op.attrs),
+            )
+            for index, value in enumerate(operands):
+                value.uses.append((new_op, index))
+            if op.result is not None:
+                new_value = Value(
+                    self._cdfg.next_value_id(), op.result.type, new_op,
+                    op.result.name,
+                )
+                new_op.result = new_value
+                self.value_map[op.result.id] = new_value
+            new_block.ops.append(new_op)
+        return new_block
+
+    def clone_region(self, region: Region) -> Region:
+        if isinstance(region, BlockRegion):
+            return BlockRegion(self.clone_block(region.block))
+        if isinstance(region, SeqRegion):
+            return SeqRegion([self.clone_region(item) for item in region.items])
+        if isinstance(region, IfRegion):
+            cond_block = self.clone_block(region.cond_block)
+            cond = self.value_map[region.cond.id]
+            then_region = self.clone_region(region.then_region)
+            else_region = (
+                self.clone_region(region.else_region)
+                if region.else_region is not None
+                else None
+            )
+            return IfRegion(cond_block, cond, then_region, else_region)
+        if isinstance(region, LoopRegion):
+            if region.test_in_body:
+                body = self.clone_region(region.body)
+                # The test block was cloned as part of the body.
+                test_block_id = region.test_block.id
+                test_block = self._find_cloned_block(body, test_block_id,
+                                                     region)
+                cond = self.value_map[region.cond.id]
+                return LoopRegion(
+                    body=body,
+                    test_block=test_block,
+                    cond=cond,
+                    exit_on_true=region.exit_on_true,
+                    test_in_body=True,
+                    trip_count=region.trip_count,
+                )
+            test_block = self.clone_block(region.test_block)
+            cond = self.value_map[region.cond.id]
+            body = self.clone_region(region.body)
+            return LoopRegion(
+                body=body,
+                test_block=test_block,
+                cond=cond,
+                exit_on_true=region.exit_on_true,
+                test_in_body=False,
+                trip_count=region.trip_count,
+            )
+        raise TypeError(f"cannot clone region {region!r}")
+
+    def _find_cloned_block(self, body: Region, original_id: int,
+                           loop: LoopRegion) -> BasicBlock:
+        """Locate the clone of the loop's in-body test block.
+
+        The clone of block N is the body block that was produced while
+        cloning block N; we track it through the condition value's new
+        producer.
+        """
+        cond_clone = self.value_map[loop.cond.id]
+        return cond_clone.producer.block

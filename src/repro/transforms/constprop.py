@@ -1,0 +1,146 @@
+"""Constant folding, propagation and algebraic simplification.
+
+* folding — any pure operation whose operands are all ``CONST`` is
+  evaluated at compile time (using the *same* semantics module the
+  simulators use, so folding can never change behaviour) and replaced
+  by a ``CONST``;
+* algebraic identities — ``x+0``, ``x-0``, ``x*1``, ``x/1``,
+  ``x<<0``, ``x>>0``, ``x*0``, ``x&0``, ``x|0``, ``x^0`` are rewritten
+  to a copy of ``x`` (or the zero constant), removing the operation.
+"""
+
+from __future__ import annotations
+
+from ..ir.cdfg import CDFG
+from ..ir.opcodes import OpKind
+from ..ir.values import BasicBlock, Operation, Value
+from ..sim.semantics import evaluate
+from .base import Pass
+
+_PURE_FOLDABLE = frozenset(
+    {
+        OpKind.ADD, OpKind.SUB, OpKind.MUL, OpKind.DIV, OpKind.MOD,
+        OpKind.INC, OpKind.DEC, OpKind.NEG, OpKind.SHL, OpKind.SHR,
+        OpKind.AND, OpKind.OR, OpKind.XOR, OpKind.NOT,
+        OpKind.EQ, OpKind.NE, OpKind.LT, OpKind.LE, OpKind.GT, OpKind.GE,
+        OpKind.MUX,
+    }
+)
+
+
+def _const_of(value: Value):
+    """The literal of a CONST-produced value, or None."""
+    if value.producer.kind is OpKind.CONST:
+        return value.producer.attrs["value"]
+    return None
+
+
+class ConstantFolding(Pass):
+    """Fold constant subexpressions and apply algebraic identities."""
+
+    name = "constfold"
+
+    def run(self, cdfg: CDFG) -> bool:
+        changed = False
+        for block in cdfg.blocks():
+            for op in list(block.ops):
+                if op.result is None or op.kind not in _PURE_FOLDABLE:
+                    continue
+                if self._try_fold(block, op):
+                    changed = True
+                elif self._try_identity(block, op):
+                    changed = True
+        return changed
+
+    def _try_fold(self, block: BasicBlock, op: Operation) -> bool:
+        constants = [_const_of(v) for v in op.operands]
+        if any(c is None for c in constants):
+            return False
+        assert op.result is not None
+        try:
+            folded = evaluate(
+                op.kind,
+                constants,  # type: ignore[arg-type]
+                [v.type for v in op.operands],
+                op.result.type,
+                op.attrs,
+            )
+        except Exception:
+            return False  # e.g. division by zero stays a runtime event
+        replacement = block.const(folded, op.result.type, op.result.name)
+        # Keep topological order: move the new CONST before the op.
+        const_op = replacement.producer
+        block.ops.remove(const_op)
+        block.ops.insert(block.ops.index(op), const_op)
+        block.replace_all_uses(op.result, replacement)
+        self._replace_region_conds(block, op.result, replacement)
+        if not op.result.uses:
+            block.remove_op(op)
+        return True
+
+    def _try_identity(self, block: BasicBlock, op: Operation) -> bool:
+        """Rewrite x∘neutral → x and x*0-style annihilators."""
+        assert op.result is not None
+        if len(op.operands) != 2:
+            return False
+        left, right = op.operands
+        left_const, right_const = _const_of(left), _const_of(right)
+
+        def forward(source: Value) -> bool:
+            if source.type != op.result.type:
+                return False
+            block.replace_all_uses(op.result, source)
+            self._replace_region_conds(block, op.result, source)
+            if not op.result.uses:
+                block.remove_op(op)
+            return True
+
+        if op.kind is OpKind.ADD:
+            if right_const == 0:
+                return forward(left)
+            if left_const == 0:
+                return forward(right)
+        elif op.kind is OpKind.SUB:
+            if right_const == 0:
+                return forward(left)
+        elif op.kind is OpKind.MUL:
+            if right_const == 1:
+                return forward(left)
+            if left_const == 1:
+                return forward(right)
+            if right_const == 0 or left_const == 0:
+                zero = block.const(0, op.result.type)
+                zero_op = zero.producer
+                block.ops.remove(zero_op)
+                block.ops.insert(block.ops.index(op), zero_op)
+                return forward(zero)
+        elif op.kind is OpKind.DIV:
+            if right_const == 1:
+                return forward(left)
+        elif op.kind in (OpKind.SHL, OpKind.SHR):
+            if right_const == 0:
+                return forward(left)
+        elif op.kind in (OpKind.OR, OpKind.XOR):
+            if right_const == 0:
+                return forward(left)
+            if left_const == 0:
+                return forward(right)
+        elif op.kind is OpKind.AND:
+            if right_const == 0 or left_const == 0:
+                zero = block.const(0, op.result.type)
+                zero_op = zero.producer
+                block.ops.remove(zero_op)
+                block.ops.insert(block.ops.index(op), zero_op)
+                return forward(zero)
+        return False
+
+    @staticmethod
+    def _replace_region_conds(block: BasicBlock, old: Value,
+                              new: Value) -> None:
+        """Regions reference condition values directly; keep them live."""
+        from ..ir.cdfg import IfRegion, LoopRegion
+
+        for region in block.cdfg.body.walk():
+            if isinstance(region, (IfRegion, LoopRegion)):
+                if region.cond is old:
+                    region.cond = new

@@ -1,0 +1,185 @@
+"""Loop-counter narrowing: the paper's two-bit counter trick.
+
+§2: "the loop-ending criterion can be changed to ``I = 0`` using a
+two-bit variable for I."  A counter that runs 0,1,…,K and exits on
+``I > K`` can, when ``K+1`` is a power of two, be stored in
+``log2(K+1)`` bits: incrementing past K wraps to zero, so the exit test
+becomes an equality comparison with zero — a cheaper comparator and a
+narrower register.
+
+Safety conditions checked before rewriting:
+
+* the loop matches the counter pattern of
+  :mod:`repro.transforms.tripcount` with step +1 and initial value 0;
+* the exit test is ``counter > K`` (or ``K < counter``) with
+  ``K + 1 == 2**w``;
+* the counter variable is used *only* for loop control: its reads all
+  feed the recognized step op and its writes are the init and the step
+  write-back (otherwise observers would see the narrowed values).
+
+After rewriting, the original and narrowed loops are verified to agree
+on trip count by simulating both counters.
+"""
+
+from __future__ import annotations
+
+from ..ir.cdfg import CDFG, LoopRegion
+from ..ir.opcodes import OpKind
+from ..ir.types import IntType
+from ..ir.values import Operation
+from .base import Pass
+from .tripcount import CounterPattern, match_counter, simulate_trip_count
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+class CounterNarrowing(Pass):
+    """Narrow pure loop counters and replace ``> K`` with ``= 0``."""
+
+    name = "counter-narrow"
+
+    def run(self, cdfg: CDFG) -> bool:
+        changed = False
+        for loop in cdfg.loops():
+            if self._narrow(cdfg, loop):
+                changed = True
+        return changed
+
+    def _narrow(self, cdfg: CDFG, loop: LoopRegion) -> bool:
+        pattern = match_counter(cdfg, loop)
+        if pattern is None:
+            return False
+        if pattern.init != 0:
+            return False
+        if pattern.step_op.kind not in (OpKind.INC,):
+            if not (
+                pattern.step_op.kind is OpKind.ADD
+                and pattern.step_op.operands[1].producer.kind is OpKind.CONST
+                and pattern.step_op.operands[1].producer.attrs["value"] == 1
+            ):
+                return False
+        compare = pattern.compare_op
+        # Accept `counter > K` and `K < counter` spellings.
+        if pattern.counter_first and compare.kind is not OpKind.GT:
+            return False
+        if not pattern.counter_first and compare.kind is not OpKind.LT:
+            return False
+        limit = pattern.limit
+        if not _is_power_of_two(limit + 1):
+            return False
+        width = (limit + 1).bit_length() - 1
+        if width < 1:
+            return False
+        old_type = cdfg.variables[pattern.var]
+        assert isinstance(old_type, IntType)
+        if old_type.width <= width:
+            return False  # nothing to gain
+        if not self._only_loop_control_uses(cdfg, pattern):
+            return False
+
+        old_trips = simulate_trip_count(pattern, old_type)
+
+        narrow = IntType(width, signed=False)
+        # Retype the counter everywhere it appears.
+        cdfg.variables[pattern.var] = narrow
+        pattern.read_op.result.type = narrow
+        pattern.step_op.result.type = narrow
+        for op in self._init_writes(cdfg, loop, pattern.var):
+            const_op = op.operands[0].producer
+            const_op.attrs["value"] = narrow.wrap(const_op.attrs["value"])
+            const_op.result.type = narrow
+
+        # Rewrite the exit comparison to `stepped = 0`.
+        block = compare.block
+        zero = block.const(0, narrow)
+        zero_op = zero.producer
+        block.ops.remove(zero_op)
+        block.ops.insert(block.ops.index(compare), zero_op)
+        counter_value = (
+            compare.operands[0] if pattern.counter_first
+            else compare.operands[1]
+        )
+        old_limit_value = (
+            compare.operands[1] if pattern.counter_first
+            else compare.operands[0]
+        )
+        new_compare = Operation(
+            cdfg.next_op_id(), OpKind.EQ, [counter_value, zero], block
+        )
+        counter_value.uses.append((new_compare, 0))
+        zero.uses.append((new_compare, 1))
+        new_compare.result = compare.result
+        compare.result.producer = new_compare
+        for index, value in enumerate(compare.operands):
+            value.uses.remove((compare, index))
+        block.ops[block.ops.index(compare)] = new_compare
+        if not old_limit_value.uses:
+            block.remove_op(old_limit_value.producer)
+        block.retopo()
+
+        # Verify the narrowed loop runs the same number of iterations.
+        new_pattern = match_counter(cdfg, loop)
+        assert new_pattern is not None, "narrowed loop lost its pattern"
+        new_trips = simulate_trip_count(new_pattern, narrow)
+        assert new_trips == old_trips, (
+            f"counter narrowing changed trip count: "
+            f"{old_trips} -> {new_trips}"
+        )
+        if loop.trip_count is None:
+            loop.trip_count = new_trips
+        return True
+
+    # ------------------------------------------------------------------
+
+    def _only_loop_control_uses(self, cdfg: CDFG,
+                                pattern: CounterPattern) -> bool:
+        """The counter may only be read by the step op and written by
+        the init and the step write-back."""
+        var = pattern.var
+        if any(port.name == var for port in cdfg.outputs):
+            return False
+        if any(port.name == var for port in cdfg.inputs):
+            return False
+        init_writes = {
+            op.id
+            for op in cdfg.operations()
+            if op.kind is OpKind.VAR_WRITE
+            and op.attrs["var"] == var
+            and op.operands[0].producer.kind is OpKind.CONST
+            and op.block is not pattern.step_op.block
+        }
+        for op in cdfg.operations():
+            if op.kind is OpKind.VAR_READ and op.attrs["var"] == var:
+                if op is not pattern.read_op:
+                    return False
+                for user, _ in op.result.uses:
+                    if user is not pattern.step_op:
+                        return False
+            if op.kind is OpKind.VAR_WRITE and op.attrs["var"] == var:
+                is_step_write = (
+                    op.block is pattern.step_op.block
+                    and op.operands[0] is pattern.step_op.result
+                )
+                if not is_step_write and op.id not in init_writes:
+                    return False
+        return True
+
+    @staticmethod
+    def _init_writes(cdfg: CDFG, loop: LoopRegion,
+                     var: str) -> list[Operation]:
+        """Constant writes of ``var`` before the loop (the init)."""
+        loop_blocks = {block.id for block in loop.blocks()}
+        writes: list[Operation] = []
+        for block in cdfg.blocks():
+            if block.id in loop_blocks:
+                break
+            for op in block.ops:
+                if (
+                    op.kind is OpKind.VAR_WRITE
+                    and op.attrs["var"] == var
+                    and op.operands[0].producer.kind is OpKind.CONST
+                ):
+                    writes.append(op)
+        return writes

@@ -1,0 +1,70 @@
+"""Common subexpression elimination (block-local).
+
+Pure operations computing the same function of the same values are
+merged; commutative operations are canonicalized by sorting operand
+ids, so ``a+b`` and ``b+a`` merge.  Memory and variable operations are
+excluded — ``LOAD`` results may change between stores, and the frontend
+already de-duplicates ``VAR_READ``s within a block.
+"""
+
+from __future__ import annotations
+
+from ..ir.cdfg import CDFG
+from ..ir.opcodes import COMMUTATIVE, OpKind
+from ..ir.values import BasicBlock
+from .base import Pass
+
+_CSE_KINDS = frozenset(
+    {
+        OpKind.CONST,
+        OpKind.ADD, OpKind.SUB, OpKind.MUL, OpKind.DIV, OpKind.MOD,
+        OpKind.INC, OpKind.DEC, OpKind.NEG, OpKind.SHL, OpKind.SHR,
+        OpKind.AND, OpKind.OR, OpKind.XOR, OpKind.NOT,
+        OpKind.EQ, OpKind.NE, OpKind.LT, OpKind.LE, OpKind.GT, OpKind.GE,
+        OpKind.MUX,
+    }
+)
+
+
+class CommonSubexpressionElimination(Pass):
+    """Merge identical pure computations within each block."""
+
+    name = "cse"
+
+    def run(self, cdfg: CDFG) -> bool:
+        changed = False
+        for block in cdfg.blocks():
+            if self._run_block(block):
+                changed = True
+        return changed
+
+    def _run_block(self, block: BasicBlock) -> bool:
+        changed = False
+        seen: dict[tuple, object] = {}
+        for op in list(block.ops):
+            if op.kind not in _CSE_KINDS or op.result is None:
+                continue
+            operand_ids = [v.id for v in op.operands]
+            if op.kind in COMMUTATIVE:
+                operand_ids.sort()
+            attr_key = tuple(sorted(op.attrs.items()))
+            key = (op.kind, tuple(operand_ids), attr_key, op.result.type)
+            existing = seen.get(key)
+            if existing is None:
+                seen[key] = op.result
+                continue
+            block.replace_all_uses(op.result, existing)  # type: ignore[arg-type]
+            self._replace_region_conds(block, op.result, existing)
+            if not op.result.uses:
+                block.remove_op(op)
+                changed = True
+        return changed
+
+    @staticmethod
+    def _replace_region_conds(block: BasicBlock, old, new) -> None:
+        from ..ir.cdfg import IfRegion, LoopRegion
+
+        for region in block.cdfg.body.walk():
+            if isinstance(region, (IfRegion, LoopRegion)):
+                if region.cond is old:
+                    region.cond = new

@@ -1,0 +1,80 @@
+"""Dead code elimination.
+
+Two flavours, both from the paper's §2 list:
+
+* *dead operation elimination* — a pure operation whose result has no
+  uses is deleted (iteratively, so whole dead expression trees vanish);
+* *dead store elimination* — a ``VAR_WRITE`` to a variable that is
+  never read anywhere in the procedure and is not an output port is
+  deleted (conservative whole-procedure liveness).
+"""
+
+from __future__ import annotations
+
+from ..ir.cdfg import CDFG
+from ..ir.opcodes import OpKind, op_info
+from .base import Pass
+
+_SIDE_EFFECT_KINDS = frozenset(
+    {OpKind.VAR_WRITE, OpKind.STORE, OpKind.NOP}
+)
+
+
+class DeadCodeElimination(Pass):
+    """Remove unused pure operations and dead variable writes."""
+
+    name = "dce"
+
+    def run(self, cdfg: CDFG) -> bool:
+        changed = False
+        changed |= self._remove_dead_writes(cdfg)
+        changed |= self._remove_dead_ops(cdfg)
+        return changed
+
+    def _remove_dead_ops(self, cdfg: CDFG) -> bool:
+        """Delete pure ops with unused results, to a fixpoint."""
+        live_conds = self._region_condition_values(cdfg)
+        changed = False
+        while True:
+            removed = False
+            for block in cdfg.blocks():
+                for op in list(block.ops):
+                    if op.kind in _SIDE_EFFECT_KINDS:
+                        continue
+                    if op.result is None:
+                        continue
+                    if op.result.uses or op.result.id in live_conds:
+                        continue
+                    block.remove_op(op)
+                    removed = True
+                    changed = True
+            if not removed:
+                return changed
+
+    def _remove_dead_writes(self, cdfg: CDFG) -> bool:
+        output_names = {port.name for port in cdfg.outputs}
+        read_names = {
+            op.attrs["var"]
+            for op in cdfg.operations()
+            if op.kind is OpKind.VAR_READ
+        }
+        live = output_names | read_names
+        changed = False
+        for block in cdfg.blocks():
+            for op in list(block.ops):
+                if op.kind is OpKind.VAR_WRITE and op.attrs["var"] not in live:
+                    block.remove_op(op)
+                    changed = True
+        return changed
+
+    @staticmethod
+    def _region_condition_values(cdfg: CDFG) -> set[int]:
+        """Value ids used as region conditions (live even if no op uses
+        them)."""
+        from ..ir.cdfg import IfRegion, LoopRegion
+
+        conds: set[int] = set()
+        for region in cdfg.body.walk():
+            if isinstance(region, (IfRegion, LoopRegion)):
+                conds.add(region.cond.id)
+        return conds

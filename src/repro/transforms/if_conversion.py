@@ -1,0 +1,171 @@
+"""If-conversion: turn small branches into multiplexed dataflow.
+
+The paper's §4 lists "trading off complexity between the control and
+the data paths" as an open system-level issue.  If-conversion is the
+canonical instance: a two-way branch whose arms are short, pure,
+straight-line blocks can be folded into the condition's block, with
+each conditionally-assigned variable selected by a MUX.  The controller
+loses two states and a branch; the datapath gains multiplexers and
+executes both arms' operations unconditionally.
+
+Applicability (checked conservatively):
+
+* both arms are single basic blocks (or absent);
+* arms contain only pure operations and variable writes — no memory
+  traffic (a store must not execute on the untaken path);
+* each arm has at most ``max_ops`` resource-consuming operations.
+"""
+
+from __future__ import annotations
+
+from ..ir.cdfg import (
+    CDFG,
+    BlockRegion,
+    IfRegion,
+    LoopRegion,
+    Region,
+    SeqRegion,
+)
+from ..ir.opcodes import OpKind
+from ..ir.values import BasicBlock, Value
+from .base import Pass
+
+_FORBIDDEN = (OpKind.LOAD, OpKind.STORE, OpKind.NOP)
+
+
+class IfConversion(Pass):
+    """Fold small, pure branches into MUX dataflow."""
+
+    name = "if-convert"
+
+    def __init__(self, max_ops: int = 8) -> None:
+        self._max_ops = max_ops
+
+    def run(self, cdfg: CDFG) -> bool:
+        new_body, changed = self._rewrite(cdfg, cdfg.body)
+        cdfg.body = new_body
+        if changed:
+            cdfg.validate()
+        return changed
+
+    # ------------------------------------------------------------------
+
+    def _rewrite(self, cdfg: CDFG, region: Region) -> tuple[Region, bool]:
+        """Return the (possibly replaced) region and whether anything
+        changed.  Conversion is bottom-up so nested branches fold
+        first, which can make the outer branch eligible too."""
+        changed = False
+        if isinstance(region, SeqRegion):
+            for index, item in enumerate(list(region.items)):
+                region.items[index], item_changed = self._rewrite(
+                    cdfg, item
+                )
+                changed |= item_changed
+            return region, changed
+        if isinstance(region, LoopRegion):
+            region.body, changed = self._rewrite(cdfg, region.body)
+            return region, changed
+        if isinstance(region, IfRegion):
+            region.then_region, then_changed = self._rewrite(
+                cdfg, region.then_region
+            )
+            changed |= then_changed
+            if region.else_region is not None:
+                region.else_region, else_changed = self._rewrite(
+                    cdfg, region.else_region
+                )
+                changed |= else_changed
+            if self._eligible(region):
+                return BlockRegion(self._convert(cdfg, region)), True
+            return region, changed
+        return region, changed
+
+    def _eligible(self, region: IfRegion) -> bool:
+        arms = [region.then_region]
+        if region.else_region is not None:
+            arms.append(region.else_region)
+        for arm in arms:
+            if not isinstance(arm, BlockRegion):
+                return False
+            block = arm.block
+            if any(op.kind in _FORBIDDEN for op in block.ops):
+                return False
+            if len(block.compute_ops()) > self._max_ops:
+                return False
+        return True
+
+    def _convert(self, cdfg: CDFG, region: IfRegion) -> BasicBlock:
+        target = region.cond_block
+        cond = region.cond
+
+        # The condition block's pending writes become plain defs the
+        # arms can read; the writes themselves stay (they remain the
+        # values of those variables when an arm doesn't assign them).
+        cond_defs = {
+            op.attrs["var"]: op.operands[0]
+            for op in target.var_writes().values()
+        }
+        existing_reads = {
+            op.attrs["var"]: op.result
+            for op in target.ops
+            if op.kind is OpKind.VAR_READ
+        }
+
+        def current_value(var: str) -> Value:
+            if var in cond_defs:
+                return cond_defs[var]
+            if var in existing_reads:
+                return existing_reads[var]
+            value = target.read(var, cdfg.variables[var])
+            existing_reads[var] = value
+            return value
+
+        def absorb(block: BasicBlock) -> dict[str, Value]:
+            """Move a branch arm's ops into the target block; return
+            the values it assigns per variable."""
+            writes: dict[str, Value] = {}
+            for op in list(block.ops):
+                if op.kind is OpKind.VAR_READ:
+                    var = op.attrs["var"]
+                    replacement = current_value(var)
+                    block.replace_all_uses(op.result, replacement)
+                    if region.cond is op.result:  # pragma: no cover
+                        region.cond = replacement
+                    block.remove_op(op)
+                elif op.kind is OpKind.VAR_WRITE:
+                    writes[op.attrs["var"]] = op.operands[0]
+                    block.remove_op(op)
+                else:
+                    block.ops.remove(op)
+                    op.block = target
+                    target.ops.append(op)
+            return writes
+
+        then_writes = absorb(region.then_region.block)
+        else_writes = (
+            absorb(region.else_region.block)
+            if region.else_region is not None
+            else {}
+        )
+
+        for var in sorted(set(then_writes) | set(else_writes)):
+            taken = then_writes.get(var)
+            not_taken = else_writes.get(var)
+            if taken is None:
+                taken = current_value(var)
+            if not_taken is None:
+                not_taken = current_value(var)
+            mux = target.emit(
+                OpKind.MUX, [cond, taken, not_taken],
+                cdfg.variables[var],
+            )
+            assert mux.result is not None
+            mux.result.name = var
+            # Replace (or add) the variable's write in the merged block.
+            old_write = target.var_writes().get(var)
+            if old_write is not None:
+                target.remove_op(old_write)
+            target.write(var, mux.result)
+
+        target.retopo()
+        return target

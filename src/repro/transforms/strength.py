@@ -1,0 +1,140 @@
+"""Strength reduction: replace expensive operations by cheap ones.
+
+These are the paper's "local transformations … more specific to
+hardware" (§2), illustrated on the square-root example:
+
+* ``x * 0.5`` → ``x >> 1`` (fixed-point multiply by a power of two
+  becomes a shift, which costs no functional unit);
+* ``x * 2**k`` / ``x / 2**k`` → shifts, for integers too;
+* ``x + 1`` → increment, ``x - 1`` → decrement (an inc/dec unit is far
+  cheaper than a full adder and, on an ALU, frees the adder's slot).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..ir.cdfg import CDFG
+from ..ir.opcodes import OpKind
+from ..ir.types import FixedType, IntType
+from ..ir.values import BasicBlock, Operation, Value
+from .base import Pass
+
+
+def _power_of_two_exponent(value) -> int | None:
+    """If ``value`` equals 2**k for integer k (k may be negative for
+    fixed-point fractions like 0.5), return k; else None."""
+    if value <= 0:
+        return None
+    exponent = math.log2(value)
+    rounded = round(exponent)
+    if abs(exponent - rounded) < 1e-12:
+        return int(rounded)
+    return None
+
+
+def _const_of(value: Value):
+    if value.producer.kind is OpKind.CONST:
+        return value.producer.attrs["value"]
+    return None
+
+
+class StrengthReduction(Pass):
+    """Multiplications/divisions by powers of two → shifts;
+    ``±1`` additions → increment/decrement."""
+
+    name = "strength"
+
+    def run(self, cdfg: CDFG) -> bool:
+        changed = False
+        for block in cdfg.blocks():
+            for op in list(block.ops):
+                if op.result is None:
+                    continue
+                if op.kind is OpKind.MUL and self._reduce_mul(block, op):
+                    changed = True
+                elif op.kind is OpKind.DIV and self._reduce_div(block, op):
+                    changed = True
+                elif op.kind is OpKind.ADD and self._reduce_add(block, op):
+                    changed = True
+                elif op.kind is OpKind.SUB and self._reduce_sub(block, op):
+                    changed = True
+        return changed
+
+    # ------------------------------------------------------------------
+
+    def _replace_with(self, block: BasicBlock, op: Operation,
+                      kind: OpKind, operands: list[Value]) -> None:
+        """Swap ``op`` for a new op of ``kind`` producing the same value."""
+        assert op.result is not None
+        new_op = Operation(block.cdfg.next_op_id(), kind, operands, block)
+        for index, value in enumerate(operands):
+            value.uses.append((new_op, index))
+        new_op.result = op.result
+        op.result.producer = new_op
+        # Detach the old op's operand uses and splice the new op in place.
+        for index, value in enumerate(op.operands):
+            value.uses.remove((op, index))
+        block.ops[block.ops.index(op)] = new_op
+        block.retopo()
+
+    def _shift_amount(self, block: BasicBlock, op: Operation,
+                      amount: int) -> Value:
+        value = block.const(amount, IntType(6, signed=False))
+        const_op = value.producer
+        block.ops.remove(const_op)
+        block.ops.insert(block.ops.index(op), const_op)
+        return value
+
+    def _reduce_mul(self, block: BasicBlock, op: Operation) -> bool:
+        """x * 2**k → shift (operand order normalized first)."""
+        left, right = op.operands
+        left_const, right_const = _const_of(left), _const_of(right)
+        if right_const is None and left_const is not None:
+            left, right = right, left
+            right_const = left_const
+        if right_const is None:
+            return False
+        exponent = _power_of_two_exponent(right_const)
+        if exponent is None or exponent == 0:
+            return False
+        assert op.result is not None
+        result_type = op.result.type
+        if exponent < 0 and not isinstance(result_type, FixedType):
+            return False  # fractional scaling only meaningful in fixed point
+        kind = OpKind.SHL if exponent > 0 else OpKind.SHR
+        amount = self._shift_amount(block, op, abs(exponent))
+        self._replace_with(block, op, kind, [left, amount])
+        return True
+
+    def _reduce_div(self, block: BasicBlock, op: Operation) -> bool:
+        """x / 2**k → x >> k (k > 0)."""
+        divisor = _const_of(op.operands[1])
+        if divisor is None:
+            return False
+        exponent = _power_of_two_exponent(divisor)
+        if exponent is None or exponent <= 0:
+            return False
+        dividend = op.operands[0]
+        amount = self._shift_amount(block, op, exponent)
+        self._replace_with(block, op, OpKind.SHR, [dividend, amount])
+        return True
+
+    def _reduce_add(self, block: BasicBlock, op: Operation) -> bool:
+        """x + 1 → INC x."""
+        left, right = op.operands
+        if _const_of(right) == 1:
+            self._replace_with(block, op, OpKind.INC, [left])
+            return True
+        if _const_of(left) == 1:
+            self._replace_with(block, op, OpKind.INC, [right])
+            return True
+        return False
+
+    def _reduce_sub(self, block: BasicBlock, op: Operation) -> bool:
+        """x - 1 → DEC x."""
+        left, right = op.operands
+        if _const_of(right) == 1:
+            self._replace_with(block, op, OpKind.DEC, [left])
+            return True
+        return False

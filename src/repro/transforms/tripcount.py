@@ -1,0 +1,200 @@
+"""Static trip-count analysis for counter-controlled loops.
+
+Recognizes the classic pattern of the paper's sqrt example — a counter
+initialized to a constant before the loop, stepped by a constant inside
+it, and compared against a constant to exit — and determines the exact
+iteration count by *simulating the counter* with full wraparound
+semantics.  Simulation (rather than closed-form arithmetic) makes the
+analysis correct for narrowed counters such as the paper's two-bit
+``I`` that exits on ``I = 0``.
+
+The result is stored in ``LoopRegion.trip_count``, which loop unrolling
+and schedule-length accounting (3 + 4x5 = 23) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.cdfg import CDFG, LoopRegion
+from ..ir.opcodes import COMPARISONS, OpKind
+from ..ir.types import IntType
+from ..ir.values import Operation, Value
+from ..sim.semantics import evaluate
+from .base import Pass
+
+_MAX_SIMULATED_TRIPS = 1 << 20
+
+
+@dataclass
+class CounterPattern:
+    """A recognized loop counter.
+
+    Attributes:
+        var: the counter variable name.
+        init: its constant value on loop entry.
+        read_op: the VAR_READ of the counter in the loop body.
+        step_op: the INC/DEC/ADD/SUB computing the next counter value.
+        compare_op: the exit comparison (one side is the stepped value,
+            the other a constant).
+        limit: the comparison constant.
+        counter_first: True when the stepped value is the comparison's
+            left operand.
+    """
+
+    var: str
+    init: int
+    read_op: Operation
+    step_op: Operation
+    compare_op: Operation
+    limit: int
+    counter_first: bool
+
+
+def _const_of(value: Value):
+    if value.producer.kind is OpKind.CONST:
+        return value.producer.attrs["value"]
+    return None
+
+
+def match_counter(cdfg: CDFG, loop: LoopRegion) -> CounterPattern | None:
+    """Try to recognize a constant-stepped counter controlling ``loop``.
+
+    Only post-test loops (``repeat``/``until``) are matched; pre-test
+    loops could be added symmetrically but the paper's example is
+    post-test.
+    """
+    if not loop.test_in_body or not loop.exit_on_true:
+        return None
+    compare_op = loop.cond.producer
+    if compare_op.kind not in COMPARISONS:
+        return None
+
+    left, right = compare_op.operands
+    if _const_of(right) is not None:
+        counter_value, limit, counter_first = left, _const_of(right), True
+    elif _const_of(left) is not None:
+        counter_value, limit, counter_first = right, _const_of(left), False
+    else:
+        return None
+    if not isinstance(limit, int):
+        return None
+
+    step_op = counter_value.producer
+    if step_op.kind in (OpKind.INC, OpKind.DEC):
+        source = step_op.operands[0]
+    elif step_op.kind in (OpKind.ADD, OpKind.SUB):
+        if _const_of(step_op.operands[1]) is None:
+            return None
+        source = step_op.operands[0]
+    else:
+        return None
+
+    read_op = source.producer
+    if read_op.kind is not OpKind.VAR_READ:
+        return None
+    var = read_op.attrs["var"]
+    if not isinstance(cdfg.variables.get(var), IntType):
+        return None
+
+    # The loop body must write the stepped value back to the counter.
+    write_ok = any(
+        op.kind is OpKind.VAR_WRITE
+        and op.attrs["var"] == var
+        and op.operands[0] is counter_value
+        for op in step_op.block.ops
+    )
+    if not write_ok:
+        return None
+
+    init = _find_entry_constant(cdfg, loop, var)
+    if init is None:
+        return None
+    return CounterPattern(
+        var=var,
+        init=init,
+        read_op=read_op,
+        step_op=step_op,
+        compare_op=compare_op,
+        limit=limit,
+        counter_first=counter_first,
+    )
+
+
+def _find_entry_constant(cdfg: CDFG, loop: LoopRegion,
+                         var: str) -> int | None:
+    """The constant written to ``var`` immediately before ``loop``.
+
+    Conservative: the *last* write of ``var`` in the blocks preceding
+    the loop (in execution order) must be a constant, and no other loop
+    or branch may sit between that write and this loop (we require the
+    write's block to appear before the loop's blocks in a straight scan
+    and the variable to have no writes in other control regions before
+    the loop).
+    """
+    loop_block_ids = {block.id for block in loop.blocks()}
+    last_const: int | None = None
+    for block in cdfg.blocks():
+        if block.id in loop_block_ids:
+            break
+        for op in block.ops:
+            if op.kind is OpKind.VAR_WRITE and op.attrs["var"] == var:
+                last_const = _const_of(op.operands[0])
+    if isinstance(last_const, int):
+        return last_const
+    return None
+
+
+def simulate_trip_count(pattern: CounterPattern,
+                        counter_type: IntType) -> int | None:
+    """Execute the counter loop symbolically; return the trip count.
+
+    Returns None if the loop does not terminate within the simulation
+    bound.
+    """
+    value = counter_type.wrap(pattern.init)
+    step_kind = pattern.step_op.kind
+    step_amount = 1
+    if step_kind in (OpKind.ADD, OpKind.SUB):
+        step_amount = _const_of(pattern.step_op.operands[1])
+    for trip in range(1, _MAX_SIMULATED_TRIPS + 1):
+        if step_kind in (OpKind.INC, OpKind.ADD):
+            value = counter_type.wrap(value + step_amount)
+        else:
+            value = counter_type.wrap(value - step_amount)
+        operands = (
+            [value, pattern.limit]
+            if pattern.counter_first
+            else [pattern.limit, value]
+        )
+        exited = evaluate(
+            pattern.compare_op.kind,
+            operands,
+            [counter_type, counter_type],
+            None,
+        )
+        if exited:
+            return trip
+    return None
+
+
+class TripCountAnalysis(Pass):
+    """Annotate counter-controlled loops with their trip counts."""
+
+    name = "tripcount"
+
+    def run(self, cdfg: CDFG) -> bool:
+        changed = False
+        for loop in cdfg.loops():
+            if loop.trip_count is not None:
+                continue
+            pattern = match_counter(cdfg, loop)
+            if pattern is None:
+                continue
+            counter_type = cdfg.variables[pattern.var]
+            assert isinstance(counter_type, IntType)
+            trips = simulate_trip_count(pattern, counter_type)
+            if trips is not None:
+                loop.trip_count = trips
+                changed = True
+        return changed

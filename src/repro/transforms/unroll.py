@@ -1,0 +1,86 @@
+"""Full loop unrolling for loops with known, small trip counts.
+
+§2: "Loop unrolling can also be done in this case since the number of
+iterations is fixed and small."  A loop whose ``trip_count`` is known
+(from the frontend's ``for`` bounds or from
+:class:`~repro.transforms.tripcount.TripCountAnalysis`) and at most
+``max_trips`` is replaced by ``trip_count`` sequential copies of its
+body.  The exit-condition computation is retained in each copy (its
+result simply goes unused in all but name — dead-code elimination then
+removes it together with the counter bookkeeping when the counter has
+no other observers).
+
+Only post-test loops (body always executes ``trip_count`` times) and
+pre-test loops are both handled; for pre-test loops the trip count
+already accounts for the test-first semantics, and the test block is
+dropped along with the back edge.
+"""
+
+from __future__ import annotations
+
+from ..ir.cdfg import CDFG, BlockRegion, IfRegion, LoopRegion, Region, SeqRegion
+from .base import Pass
+from .clone import RegionCloner
+
+DEFAULT_MAX_TRIPS = 64
+
+
+class LoopUnrolling(Pass):
+    """Replace constant-trip loops with straight-line copies."""
+
+    name = "unroll"
+
+    def __init__(self, max_trips: int = DEFAULT_MAX_TRIPS) -> None:
+        self._max_trips = max_trips
+
+    def run(self, cdfg: CDFG) -> bool:
+        return self._unroll_in(cdfg, cdfg.body)
+
+    def _unroll_in(self, cdfg: CDFG, region: Region) -> bool:
+        """Recursively unroll eligible loops under ``region``."""
+        changed = False
+        if isinstance(region, SeqRegion):
+            for index, item in enumerate(list(region.items)):
+                if isinstance(item, LoopRegion) and self._eligible(item):
+                    region.items[index] = self._unrolled(cdfg, item)
+                    changed = True
+                else:
+                    changed |= self._unroll_in(cdfg, item)
+        elif isinstance(region, LoopRegion):
+            changed |= self._unroll_in(cdfg, region.body)
+        elif isinstance(region, IfRegion):
+            changed |= self._unroll_in(cdfg, region.then_region)
+            if region.else_region is not None:
+                changed |= self._unroll_in(cdfg, region.else_region)
+        return changed
+
+    def _eligible(self, loop: LoopRegion) -> bool:
+        if loop.trip_count is None:
+            return False
+        if not 0 < loop.trip_count <= self._max_trips:
+            return False
+        # Nested loops inside the body are cloned verbatim, which is
+        # fine, but we refuse if the body contains a loop without a
+        # trip count (cloning explodes the later analysis for no gain).
+        return True
+
+    def _unrolled(self, cdfg: CDFG, loop: LoopRegion) -> Region:
+        assert loop.trip_count is not None
+        copies: list[Region] = []
+        if not loop.test_in_body:
+            # Pre-test loop: the test block runs before each iteration
+            # and once more at exit; its computation may feed the body
+            # (e.g. `for` reads the counter), so keep a copy before
+            # each body copy, plus nothing at the end (the final test's
+            # only consumer was the branch decision).
+            for _ in range(loop.trip_count):
+                cloner = RegionCloner(cdfg)
+                copies.append(BlockRegion(cloner.clone_block(loop.test_block)))
+                copies.append(cloner.clone_region(loop.body))
+        else:
+            # Post-test loop: the body (which includes the test block)
+            # runs exactly trip_count times.
+            for _ in range(loop.trip_count):
+                cloner = RegionCloner(cdfg)
+                copies.append(cloner.clone_region(loop.body))
+        return SeqRegion(copies)

@@ -1,0 +1,31 @@
+"""Workloads: the paper's examples and the classic HLS benchmark kernels."""
+
+from .diffeq import DIFFEQ_SOURCE, diffeq_cdfg, diffeq_inputs
+from .figures import fig3_cdfg, fig5_cdfg, fig6_cdfg, figure_add_ops
+from .filters import (
+    ar_lattice_cdfg,
+    ewf_cdfg,
+    fir_block_cdfg,
+    fir_cdfg,
+    fir_source,
+)
+from .random_dfg import RandomDFGSpec, random_dfg
+from .sqrt import SQRT_SOURCE, sqrt_cdfg
+
+__all__ = [
+    "DIFFEQ_SOURCE",
+    "RandomDFGSpec",
+    "SQRT_SOURCE",
+    "ar_lattice_cdfg",
+    "diffeq_cdfg",
+    "diffeq_inputs",
+    "ewf_cdfg",
+    "fig3_cdfg",
+    "fig5_cdfg",
+    "fig6_cdfg",
+    "figure_add_ops",
+    "fir_block_cdfg",
+    "fir_cdfg",
+    "fir_source",
+    "random_dfg",
+]

@@ -1,0 +1,55 @@
+"""The HAL differential-equation benchmark.
+
+The canonical example of Paulin & Knight's force-directed scheduling
+paper (cited as [22]): one Euler-integration step of
+``y'' + 3xy' + 3y = 0``, iterated while ``x < a``.  Its inner loop has
+six multiplications, two additions, two subtractions and a comparison —
+the op mix every scheduler comparison in the late-80s literature used.
+"""
+
+from __future__ import annotations
+
+from ..ir.cdfg import CDFG
+from ..lang import compile_source
+
+DIFFEQ_SOURCE = """
+-- HAL differential equation benchmark: y'' + 3xy' + 3y = 0 (Euler).
+procedure diffeq(input x0: fixed<32,16>; input y0: fixed<32,16>;
+                 input u0: fixed<32,16>; input dx: fixed<32,16>;
+                 input a: fixed<32,16>;
+                 output xn: fixed<32,16>; output yn: fixed<32,16>);
+var x, y, u, x1, y1, u1: fixed<32,16>;
+begin
+  x := x0;
+  y := y0;
+  u := u0;
+  while x < a do
+  begin
+    x1 := x + dx;
+    u1 := u - (3.0 * x * u * dx) - (3.0 * y * dx);
+    y1 := y + u * dx;
+    x := x1;
+    u := u1;
+    y := y1;
+  end;
+  xn := x;
+  yn := y;
+end
+"""
+
+
+def diffeq_cdfg() -> CDFG:
+    """A fresh (unoptimized) CDFG of the HAL diffeq benchmark."""
+    return compile_source(DIFFEQ_SOURCE)
+
+
+def diffeq_inputs(steps: int = 4) -> dict[str, float]:
+    """Inputs that run the integration loop ``steps`` times."""
+    dx = 0.125
+    return {
+        "x0": 0.0,
+        "y0": 1.0,
+        "u0": 0.0,
+        "dx": dx,
+        "a": dx * steps - dx / 2,
+    }

@@ -1,0 +1,212 @@
+"""DSP filter workloads: FIR (loop and unrolled forms) and a fifth-order
+wave digital (elliptic) filter.
+
+The paper singles out digital signal processing as the domain where
+narrowing the problem paid off (CATHEDRAL, §3.3); FIR and wave-filter
+kernels are the standard stress cases for scheduling and pipelining.
+The elliptic wave filter here is a *reconstruction* of the well-known
+34-operation HLS benchmark (26 additions, 8 multiplications arranged as
+a wave-digital ladder) — the historical netlist was never published in
+machine-readable form, so the adaptor topology is rebuilt to the same
+op counts and a comparable critical path, which is what the scheduler
+comparisons consume.
+"""
+
+from __future__ import annotations
+
+from ..ir.cdfg import CDFG, BlockRegion
+from ..ir.opcodes import OpKind
+from ..ir.types import ArrayType, FixedType, IntType
+from ..lang import compile_source
+
+_WORD = FixedType(24, 12)
+
+
+def fir_source(taps: int = 16) -> str:
+    """BSL text of a ``taps``-point FIR filter over memories.
+
+    Coefficients live in memory ``c``, the sample window in memory
+    ``s``; one activation computes the inner product.
+    """
+    return f"""
+-- {taps}-tap FIR filter: y = sum(c[i] * s[i]).
+procedure fir(input x: fixed<24,12>; output y: fixed<24,12>);
+var acc: fixed<24,12>;
+    i: uint<8>;
+    c: fixed<24,12>[{taps}];
+    s: fixed<24,12>[{taps}];
+begin
+  s[0] := x;
+  acc := 0.0;
+  for i := 0 to {taps - 1} do
+    acc := acc + c[i] * s[i];
+  y := acc;
+end
+"""
+
+
+def fir_cdfg(taps: int = 16) -> CDFG:
+    """A fresh CDFG of the loop-form FIR filter."""
+    return compile_source(fir_source(taps))
+
+
+def fir_block_cdfg(taps: int = 8) -> CDFG:
+    """Unrolled, feed-forward FIR as one block — the natural pipeline
+    workload (``taps`` multiplies feeding an addition tree)."""
+    cdfg = CDFG(f"fir{taps}_flat")
+    for index in range(taps):
+        cdfg.add_input(f"x{index}", _WORD)
+        cdfg.add_input(f"c{index}", _WORD)
+    cdfg.add_output("y", _WORD)
+    block = cdfg.new_block("body")
+    cdfg.body = BlockRegion(block)
+    products = []
+    for index in range(taps):
+        x = block.read(f"x{index}", _WORD)
+        c = block.read(f"c{index}", _WORD)
+        products.append(block.emit(OpKind.MUL, [x, c], _WORD).result)
+    # Balanced addition tree.
+    level = products
+    while len(level) > 1:
+        next_level = []
+        for i in range(0, len(level) - 1, 2):
+            next_level.append(
+                block.emit(OpKind.ADD, [level[i], level[i + 1]],
+                           _WORD).result
+            )
+        if len(level) % 2:
+            next_level.append(level[-1])
+        level = next_level
+    block.write("y", level[0])
+    cdfg.validate()
+    return cdfg
+
+
+def ar_lattice_cdfg(stages: int = 4) -> CDFG:
+    """Auto-regressive lattice filter (a classic HLS benchmark shape):
+    ``stages`` lattice sections, each with two multiplies and two
+    adds in a butterfly, fed forward through the chain.
+
+    The lattice is interesting to schedulers because its butterflies
+    alternate serial and parallel arithmetic — unlike the FIR's flat
+    product tree — so multiplier/adder balance shifts along the
+    critical path.
+    """
+    cdfg = CDFG(f"ar_lattice{stages}")
+    cdfg.add_input("x", _WORD)
+    for index in range(stages):
+        cdfg.add_input(f"k{index}", _WORD)   # reflection coefficient
+        cdfg.add_input(f"s{index}", _WORD)   # stage state
+    cdfg.add_output("y", _WORD)
+    for index in range(stages):
+        cdfg.add_output(f"so{index}", _WORD)
+    block = cdfg.new_block("body")
+    cdfg.body = BlockRegion(block)
+
+    def read(name):
+        return block.read(name, _WORD)
+
+    forward = read("x")
+    for index in range(stages):
+        k = read(f"k{index}")
+        state = read(f"s{index}")
+        down = block.emit(OpKind.MUL, [k, state], _WORD).result
+        forward_next = block.emit(OpKind.SUB, [forward, down],
+                                  _WORD).result
+        up = block.emit(OpKind.MUL, [k, forward_next], _WORD).result
+        state_next = block.emit(OpKind.ADD, [state, up], _WORD).result
+        block.write(f"so{index}", state_next)
+        forward = forward_next
+    block.write("y", forward)
+    cdfg.validate()
+    return cdfg
+
+
+def ewf_cdfg() -> CDFG:
+    """Fifth-order elliptic wave filter (reconstructed): 26 additions
+    and 8 multiplications in one feed-forward block.
+
+    The structure is a ladder of wave-digital adaptors: each adaptor
+    contributes a small add/multiply cluster; state registers of the
+    original filter appear here as inputs (``sv*``) and outputs
+    (``svo*``) of one sample computation, which is exactly how the
+    benchmark was scheduled in the literature.
+    """
+    cdfg = CDFG("ewf")
+    cdfg.add_input("x", _WORD)
+    for index in range(7):
+        cdfg.add_input(f"sv{index}", _WORD)
+    cdfg.add_output("y", _WORD)
+    for index in range(7):
+        cdfg.add_output(f"svo{index}", _WORD)
+    block = cdfg.new_block("body")
+    cdfg.body = BlockRegion(block)
+
+    def read(name: str):
+        return block.read(name, _WORD)
+
+    def add(a, b):
+        return block.emit(OpKind.ADD, [a, b], _WORD).result
+
+    def mul_const(a, coefficient: float):
+        c = block.const(coefficient, _WORD)
+        return block.emit(OpKind.MUL, [a, c], _WORD).result
+
+    x = read("x")
+    sv = [read(f"sv{i}") for i in range(7)]
+
+    # Input adaptor.
+    t1 = add(x, sv[0])                 # 1
+    t2 = add(t1, sv[1])                # 2
+    m1 = mul_const(t2, 0.125)          # m1
+    t3 = add(m1, sv[0])                # 3
+    t4 = add(t3, t1)                   # 4
+
+    # First ladder section.
+    t5 = add(t4, sv[2])                # 5
+    m2 = mul_const(t5, 0.25)           # m2
+    t6 = add(m2, sv[1])                # 6
+    t7 = add(t6, t4)                   # 7
+    t8 = add(t7, sv[3])                # 8
+    m3 = mul_const(t8, 0.375)          # m3
+    t9 = add(m3, sv[2])                # 9
+    t10 = add(t9, t7)                  # 10
+
+    # Middle section.
+    t11 = add(t10, sv[4])              # 11
+    m4 = mul_const(t11, 0.5)           # m4
+    t12 = add(m4, sv[3])               # 12
+    t13 = add(t12, t10)                # 13
+    m5 = mul_const(t13, 0.625)         # m5
+    t14 = add(m5, sv[4])               # 14
+    t15 = add(t14, t13)                # 15
+
+    # Output ladder section.
+    t16 = add(t15, sv[5])              # 16
+    m6 = mul_const(t16, 0.75)          # m6
+    t17 = add(m6, sv[5])               # 17
+    t18 = add(t17, t15)                # 18
+    t19 = add(t18, sv[6])              # 19
+    m7 = mul_const(t19, 0.875)         # m7
+    t20 = add(m7, sv[6])               # 20
+    t21 = add(t20, t18)                # 21
+
+    # Output adaptor and state updates.
+    m8 = mul_const(t21, 0.0625)        # m8
+    t22 = add(m8, t17)                 # 22
+    t23 = add(t22, t14)                # 23
+    t24 = add(t23, t12)                # 24
+    t25 = add(t24, t9)                 # 25
+    t26 = add(t25, t6)                 # 26
+
+    block.write("y", t26)
+    for index, value in enumerate(
+        (t3, t6, t9, t12, t14, t17, t20)
+    ):
+        block.write(f"svo{index}", value)
+    cdfg.validate()
+
+    adds = sum(1 for op in block.ops if op.kind is OpKind.ADD)
+    muls = sum(1 for op in block.ops if op.kind is OpKind.MUL)
+    assert adds == 26 and muls == 8, (adds, muls)
+    return cdfg

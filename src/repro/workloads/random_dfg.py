@@ -1,0 +1,95 @@
+"""Seeded random DFG generator for scheduler/allocator stress tests.
+
+Generates layered, feed-forward single-block CDFGs with a configurable
+op mix.  Determinism matters (tests assert exact results per seed), so
+a local linear-congruential generator is used instead of ``random``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.cdfg import CDFG, BlockRegion
+from ..ir.opcodes import OpKind
+from ..ir.types import FixedType
+
+_WORD = FixedType(16, 8)
+
+
+
+class _LCG:
+    """Deterministic pseudo-random source."""
+
+    def __init__(self, seed: int) -> None:
+        self._state = seed & 0x7FFFFFFF or 1
+
+    def next(self) -> int:
+        self._state = (self._state * 1103515245 + 12345) & 0x7FFFFFFF
+        return self._state
+
+    def below(self, bound: int) -> int:
+        return self.next() % bound
+
+    def choice(self, items):
+        return items[self.below(len(items))]
+
+
+@dataclass(frozen=True)
+class RandomDFGSpec:
+    """Shape parameters of a generated DFG.
+
+    Attributes:
+        ops: number of computational operations.
+        inputs: number of input ports feeding the first layer.
+        seed: generator seed (same seed ⇒ identical CDFG).
+        fan_in_window: how far back an operand may reach (larger ⇒
+            longer chains, smaller ⇒ wider parallelism).
+        mul_weight / add_weight: relative frequency of multiplies vs
+            additive ops.
+    """
+
+    ops: int = 20
+    inputs: int = 4
+    seed: int = 1
+    fan_in_window: int = 6
+    mul_weight: int = 1
+    add_weight: int = 2
+
+
+def random_dfg(spec: RandomDFGSpec) -> CDFG:
+    """Generate a single-block CDFG per ``spec``."""
+    rng = _LCG(spec.seed)
+    cdfg = CDFG(f"rand{spec.seed}_{spec.ops}")
+    for index in range(spec.inputs):
+        cdfg.add_input(f"in{index}", _WORD)
+    block = cdfg.new_block("body")
+    cdfg.body = BlockRegion(block)
+
+    pool = [block.read(f"in{i}", _WORD) for i in range(spec.inputs)]
+    kinds = [OpKind.MUL] * spec.mul_weight + [
+        OpKind.ADD,
+        OpKind.SUB,
+    ] * spec.add_weight
+
+    for _ in range(spec.ops):
+        kind = rng.choice(kinds)
+        window = pool[-spec.fan_in_window:]
+        left = window[rng.below(len(window))]
+        right = window[rng.below(len(window))]
+        op = block.emit(kind, [left, right], _WORD)
+        pool.append(op.result)
+
+    # Every value some op didn't consume becomes an output (keeps the
+    # whole graph live under DCE).
+    sink_index = 0
+    for value in pool[spec.inputs:]:
+        if not value.uses:
+            name = f"out{sink_index}"
+            cdfg.add_output(name, _WORD)
+            block.write(name, value)
+            sink_index += 1
+    if sink_index == 0:
+        cdfg.add_output("out0", _WORD)
+        block.write("out0", pool[-1])
+    cdfg.validate()
+    return cdfg

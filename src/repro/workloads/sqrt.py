@@ -1,0 +1,32 @@
+"""The paper's running example: square root by Newton's method (Fig. 1).
+
+"Fig. 1 shows a part of a simple program that computes the square-root
+of X using Newton's method … The number of iterations necessary in
+practice is very small.  In the example, 4 iterations were chosen.  A
+first degree minimax polynomial approximation for the interval
+<1/16, 1> gives the initial value."
+"""
+
+from __future__ import annotations
+
+from ..ir.cdfg import CDFG
+from ..lang import compile_source
+
+SQRT_SOURCE = """
+-- Square root of X by Newton's method (DAC'88 tutorial, Fig. 1).
+procedure sqrt(input X: fixed<24,16>; output Y: fixed<24,16>);
+var I: uint<3>;
+begin
+  Y := 0.222222 + 0.888889 * X;   -- minimax initial guess on <1/16, 1>
+  I := 0;
+  repeat
+    Y := 0.5 * (Y + X / Y);       -- Newton update
+    I := I + 1;
+  until I > 3;                    -- 4 iterations
+end
+"""
+
+
+def sqrt_cdfg() -> CDFG:
+    """A fresh (unoptimized) CDFG of the paper's sqrt program."""
+    return compile_source(SQRT_SOURCE)

@@ -1,0 +1,38 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scheduling import (
+    ResourceConstraints,
+    TypedFUModel,
+    UniversalFUModel,
+)
+from repro.workloads import SQRT_SOURCE
+
+
+@pytest.fixture
+def sqrt_source() -> str:
+    return SQRT_SOURCE
+
+
+@pytest.fixture
+def universal_model() -> UniversalFUModel:
+    return UniversalFUModel()
+
+
+@pytest.fixture
+def unit_model() -> TypedFUModel:
+    """Typed FUs, every delay one cycle."""
+    return TypedFUModel(single_cycle=True)
+
+
+@pytest.fixture
+def two_fu() -> ResourceConstraints:
+    return ResourceConstraints({"fu": 2})
+
+
+@pytest.fixture
+def one_fu() -> ResourceConstraints:
+    return ResourceConstraints({"fu": 1})

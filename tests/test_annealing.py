@@ -1,0 +1,84 @@
+"""Tests for the simulated-annealing transformational scheduler."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling import (
+    BranchAndBoundScheduler,
+    ListScheduler,
+    ResourceConstraints,
+    SchedulingProblem,
+    SimulatedAnnealingScheduler,
+    TypedFUModel,
+)
+from repro.workloads import RandomDFGSpec, ewf_cdfg, fig3_cdfg, random_dfg
+
+UNIT = TypedFUModel(single_cycle=True)
+
+
+def problem_of(cdfg, constraints=None):
+    return SchedulingProblem.from_block(
+        cdfg.blocks()[0], UNIT, constraints
+    )
+
+
+class TestAnnealing:
+    def test_fig3_reaches_optimum(self):
+        problem = problem_of(
+            fig3_cdfg(), ResourceConstraints({"mul": 1, "add": 1})
+        )
+        schedule = SimulatedAnnealingScheduler(problem, seed=7).schedule()
+        schedule.validate()
+        optimal = BranchAndBoundScheduler(problem).schedule()
+        assert schedule.length == optimal.length
+
+    def test_never_worse_than_incumbent(self):
+        """SA starts from the list schedule and only keeps
+        improvements, so it can never end up worse."""
+        problem = problem_of(
+            ewf_cdfg(), ResourceConstraints({"add": 2, "mul": 1})
+        )
+        incumbent = ListScheduler(problem).schedule()
+        schedule = SimulatedAnnealingScheduler(
+            problem, seed=3, moves=500
+        ).schedule()
+        schedule.validate()
+        assert schedule.length <= incumbent.length
+
+    def test_deterministic_per_seed(self):
+        problem = problem_of(
+            fig3_cdfg(), ResourceConstraints({"mul": 1, "add": 1})
+        )
+        a = SimulatedAnnealingScheduler(problem, seed=5).schedule()
+        b = SimulatedAnnealingScheduler(problem, seed=5).schedule()
+        assert a.start == b.start
+
+    def test_register_pressure_tiebreak(self):
+        """Among equal-length schedules SA should not increase the
+        max-live register bound over the incumbent."""
+        from repro.allocation import compute_lifetimes, minimum_registers
+
+        problem = problem_of(
+            ewf_cdfg(), ResourceConstraints({"add": 2, "mul": 1})
+        )
+        incumbent = ListScheduler(problem).schedule()
+        annealed = SimulatedAnnealingScheduler(
+            problem, seed=11, moves=800
+        ).schedule()
+        annealed.validate()
+        if annealed.length == incumbent.length:
+            assert minimum_registers(
+                compute_lifetimes(annealed)
+            ) <= minimum_registers(compute_lifetimes(incumbent))
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(1, 10_000))
+    def test_legal_on_random_dfgs(self, seed):
+        cdfg = random_dfg(RandomDFGSpec(ops=12, seed=seed))
+        problem = problem_of(
+            cdfg, ResourceConstraints({"add": 1, "mul": 1})
+        )
+        schedule = SimulatedAnnealingScheduler(
+            problem, seed=seed, moves=300
+        ).schedule()
+        schedule.validate()

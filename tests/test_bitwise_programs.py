@@ -1,0 +1,102 @@
+"""End-to-end tests for bitwise/logical operator coverage through the
+full flow (lexer → synthesis → RTL equivalence)."""
+
+import pytest
+
+from repro.core import SynthesisOptions, synthesize
+from repro.scheduling import ResourceConstraints
+from repro.sim import RTLSimulator, check_equivalence
+
+BITOPS = """
+procedure bits(input a: uint<8>; input b: uint<8>;
+               output o_and: uint<8>; output o_or: uint<8>;
+               output o_xor: uint<8>; output o_not: uint<8>;
+               output o_shl: uint<8>; output o_shr: uint<8>);
+begin
+  o_and := a & b;
+  o_or  := a | b;
+  o_xor := a ^ b;
+  o_not := ~a;
+  o_shl := a << 2;
+  o_shr := a >> 1;
+end
+"""
+
+MODMIX = """
+procedure modmix(input a: int<16>; input b: int<16>; output q: int<16>;
+                 output r: int<16>);
+begin
+  if b /= 0 then
+  begin
+    q := a / b;
+    r := a mod b;
+  end
+  else
+  begin
+    q := 0;
+    r := 0;
+  end;
+end
+"""
+
+BOOLEXPR = """
+procedure inrange(input x: int<16>; input lo: int<16>;
+                  input hi: int<16>; output ok: uint<1>);
+begin
+  if (x >= lo) and (x <= hi) or (x = 0) then
+    ok := 1;
+  else
+    ok := 0;
+end
+"""
+
+
+class TestBitwisePrograms:
+    def test_bitops_reference(self):
+        design = synthesize(
+            BITOPS, constraints=ResourceConstraints({"fu": 2})
+        )
+        for a, b in ((0b10110100, 0b01101100), (0, 255), (255, 0)):
+            out = RTLSimulator(design).run({"a": a, "b": b})
+            assert out["o_and"] == a & b
+            assert out["o_or"] == a | b
+            assert out["o_xor"] == a ^ b
+            assert out["o_not"] == (~a) & 0xFF
+            assert out["o_shl"] == (a << 2) & 0xFF
+            assert out["o_shr"] == a >> 1
+
+    def test_bitops_equivalent(self):
+        design = synthesize(
+            BITOPS, constraints=ResourceConstraints({"fu": 1})
+        )
+        assert check_equivalence(design).equivalent
+
+    def test_div_mod_guarded(self):
+        design = synthesize(
+            MODMIX, constraints=ResourceConstraints({"fu": 1})
+        )
+        vectors = [
+            {"a": 17, "b": 5},
+            {"a": -17, "b": 5},
+            {"a": 17, "b": -5},
+            {"a": 17, "b": 0},   # guarded division by zero
+        ]
+        assert check_equivalence(design, vectors=vectors).equivalent
+        out = RTLSimulator(design).run({"a": 17, "b": 5})
+        assert out == {"q": 3, "r": 2}
+
+    def test_boolean_connectives(self):
+        design = synthesize(
+            BOOLEXPR, constraints=ResourceConstraints({"fu": 2})
+        )
+        cases = [
+            ({"x": 5, "lo": 0, "hi": 10}, 1),
+            ({"x": 15, "lo": 0, "hi": 10}, 0),
+            ({"x": 0, "lo": 3, "hi": 10}, 1),   # the `or x = 0` escape
+            ({"x": -1, "lo": 0, "hi": 10}, 0),
+        ]
+        for inputs, expected in cases:
+            assert RTLSimulator(design).run(inputs)["ok"] == expected
+        assert check_equivalence(
+            design, vectors=[c[0] for c in cases]
+        ).equivalent

@@ -1,0 +1,221 @@
+"""Tests for datapath planning, FSM synthesis, encoding and microcode."""
+
+import pytest
+
+from repro.controller import (
+    MicrocodeGenerator,
+    encode_states,
+    synthesize_fsm,
+)
+from repro.core import SynthesisOptions, synthesize, synthesize_cdfg
+from repro.errors import ControllerError
+from repro.ir import OpKind
+from repro.lang import compile_source
+from repro.scheduling import ResourceConstraints, UniversalFUModel
+from repro.workloads import SQRT_SOURCE, diffeq_cdfg, sqrt_cdfg
+
+
+def sqrt_design(fu=2):
+    return synthesize(
+        SQRT_SOURCE, constraints=ResourceConstraints({"fu": fu})
+    )
+
+
+class TestBlockPlan:
+    def test_every_step_listed(self):
+        design = sqrt_design()
+        for plan in design.plans.values():
+            assert len(plan.starts) == plan.schedule.length
+            listed = [op for step in plan.starts for op in step]
+            assert sorted(o.id for o in listed) == sorted(
+                o.id for o in plan.block.ops
+            )
+
+    def test_storage_covers_registered_values(self):
+        from repro.allocation import compute_lifetimes
+
+        design = sqrt_design()
+        for plan in design.plans.values():
+            for lifetime in compute_lifetimes(plan.schedule):
+                assert lifetime.value.id in plan.storage_of
+
+    def test_var_write_latches_exist(self):
+        design = sqrt_design()
+        body_plan = design.plans[
+            design.cdfg.loops()[0].test_block.id
+        ]
+        targets = {latch.target for latch in body_plan.latches}
+        assert ("var", "Y") in targets
+        assert ("var", "I") in targets
+
+    def test_hazard_deferred_write(self):
+        """A variable read after its new value is computed gets a
+        deferred write-back, not an early clobber."""
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>; output c: int<8>);
+var t: int<8>;
+begin
+  t := a + 1;
+  repeat
+    b := t * t;          -- reads old t late (multiplier busy)
+    t := t + 3;          -- new t computed early
+    c := c + 1;
+  until c > 2;
+end
+""")
+        design = synthesize_cdfg(
+            cdfg,
+            SynthesisOptions(
+                constraints=ResourceConstraints({"fu": 1}),
+                optimize_ir=False,
+            ),
+        )
+        # Correctness is what matters: co-simulation must agree.
+        from repro.sim import check_equivalence
+
+        report = check_equivalence(design, vectors=[{"a": 3}])
+        assert report.equivalent
+
+
+class TestFSM:
+    def test_state_count_matches_schedule_lengths(self):
+        design = sqrt_design()
+        expected = sum(s.length for s in design.schedules.values())
+        assert design.fsm.state_count == expected
+
+    def test_loop_back_edge(self):
+        design = sqrt_design()
+        fsm = design.fsm
+        back_edges = [
+            s for s in fsm.states
+            if not s.transition.unconditional
+        ]
+        assert len(back_edges) == 1
+        branch = back_edges[0].transition
+        # exit_on_true: true -> halt (None), false -> body entry.
+        assert branch.if_true is None
+        assert branch.if_false is not None
+
+    def test_if_fork_and_join(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+begin
+  if a > 0 then b := a + 1; else b := a - 1;
+  b := b * 2;
+end
+""")
+        design = synthesize_cdfg(cdfg, SynthesisOptions(
+            constraints=ResourceConstraints({"fu": 1})))
+        fsm = design.fsm
+        forks = [s for s in fsm.states if not s.transition.unconditional]
+        assert len(forks) == 1
+        fork = forks[0].transition
+        assert fork.if_true != fork.if_false
+
+    def test_while_loop_shape(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+begin
+  b := 0;
+  while b < a do b := b + 1;
+end
+""")
+        design = synthesize_cdfg(cdfg, SynthesisOptions(
+            constraints=ResourceConstraints({"fu": 1})))
+        fsm = design.fsm
+        conditional = [
+            s for s in fsm.states if not s.transition.unconditional
+        ]
+        assert len(conditional) == 1
+
+    def test_dot_output(self):
+        design = sqrt_design()
+        dot = design.fsm.dot()
+        assert "digraph fsm" in dot
+        assert "halt" in dot
+
+    def test_validate_rejects_bad_target(self):
+        from repro.controller.fsm import Transition
+
+        design = sqrt_design()
+        fsm = design.fsm
+        fsm.states[0].transition = Transition(999)
+        with pytest.raises(ControllerError):
+            fsm.validate()
+
+
+class TestEncoding:
+    def test_binary_bits(self):
+        design = sqrt_design()
+        encoding = encode_states(design.fsm, "binary")
+        assert encoding.bits == 2  # 4 states
+        assert len(set(encoding.codes.values())) == 4
+
+    def test_onehot(self):
+        design = sqrt_design()
+        encoding = encode_states(design.fsm, "onehot")
+        assert encoding.bits == design.fsm.state_count
+        for code in encoding.codes.values():
+            assert bin(code).count("1") == 1
+
+    def test_gray_unique(self):
+        design = sqrt_design(fu=1)
+        encoding = encode_states(design.fsm, "gray")
+        assert len(set(encoding.codes.values())) == design.fsm.state_count
+
+    def test_unknown_style(self):
+        design = sqrt_design()
+        with pytest.raises(ControllerError):
+            encode_states(design.fsm, "johnson")
+
+    def test_next_state_terms_positive(self):
+        design = sqrt_design()
+        encoding = encode_states(design.fsm, "binary")
+        assert encoding.next_state_terms(design.fsm) > 0
+
+    def test_onehot_more_ff_fewer_decode(self):
+        design = sqrt_design(fu=1)
+        binary = encode_states(design.fsm, "binary")
+        onehot = encode_states(design.fsm, "onehot")
+        assert onehot.flipflops > binary.flipflops
+
+
+class TestMicrocode:
+    def test_word_per_state(self):
+        design = sqrt_design()
+        microcode = MicrocodeGenerator(design).generate()
+        assert microcode.states == design.fsm.state_count
+
+    def test_horizontal_width_is_field_sum(self):
+        design = sqrt_design()
+        microcode = MicrocodeGenerator(design).generate()
+        assert microcode.horizontal_width == sum(
+            f.width for f in microcode.fields
+        )
+
+    def test_encoded_no_wider_than_horizontal(self):
+        """Dictionary encoding can only shrink the per-state word."""
+        design = synthesize_cdfg(
+            diffeq_cdfg(),
+            SynthesisOptions(constraints=ResourceConstraints({"fu": 2})),
+        )
+        microcode = MicrocodeGenerator(design).generate()
+        assert (
+            microcode.encoded_width - microcode.sequencing_width
+            <= microcode.horizontal_width
+        )
+        assert microcode.nanostore_words <= microcode.states
+
+    def test_load_enables_match_latches(self):
+        design = sqrt_design()
+        microcode = MicrocodeGenerator(design).generate()
+        for state, word in zip(design.fsm.states, microcode.words):
+            expected = {
+                f"ld_{latch.target[0]}_{latch.target[1]}"
+                for latch in state.plan.latches_at(state.step)
+            }
+            asserted = {
+                name for name, value in word.items()
+                if name.startswith("ld_") and value
+            }
+            assert expected == asserted

@@ -1,0 +1,293 @@
+"""Tests for the §4 extension features: if-conversion, behavioral
+transform verification, and designer timing constraints."""
+
+import pytest
+
+from repro.core import SynthesisOptions, synthesize_cdfg
+from repro.errors import EquivalenceError, SchedulingError
+from repro.ir import OpKind
+from repro.lang import compile_source
+from repro.scheduling import (
+    ASAPScheduler,
+    BranchAndBoundScheduler,
+    ListScheduler,
+    ResourceConstraints,
+    SchedulingProblem,
+    TimingConstraint,
+    TypedFUModel,
+)
+from repro.sim import check_behavioral_equivalence, check_equivalence, run_behavior
+from repro.transforms import IfConversion
+from repro.workloads import fig3_cdfg
+
+CLIP = """
+procedure clip(input v: int<16>; input lo: int<16>; input hi: int<16>;
+               output o: int<16>);
+begin
+  o := v;
+  if o < lo then o := lo;
+  if o > hi then o := hi;
+end
+"""
+
+ABSDIFF = """
+procedure absdiff(input a: int<16>; input b: int<16>; output d: int<16>);
+begin
+  if a > b then
+    d := a - b;
+  else
+    d := b - a;
+end
+"""
+
+
+class TestIfConversion:
+    def test_clip_converts_to_straight_line(self):
+        cdfg = compile_source(CLIP)
+        before = {
+            v: run_behavior(cdfg, dict(v=v, lo=0, hi=100))["o"]
+            for v in (-5, 50, 500)
+        }
+        assert IfConversion().run(cdfg)
+        cdfg.validate()
+        # No branches remain; MUXes appear.
+        from repro.ir import IfRegion
+
+        assert not any(
+            isinstance(r, IfRegion) for r in cdfg.body.walk()
+        )
+        kinds = [op.kind for op in cdfg.operations()]
+        assert kinds.count(OpKind.MUX) == 2
+        for v, expected in before.items():
+            assert run_behavior(cdfg, dict(v=v, lo=0, hi=100))["o"] == \
+                expected
+
+    def test_if_else_both_arms(self):
+        cdfg = compile_source(ABSDIFF)
+        assert IfConversion().run(cdfg)
+        cdfg.validate()
+        for a, b in ((3, 9), (9, 3), (5, 5)):
+            assert run_behavior(cdfg, {"a": a, "b": b})["d"] == abs(a - b)
+
+    def test_converted_design_synthesizes(self):
+        cdfg = compile_source(ABSDIFF)
+        IfConversion().run(cdfg)
+        design = synthesize_cdfg(
+            cdfg,
+            SynthesisOptions(constraints=ResourceConstraints({"fu": 2})),
+        )
+        report = check_equivalence(
+            design, vectors=[{"a": 3, "b": 9}, {"a": 9, "b": 3}]
+        )
+        assert report.equivalent
+
+    def test_control_data_tradeoff(self):
+        """If-conversion trades controller states for datapath work:
+        fewer FSM states, same behavior."""
+        branching = synthesize_cdfg(
+            compile_source(ABSDIFF),
+            SynthesisOptions(constraints=ResourceConstraints({"fu": 2})),
+        )
+        converted_cdfg = compile_source(ABSDIFF)
+        IfConversion().run(converted_cdfg)
+        converted = synthesize_cdfg(
+            converted_cdfg,
+            SynthesisOptions(constraints=ResourceConstraints({"fu": 2})),
+        )
+        assert converted.state_count < branching.state_count
+
+    def test_memory_arms_not_converted(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+var m: int<8>[4];
+begin
+  if a > 0 then m[0] := a;
+  b := m[0];
+end
+""")
+        assert not IfConversion().run(cdfg)
+
+    def test_large_arms_not_converted(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+begin
+  if a > 0 then
+    b := ((a * a) * (a + 1)) * ((a - 1) * (a + 2)) * a;
+  else
+    b := 0;
+end
+""")
+        assert not IfConversion(max_ops=3).run(cdfg)
+
+    def test_nested_if_inner_converted(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+begin
+  b := 0;
+  if a > 0 then
+  begin
+    b := 1;
+    if a > 10 then b := 2;
+  end;
+end
+""")
+        expected = {a: run_behavior(cdfg, {"a": a})["b"]
+                    for a in (-1, 5, 20)}
+        IfConversion().run(cdfg)
+        cdfg.validate()
+        for a, value in expected.items():
+            assert run_behavior(cdfg, {"a": a})["b"] == value
+
+
+class TestBehavioralEquivalence:
+    def test_transform_verified(self):
+        from repro.transforms import optimize
+        from repro.workloads import sqrt_cdfg
+
+        before = sqrt_cdfg()
+        after = sqrt_cdfg()
+        optimize(after, unroll=True)
+        report = check_behavioral_equivalence(before, after)
+        assert report.equivalent
+
+    def test_detects_wrong_transform(self):
+        before = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+begin
+  b := a + 1;
+end
+""")
+        wrong = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+begin
+  b := a + 2;
+end
+""")
+        with pytest.raises(EquivalenceError):
+            check_behavioral_equivalence(before, wrong)
+
+    def test_port_mismatch_rejected(self):
+        a = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+begin
+  b := a;
+end
+""")
+        c = compile_source("""
+procedure p(input x: int<8>; output b: int<8>);
+begin
+  b := x;
+end
+""")
+        with pytest.raises(EquivalenceError):
+            check_behavioral_equivalence(a, c)
+
+
+def fig3_problem(timing=None, constraints=None):
+    cdfg = fig3_cdfg()
+    return SchedulingProblem.from_block(
+        cdfg.blocks()[0], TypedFUModel(single_cycle=True),
+        constraints,
+    ) if timing is None else SchedulingProblem(
+        list(cdfg.blocks()[0].ops),
+        TypedFUModel(single_cycle=True),
+        constraints,
+        timing_constraints=timing,
+    )
+
+
+class TestTimingConstraints:
+    def test_invalid_constraint_rejected(self):
+        with pytest.raises(SchedulingError):
+            TimingConstraint(1, 2)
+        with pytest.raises(SchedulingError):
+            TimingConstraint(1, 2, min_offset=3, max_offset=1)
+
+    def test_min_offset_honoured_by_asap(self):
+        base = fig3_problem()
+        muls = [op.id for op in base.ops if op.kind is OpKind.MUL]
+        problem = fig3_problem(
+            timing=[TimingConstraint(muls[0], muls[1], min_offset=3)]
+        )
+        schedule = ASAPScheduler(problem).schedule()
+        schedule.validate()
+        assert (
+            schedule.start[muls[1]] - schedule.start[muls[0]] >= 3
+        )
+
+    def test_min_offset_honoured_by_list(self):
+        base = fig3_problem()
+        muls = [op.id for op in base.ops if op.kind is OpKind.MUL]
+        problem = fig3_problem(
+            timing=[TimingConstraint(muls[0], muls[1], min_offset=2)],
+            constraints=ResourceConstraints({"mul": 1, "add": 1}),
+        )
+        schedule = ListScheduler(problem).schedule()
+        schedule.validate()
+
+    def test_max_offset_checked(self):
+        base = fig3_problem()
+        muls = [op.id for op in base.ops if op.kind is OpKind.MUL]
+        problem = fig3_problem(
+            timing=[TimingConstraint(muls[0], muls[1], max_offset=0)],
+            constraints=ResourceConstraints({"mul": 1}),
+        )
+        # Both multiplies in the same step needs 2 multipliers; with
+        # one, every schedule violates the window.
+        schedule = ASAPScheduler(problem).schedule()
+        with pytest.raises(SchedulingError):
+            schedule.validate()
+
+    def test_bnb_satisfies_window(self):
+        base = fig3_problem()
+        muls = [op.id for op in base.ops if op.kind is OpKind.MUL]
+        problem = fig3_problem(
+            timing=[TimingConstraint(muls[0], muls[1], min_offset=1,
+                                     max_offset=1)],
+            constraints=ResourceConstraints({"mul": 1, "add": 1}),
+        )
+        schedule = BranchAndBoundScheduler(problem).schedule()
+        schedule.validate()
+        assert (
+            schedule.start[muls[1]] - schedule.start[muls[0]] == 1
+        )
+
+    def test_negative_distance_window_satisfied_by_reordering(self):
+        """max_offset=0 alone allows to_op at or *before* from_op."""
+        base = fig3_problem()
+        muls = [op.id for op in base.ops if op.kind is OpKind.MUL]
+        problem = fig3_problem(
+            timing=[TimingConstraint(muls[0], muls[1], max_offset=0)],
+            constraints=ResourceConstraints({"mul": 1}),
+        )
+        schedule = BranchAndBoundScheduler(problem).schedule()
+        schedule.validate()
+        assert schedule.start[muls[1]] <= schedule.start[muls[0]]
+
+    def test_bnb_detects_infeasible_window(self):
+        """Forcing both multiplies into the same step with a single
+        multiplier is unsatisfiable."""
+        base = fig3_problem()
+        muls = [op.id for op in base.ops if op.kind is OpKind.MUL]
+        problem = fig3_problem(
+            timing=[TimingConstraint(muls[0], muls[1], min_offset=0,
+                                     max_offset=0)],
+            constraints=ResourceConstraints({"mul": 1}),
+        )
+        with pytest.raises(SchedulingError):
+            BranchAndBoundScheduler(problem).schedule()
+
+    def test_cycle_creating_constraint_rejected(self):
+        base = fig3_problem()
+        adds = [op.id for op in base.ops if op.kind is OpKind.ADD]
+        # adds[1] depends on adds[0]; a min-offset back edge is a cycle.
+        with pytest.raises(SchedulingError):
+            fig3_problem(
+                timing=[TimingConstraint(adds[1], adds[0], min_offset=1)]
+            )
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(SchedulingError):
+            fig3_problem(
+                timing=[TimingConstraint(99999, 1, min_offset=1)]
+            )

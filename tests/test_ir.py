@@ -1,0 +1,280 @@
+"""Unit tests for the IR core: opcodes, values, blocks, CDFG, DFG."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    CDFG,
+    BlockRegion,
+    IntType,
+    LoopRegion,
+    OpKind,
+    SeqRegion,
+    dependence_graph,
+    op_info,
+)
+from repro.ir.dfg import (
+    critical_path_length,
+    path_length_from_source,
+    path_length_to_sink,
+    topological_order,
+    transitive_predecessors,
+    transitive_successors,
+)
+from repro.ir.dot import cdfg_dot, dataflow_dot
+from repro.ir.opcodes import COMMUTATIVE, COMPARISONS, NEGATED_COMPARE
+from repro.ir.types import ArrayType, FixedType
+
+WORD = IntType(16)
+
+
+def make_block():
+    cdfg = CDFG("t")
+    cdfg.add_input("a", WORD)
+    cdfg.add_input("b", WORD)
+    cdfg.add_output("o", WORD)
+    block = cdfg.new_block()
+    cdfg.body = BlockRegion(block)
+    return cdfg, block
+
+
+class TestOpcodes:
+    def test_every_kind_has_info(self):
+        for kind in OpKind:
+            info = op_info(kind)
+            assert info.symbol
+
+    def test_commutative_set(self):
+        assert OpKind.ADD in COMMUTATIVE
+        assert OpKind.SUB not in COMMUTATIVE
+
+    def test_comparisons_negation_is_involution(self):
+        for kind in COMPARISONS:
+            assert NEGATED_COMPARE[NEGATED_COMPARE[kind]] is kind
+
+    def test_sinks_have_no_result(self):
+        assert not op_info(OpKind.VAR_WRITE).has_result
+        assert not op_info(OpKind.STORE).has_result
+        assert op_info(OpKind.ADD).has_result
+
+
+class TestBlockEmission:
+    def test_emit_wires_uses(self):
+        _, block = make_block()
+        a = block.read("a", WORD)
+        b = block.read("b", WORD)
+        add = block.emit(OpKind.ADD, [a, b], WORD)
+        assert a.uses == [(add, 0)]
+        assert b.uses == [(add, 1)]
+        assert add.result.producer is add
+
+    def test_arity_checked(self):
+        _, block = make_block()
+        a = block.read("a", WORD)
+        with pytest.raises(IRError):
+            block.emit(OpKind.ADD, [a], WORD)
+
+    def test_result_type_required(self):
+        _, block = make_block()
+        a = block.read("a", WORD)
+        b = block.read("b", WORD)
+        with pytest.raises(IRError):
+            block.emit(OpKind.ADD, [a, b])
+
+    def test_compare_defaults_to_bool(self):
+        _, block = make_block()
+        a = block.read("a", WORD)
+        b = block.read("b", WORD)
+        cmp_op = block.emit(OpKind.LT, [a, b])
+        assert cmp_op.result.type.width == 1
+
+    def test_remove_op_with_uses_rejected(self):
+        _, block = make_block()
+        a = block.read("a", WORD)
+        b = block.read("b", WORD)
+        add = block.emit(OpKind.ADD, [a, b], WORD)
+        block.write("o", add.result)
+        with pytest.raises(IRError):
+            block.remove_op(add)
+
+    def test_remove_op_cleans_uses(self):
+        _, block = make_block()
+        a = block.read("a", WORD)
+        b = block.read("b", WORD)
+        add = block.emit(OpKind.ADD, [a, b], WORD)
+        block.remove_op(add)
+        assert a.uses == []
+        assert add not in block.ops
+
+    def test_replace_all_uses(self):
+        _, block = make_block()
+        a = block.read("a", WORD)
+        b = block.read("b", WORD)
+        add = block.emit(OpKind.ADD, [a, b], WORD)
+        block.write("o", add.result)
+        block.replace_all_uses(add.result, a)
+        write = block.var_writes()["o"]
+        assert write.operands[0] is a
+        assert add.result.uses == []
+
+    def test_retopo_detects_cycle(self):
+        _, block = make_block()
+        a = block.read("a", WORD)
+        b = block.read("b", WORD)
+        add1 = block.emit(OpKind.ADD, [a, b], WORD)
+        add2 = block.emit(OpKind.ADD, [add1.result, b], WORD)
+        # Manually create a cycle.
+        add1.replace_operand(0, add2.result)
+        with pytest.raises(IRError):
+            block.retopo()
+
+    def test_validate_catches_use_before_def(self):
+        _, block = make_block()
+        a = block.read("a", WORD)
+        b = block.read("b", WORD)
+        add = block.emit(OpKind.ADD, [a, b], WORD)
+        # Move the add before its operand's producer.
+        block.ops.remove(add)
+        block.ops.insert(0, add)
+        with pytest.raises(IRError):
+            block.validate()
+
+    def test_compute_ops_excludes_plumbing(self):
+        _, block = make_block()
+        a = block.read("a", WORD)
+        b = block.read("b", WORD)
+        add = block.emit(OpKind.ADD, [a, b], WORD)
+        block.write("o", add.result)
+        assert block.compute_ops() == [add]
+
+
+class TestCDFG:
+    def test_duplicate_declaration_rejected(self):
+        cdfg = CDFG("t")
+        cdfg.add_variable("x", WORD)
+        with pytest.raises(IRError):
+            cdfg.add_variable("x", WORD)
+
+    def test_arrays_become_memories(self):
+        cdfg = CDFG("t")
+        cdfg.add_variable("m", ArrayType(WORD, 8))
+        assert "m" in cdfg.memories
+        assert "m" not in cdfg.variables
+
+    def test_type_of(self):
+        cdfg = CDFG("t")
+        cdfg.add_variable("x", WORD)
+        assert cdfg.type_of("x") == WORD
+        with pytest.raises(IRError):
+            cdfg.type_of("nope")
+
+    def test_validate_rejects_undeclared_var(self):
+        cdfg, block = make_block()
+        block.read("undeclared_name", WORD)
+        with pytest.raises(IRError):
+            cdfg.validate()
+
+    def test_loops_listed(self):
+        cdfg, block = make_block()
+        a = block.read("a", WORD)
+        b = block.read("b", WORD)
+        cond = block.emit(OpKind.LT, [a, b])
+        loop = LoopRegion(
+            body=BlockRegion(block),
+            test_block=block,
+            cond=cond.result,
+            exit_on_true=True,
+            test_in_body=True,
+        )
+        cdfg.body = SeqRegion([loop])
+        assert cdfg.loops() == [loop]
+
+
+class TestDependenceGraph:
+    def test_data_edges(self):
+        _, block = make_block()
+        a = block.read("a", WORD)
+        b = block.read("b", WORD)
+        add = block.emit(OpKind.ADD, [a, b], WORD)
+        mul = block.emit(OpKind.MUL, [add.result, b], WORD)
+        graph = dependence_graph(block.ops)
+        assert graph.has_edge(add.id, mul.id)
+        assert graph.edges[add.id, mul.id]["reason"] == "data"
+
+    def test_memory_serialization(self):
+        cdfg = CDFG("t")
+        cdfg.add_variable("m", ArrayType(WORD, 4))
+        block = cdfg.new_block()
+        cdfg.body = BlockRegion(block)
+        idx = block.const(0, IntType(2, signed=False))
+        val = block.const(7, WORD)
+        load1 = block.emit(OpKind.LOAD, [idx], WORD, memory="m")
+        store = block.emit(OpKind.STORE, [idx, val], memory="m")
+        load2 = block.emit(OpKind.LOAD, [idx], WORD, memory="m")
+        graph = dependence_graph(block.ops)
+        assert graph.has_edge(load1.id, store.id)   # load before store
+        assert graph.has_edge(store.id, load2.id)   # store before load
+
+    def test_independent_memories_not_serialized(self):
+        cdfg = CDFG("t")
+        cdfg.add_variable("m1", ArrayType(WORD, 4))
+        cdfg.add_variable("m2", ArrayType(WORD, 4))
+        block = cdfg.new_block()
+        cdfg.body = BlockRegion(block)
+        idx = block.const(0, IntType(2, signed=False))
+        val = block.const(7, WORD)
+        store1 = block.emit(OpKind.STORE, [idx, val], memory="m1")
+        store2 = block.emit(OpKind.STORE, [idx, val], memory="m2")
+        graph = dependence_graph(block.ops)
+        assert not graph.has_edge(store1.id, store2.id)
+
+    def test_path_lengths(self):
+        _, block = make_block()
+        a = block.read("a", WORD)
+        b = block.read("b", WORD)
+        add = block.emit(OpKind.ADD, [a, b], WORD)
+        mul = block.emit(OpKind.MUL, [add.result, b], WORD)
+        graph = dependence_graph(block.ops)
+        delay = lambda op: 1  # noqa: E731
+        to_sink = path_length_to_sink(graph, delay)
+        assert to_sink[add.id] == 2
+        assert to_sink[mul.id] == 1
+        from_source = path_length_from_source(graph, delay)
+        assert from_source[mul.id] == 2
+        assert critical_path_length(graph, delay) == 3  # read→add→mul
+
+    def test_topological_order_deterministic(self):
+        _, block = make_block()
+        a = block.read("a", WORD)
+        b = block.read("b", WORD)
+        block.emit(OpKind.ADD, [a, b], WORD)
+        graph = dependence_graph(block.ops)
+        assert topological_order(graph) == topological_order(graph)
+
+    def test_transitive_sets(self):
+        _, block = make_block()
+        a = block.read("a", WORD)
+        b = block.read("b", WORD)
+        add = block.emit(OpKind.ADD, [a, b], WORD)
+        mul = block.emit(OpKind.MUL, [add.result, b], WORD)
+        graph = dependence_graph(block.ops)
+        assert add.id in transitive_predecessors(graph, mul.id)
+        assert mul.id in transitive_successors(graph, add.id)
+
+
+class TestDot:
+    def test_dataflow_dot_mentions_ops(self):
+        _, block = make_block()
+        a = block.read("a", WORD)
+        b = block.read("b", WORD)
+        block.emit(OpKind.ADD, [a, b], WORD)
+        text = dataflow_dot(block)
+        assert "digraph" in text
+        assert "+" in text
+
+    def test_cdfg_dot_renders_sqrt(self):
+        from repro.workloads import sqrt_cdfg
+
+        text = cdfg_dot(sqrt_cdfg())
+        assert "cluster_" in text
+        assert "loop" in text

@@ -1,0 +1,148 @@
+"""Tests for the AR lattice workload and deeper structural transforms
+(unrolling loops containing branches, cloned nested regions)."""
+
+import pytest
+
+from repro.core import SynthesisOptions, synthesize, synthesize_cdfg
+from repro.ir import OpKind
+from repro.lang import compile_source
+from repro.scheduling import (
+    ListScheduler,
+    ResourceConstraints,
+    SchedulingProblem,
+    TypedFUModel,
+)
+from repro.sim import check_equivalence, run_behavior
+from repro.transforms import LoopUnrolling, optimize
+from repro.workloads import ar_lattice_cdfg
+
+
+class TestARLattice:
+    def test_op_mix(self):
+        cdfg = ar_lattice_cdfg(4)
+        kinds = [op.kind for op in cdfg.operations()]
+        assert kinds.count(OpKind.MUL) == 8
+        assert kinds.count(OpKind.ADD) == 4
+        assert kinds.count(OpKind.SUB) == 4
+
+    def test_reference_math(self):
+        """Against a direct Python lattice with the same quantization."""
+        from repro.ir.types import FixedType
+
+        fmt = FixedType(24, 12)
+        cdfg = ar_lattice_cdfg(2)
+        inputs = {
+            "x": 0.75, "k0": 0.5, "s0": 0.25, "k1": -0.25, "s1": 0.5,
+        }
+        out = run_behavior(cdfg, inputs)
+
+        forward = fmt.quantize(0.75)
+        states = [0.25, 0.5]
+        ks = [0.5, -0.25]
+        new_states = []
+        for k, state in zip(ks, states):
+            down = fmt.quantize(k * state)
+            forward = fmt.quantize(forward - down)
+            up = fmt.quantize(k * forward)
+            new_states.append(fmt.quantize(state + up))
+        assert out["y"] == forward
+        assert out["so0"] == new_states[0]
+        assert out["so1"] == new_states[1]
+
+    def test_critical_path_alternates(self):
+        """The lattice critical path interleaves mul and sub — its
+        schedule under 1 mul / 1 add is longer than the FIR tree with
+        the same op count would suggest."""
+        cdfg = ar_lattice_cdfg(4)
+        problem = SchedulingProblem.from_block(
+            cdfg.blocks()[0],
+            TypedFUModel(single_cycle=True),
+            ResourceConstraints({"mul": 1, "add": 1}),
+        )
+        schedule = ListScheduler(problem).schedule()
+        schedule.validate()
+        # Critical path: (mul, sub) per stage plus slack = >= 8.
+        assert schedule.length >= 8
+
+    def test_end_to_end(self):
+        design = synthesize_cdfg(
+            ar_lattice_cdfg(3),
+            SynthesisOptions(
+                model=TypedFUModel(),
+                constraints=ResourceConstraints({"mul": 2, "add": 1}),
+            ),
+        )
+        assert check_equivalence(design).equivalent
+
+
+class TestStructuredUnrolling:
+    def test_unroll_loop_containing_branch(self):
+        source = """
+procedure p(input a: int<8>; output b: int<8>);
+var i: int<8>;
+begin
+  b := 0;
+  for i := 0 to 3 do
+  begin
+    if a > 0 then
+      b := b + a;
+    else
+      b := b - a;
+  end;
+end
+"""
+        cdfg = compile_source(source)
+        expected = {
+            a: run_behavior(cdfg, {"a": a})["b"] for a in (-3, 0, 5)
+        }
+        assert LoopUnrolling().run(cdfg)
+        cdfg.validate()
+        assert cdfg.loops() == []
+        from repro.ir import IfRegion
+
+        branches = [
+            r for r in cdfg.body.walk() if isinstance(r, IfRegion)
+        ]
+        assert len(branches) == 4  # one clone per iteration
+        for a, value in expected.items():
+            assert run_behavior(cdfg, {"a": a})["b"] == value
+
+    def test_unrolled_branchy_loop_synthesizes(self):
+        source = """
+procedure p(input a: int<8>; output b: int<8>);
+var i: int<8>;
+begin
+  b := 0;
+  for i := 0 to 2 do
+    if a > i then b := b + 1;
+end
+"""
+        design = synthesize(
+            source,
+            options=SynthesisOptions(
+                constraints=ResourceConstraints({"fu": 1}),
+                unroll=True,
+            ),
+        )
+        report = check_equivalence(
+            design, vectors=[{"a": a} for a in (-1, 1, 3)]
+        )
+        assert report.equivalent
+
+    def test_unroll_nested_constant_loops(self):
+        source = """
+procedure p(input a: int<8>; output b: int<16>);
+var i, j: uint<3>;
+begin
+  b := 0;
+  for i := 0 to 2 do
+    for j := 0 to 1 do
+      b := b + a;
+end
+"""
+        cdfg = compile_source(source)
+        expected = run_behavior(cdfg, {"a": 7})["b"]
+        optimize(cdfg, unroll=True)
+        cdfg.validate()
+        assert cdfg.loops() == []
+        assert run_behavior(cdfg, {"a": 7})["b"] == expected

@@ -1,0 +1,169 @@
+"""Coverage for resource-model variants, report rendering and
+remaining odds and ends."""
+
+import pytest
+
+from repro.ir import OpKind
+from repro.lang import compile_source
+from repro.scheduling import (
+    ListScheduler,
+    ResourceConstraints,
+    SchedulingProblem,
+    TypedFUModel,
+    UniversalFUModel,
+)
+from repro.workloads import SQRT_SOURCE, fig6_cdfg, sqrt_cdfg
+
+
+class TestUniversalModel:
+    def test_bare_moves_costed_by_default(self):
+        cdfg = sqrt_cdfg()
+        entry = cdfg.blocks()[0]
+        move = entry.var_writes()["I"]  # I := 0, a bare constant move
+        assert UniversalFUModel().op_class(move) == "fu"
+
+    def test_bare_moves_free_when_disabled(self):
+        cdfg = sqrt_cdfg()
+        entry = cdfg.blocks()[0]
+        move = entry.var_writes()["I"]
+        model = UniversalFUModel(count_bare_moves=False)
+        assert model.op_class(move) is None
+
+    def test_computed_write_always_free(self):
+        cdfg = sqrt_cdfg()
+        entry = cdfg.blocks()[0]
+        write = entry.var_writes()["Y"]  # fed by the add
+        assert UniversalFUModel().op_class(write) is None
+
+    def test_constant_shift_free(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+begin
+  b := a >> 2;
+end
+""")
+        shift = next(
+            op for op in cdfg.operations() if op.kind is OpKind.SHR
+        )
+        assert UniversalFUModel().op_class(shift) is None
+        assert UniversalFUModel().delay(shift) == 0
+
+    def test_variable_shift_costed(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; input n: uint<3>; output b: int<8>);
+begin
+  b := a >> n;
+end
+""")
+        shift = next(
+            op for op in cdfg.operations() if op.kind is OpKind.SHR
+        )
+        assert UniversalFUModel().op_class(shift) == "fu"
+
+
+class TestTypedModel:
+    def test_class_mapping(self):
+        cdfg = fig6_cdfg()
+        add = next(
+            op for op in cdfg.operations() if op.kind is OpKind.ADD
+        )
+        assert TypedFUModel().op_class(add) == "add"
+
+    def test_custom_delays(self):
+        cdfg = fig6_cdfg()
+        add = next(
+            op for op in cdfg.operations() if op.kind is OpKind.ADD
+        )
+        model = TypedFUModel(delays={"add": 3})
+        assert model.delay(add) == 3
+
+    def test_single_cycle_override(self):
+        cdfg = fig6_cdfg()
+        add = next(
+            op for op in cdfg.operations() if op.kind is OpKind.ADD
+        )
+        model = TypedFUModel(delays={"add": 3}, single_cycle=True)
+        assert model.delay(add) == 1
+
+    def test_costed_constant_shifts(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+begin
+  b := a >> 2;
+end
+""")
+        shift = next(
+            op for op in cdfg.operations() if op.kind is OpKind.SHR
+        )
+        model = TypedFUModel(free_const_shifts=False)
+        assert model.op_class(shift) == "shift"
+        assert model.delay(shift) == 1
+
+
+class TestReports:
+    def test_schedule_table_marks_free_and_classes(self):
+        cdfg = sqrt_cdfg()
+        problem = SchedulingProblem.from_block(
+            cdfg.blocks()[0], UniversalFUModel(),
+            ResourceConstraints({"fu": 2}),
+        )
+        table = ListScheduler(problem).schedule().table()
+        assert "[fu]" in table
+        assert "[free]" in table
+
+    def test_allocation_report_lists_units_and_registers(self):
+        from repro.allocation import LeftEdgeRegisterAllocator
+
+        cdfg = sqrt_cdfg()
+        problem = SchedulingProblem.from_block(
+            cdfg.blocks()[1], UniversalFUModel(),
+            ResourceConstraints({"fu": 2}),
+        )
+        schedule = ListScheduler(problem).schedule()
+        allocation = LeftEdgeRegisterAllocator(schedule).allocate()
+        report = allocation.report()
+        assert "fu0:" in report
+        assert "r0:" in report
+
+    def test_design_report_and_log(self):
+        from repro.core import synthesize
+
+        design = synthesize(
+            SQRT_SOURCE, constraints=ResourceConstraints({"fu": 2})
+        )
+        assert "controller: 4 states" in design.report()
+        assert any("optimize" in line for line in design.log)
+
+    def test_equivalence_report_mismatch_listing(self):
+        from repro.sim.equivalence import EquivalenceReport, VectorResult
+
+        report = EquivalenceReport()
+        report.results.append(
+            VectorResult({"x": 1}, {"y": 2}, {"y": 2}, 5)
+        )
+        report.results.append(
+            VectorResult({"x": 2}, {"y": 3}, {"y": 4}, 5)
+        )
+        assert not report.equivalent
+        assert len(report.mismatches) == 1
+        assert report.max_cycles == 5
+
+    def test_area_estimate_with_width_override(self):
+        from repro.core import synthesize
+        from repro.estimation import estimate_area
+
+        design = synthesize(
+            SQRT_SOURCE, constraints=ResourceConstraints({"fu": 2})
+        )
+        narrow = estimate_area(design, datapath_width=8)
+        wide = estimate_area(design, datapath_width=32)
+        assert wide.multiplexers >= narrow.multiplexers
+
+    def test_fsm_dot_well_formed(self):
+        from repro.core import synthesize
+
+        design = synthesize(
+            SQRT_SOURCE, constraints=ResourceConstraints({"fu": 2})
+        )
+        dot = design.fsm.dot()
+        assert dot.count("->") >= design.fsm.state_count

@@ -1,0 +1,142 @@
+"""Tests for the structural netlist, floorplanning, wiring estimation
+and testbench emission."""
+
+import pytest
+
+from repro.core import SynthesisOptions, synthesize, synthesize_cdfg
+from repro.datapath import build_netlist
+from repro.errors import HLSError
+from repro.estimation import estimate_wiring, place_linear
+from repro.rtl import emit_testbench
+from repro.scheduling import ResourceConstraints, TypedFUModel
+from repro.sim import default_vectors
+from repro.workloads import SQRT_SOURCE, ewf_cdfg
+
+
+def sqrt_design():
+    return synthesize(
+        SQRT_SOURCE, constraints=ResourceConstraints({"fu": 2})
+    )
+
+
+def ewf_design():
+    return synthesize_cdfg(
+        ewf_cdfg(),
+        SynthesisOptions(
+            model=TypedFUModel(),
+            constraints=ResourceConstraints({"add": 2, "mul": 1}),
+        ),
+    )
+
+
+class TestNetlist:
+    def test_components_present(self):
+        netlist = build_netlist(sqrt_design())
+        assert netlist.fu_count >= 2
+        assert netlist.register_count >= 3
+        assert netlist.net_count > 0
+
+    def test_mux_wherever_multiple_sources(self):
+        netlist = build_netlist(sqrt_design())
+        # Every mux has at least two input nets and one output net.
+        for mux in netlist.components_of_kind("mux"):
+            inputs = [
+                net for net in netlist.nets
+                if net.sinks
+                and net.sinks[0].component is mux
+            ]
+            outputs = [
+                net for net in netlist.nets
+                if net.driver.component is mux
+            ]
+            assert len(inputs) >= 2
+            assert len(outputs) == 1
+
+    def test_memories_in_netlist(self):
+        from repro.workloads import fir_source
+
+        design = synthesize(fir_source(4))
+        netlist = build_netlist(design)
+        names = {c.name for c in netlist.components_of_kind("memory")}
+        assert names == {"mem_c", "mem_s"}
+
+    def test_stats_and_dot(self):
+        netlist = build_netlist(sqrt_design())
+        assert "FUs" in netlist.stats()
+        dot = netlist.dot()
+        assert "digraph datapath" in dot
+        for component in netlist.components.values():
+            assert component.name in dot
+
+
+class TestFloorplan:
+    def test_placement_is_permutation(self):
+        netlist = build_netlist(ewf_design())
+        floorplan = place_linear(netlist)
+        slots = sorted(floorplan.slots.values())
+        assert slots == list(range(len(netlist.components)))
+
+    def test_placement_deterministic(self):
+        netlist = build_netlist(ewf_design())
+        a = place_linear(netlist)
+        b = place_linear(build_netlist(ewf_design()))
+        assert a.slots == b.slots
+
+    def test_barycentric_no_worse_than_alphabetical(self):
+        from repro.estimation.floorplan import Floorplan
+
+        netlist = build_netlist(ewf_design())
+        placed = place_linear(netlist)
+        naive = Floorplan(
+            {name: i for i, name in enumerate(sorted(netlist.components))}
+        )
+
+        def wirelength(floorplan):
+            total = 0
+            for net in netlist.nets:
+                for sink in net.sinks:
+                    total += floorplan.distance(
+                        net.driver.component.name, sink.component.name
+                    )
+            return total
+
+        assert wirelength(placed) <= wirelength(naive)
+
+
+class TestWiring:
+    def test_bus_wiring_less_than_mux_on_ewf(self):
+        """§2: buses 'offer the advantage of requiring less wiring'."""
+        design = ewf_design()
+        estimate = estimate_wiring(design)
+        assert estimate.bus_wire_length < estimate.mux_wire_length
+        assert estimate.bus_count >= 1
+        assert "wiring" in estimate.report()
+
+    def test_wiring_positive_on_sqrt(self):
+        estimate = estimate_wiring(sqrt_design())
+        assert estimate.mux_wire_length > 0
+        assert estimate.bus_wire_length > 0
+
+
+class TestTestbench:
+    def test_structure(self):
+        design = sqrt_design()
+        vectors = default_vectors(design.cdfg, count=3)
+        text = emit_testbench(design, vectors)
+        assert "module tb_sqrt;" in text
+        assert text.count("run_vector;") == 3 + 1  # 3 calls + task decl
+        assert "ALL TESTS PASS" in text
+        assert "$finish" in text
+
+    def test_expected_values_are_exact_bits(self):
+        design = sqrt_design()
+        text = emit_testbench(design, [{"X": 0.25}])
+        # sqrt(0.25) = 0.5 → 0.5 * 2^16 = 32768 in fixed<24,16>.
+        assert "24'd32768" in text
+
+    def test_memory_designs_rejected(self):
+        from repro.workloads import fir_source
+
+        design = synthesize(fir_source(4))
+        with pytest.raises(HLSError):
+            emit_testbench(design, [{"x": 1.0}])

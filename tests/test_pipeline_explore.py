@@ -1,0 +1,245 @@
+"""Tests for pipeline synthesis (Sehwa), DSE, estimation and binding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binding import Component, ComponentLibrary, ModuleBinder
+from repro.core import SynthesisOptions, synthesize, synthesize_cdfg
+from repro.errors import BindingError, SchedulingError
+from repro.estimation import estimate_area, estimate_clock_period, estimate_timing
+from repro.explore import explore_fu_range, measure_cycles
+from repro.ir import OpKind
+from repro.pipeline import (
+    ModuloScheduler,
+    explore_pipeline,
+    find_best_pipeline,
+    minimum_initiation_interval,
+)
+from repro.scheduling import (
+    ListScheduler,
+    ResourceConstraints,
+    SchedulingProblem,
+    TypedFUModel,
+)
+from repro.workloads import (
+    RandomDFGSpec,
+    SQRT_SOURCE,
+    ewf_cdfg,
+    fir_block_cdfg,
+    random_dfg,
+)
+
+
+def fir_problem(constraints, taps=8, mul_delay=2):
+    cdfg = fir_block_cdfg(taps)
+    return SchedulingProblem.from_block(
+        cdfg.blocks()[0],
+        TypedFUModel(delays={"mul": mul_delay}),
+        constraints,
+    )
+
+
+class TestPipeline:
+    def test_mii_bound(self):
+        problem = fir_problem(ResourceConstraints({"mul": 2, "add": 1}))
+        # 8 muls x 2 cycles on 2 units = 8; 7 adds on 1 unit = 7.
+        assert minimum_initiation_interval(problem) == 8
+
+    def test_best_pipeline_hits_bound(self):
+        problem = fir_problem(ResourceConstraints({"mul": 2, "add": 1}))
+        schedule = find_best_pipeline(problem)
+        schedule.validate()
+        assert schedule.initiation_interval == 8
+
+    def test_modulo_usage_within_limits(self):
+        problem = fir_problem(ResourceConstraints({"mul": 4, "add": 2}))
+        schedule = find_best_pipeline(problem)
+        for (slot, cls), used in schedule.modulo_usage().items():
+            assert used <= problem.constraints.limit(cls)
+            del slot
+
+    def test_more_units_never_slower(self):
+        """Sehwa's trade-off: adding hardware weakly improves II."""
+        previous = None
+        for muls in (1, 2, 4, 8):
+            problem = fir_problem(
+                ResourceConstraints({"mul": muls, "add": 2})
+            )
+            schedule = find_best_pipeline(problem)
+            if previous is not None:
+                assert schedule.initiation_interval <= previous
+            previous = schedule.initiation_interval
+
+    def test_throughput_definition(self):
+        problem = fir_problem(ResourceConstraints({"mul": 2, "add": 1}))
+        schedule = find_best_pipeline(problem)
+        assert schedule.throughput == pytest.approx(
+            1 / schedule.initiation_interval
+        )
+
+    def test_infeasible_ii_raises(self):
+        problem = fir_problem(ResourceConstraints({"mul": 1, "add": 1}))
+        scheduler = ModuloScheduler(problem, initiation_interval=1)
+        with pytest.raises(SchedulingError):
+            scheduler.schedule().validate()
+
+    def test_explore_table(self):
+        points = explore_pipeline(
+            lambda constraints: fir_problem(constraints),
+            [{"mul": 1, "add": 1}, {"mul": 2, "add": 1},
+             {"mul": 4, "add": 2}],
+        )
+        assert len(points) == 3
+        intervals = [p.initiation_interval for p in points]
+        assert intervals == sorted(intervals, reverse=True)
+        assert all(p.row() for p in points)
+
+    def test_latency_at_least_critical_path(self):
+        problem = fir_problem(ResourceConstraints({"mul": 8, "add": 4}))
+        schedule = find_best_pipeline(problem)
+        assert schedule.length >= problem.critical_path()
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(1, 1000))
+    def test_pipeline_valid_on_random_dfgs(self, seed):
+        cdfg = random_dfg(RandomDFGSpec(ops=15, seed=seed))
+        problem = SchedulingProblem.from_block(
+            cdfg.blocks()[0],
+            TypedFUModel(single_cycle=True),
+            ResourceConstraints({"add": 1, "mul": 1}),
+        )
+        schedule = find_best_pipeline(problem)
+        schedule.validate()
+        assert (
+            schedule.initiation_interval
+            >= minimum_initiation_interval(problem)
+        )
+
+
+class TestEstimation:
+    def test_area_breakdown_positive(self):
+        design = synthesize(
+            SQRT_SOURCE, constraints=ResourceConstraints({"fu": 2})
+        )
+        area = estimate_area(design)
+        assert area.functional_units > 0
+        assert area.registers > 0
+        assert area.controller > 0
+        assert area.total == pytest.approx(
+            area.functional_units + area.registers
+            + area.multiplexers + area.controller
+        )
+
+    def test_clock_period_covers_components(self):
+        design = synthesize(
+            SQRT_SOURCE, constraints=ResourceConstraints({"fu": 2})
+        )
+        assert estimate_clock_period(design) >= (
+            design.binding.max_delay_ns()
+        )
+
+    def test_timing_latency(self):
+        design = synthesize(
+            SQRT_SOURCE, constraints=ResourceConstraints({"fu": 2})
+        )
+        timing = estimate_timing(design, cycles=10)
+        assert timing.latency_ns == pytest.approx(timing.clock_ns * 10)
+        assert "clock" in timing.report()
+
+
+class TestExplore:
+    def test_fu_sweep(self):
+        result = explore_fu_range(SQRT_SOURCE, [1, 2])
+        assert len(result.points) == 2
+        one, two = result.points
+        assert one.cycles > two.cycles  # more FUs, fewer steps
+        assert result.table()
+
+    def test_pareto_front_nonempty_and_nondominated(self):
+        result = explore_fu_range(SQRT_SOURCE, [1, 2, 3])
+        front = result.pareto
+        assert front
+        for a in front:
+            for b in front:
+                if a is b:
+                    continue
+                assert not (
+                    b.area <= a.area
+                    and b.latency_ns <= a.latency_ns
+                    and (b.area < a.area or b.latency_ns < a.latency_ns)
+                )
+
+    def test_measure_cycles_uses_worst_case(self):
+        design = synthesize(
+            SQRT_SOURCE, constraints=ResourceConstraints({"fu": 2})
+        )
+        assert measure_cycles(design, [{"X": 0.5}]) == 10
+
+
+class TestBinding:
+    def test_cheapest_component_chosen(self):
+        library = ComponentLibrary()
+        component = library.cheapest_for({OpKind.INC}, 8)
+        assert component.name == "inc"
+
+    def test_mixed_kinds_need_alu(self):
+        library = ComponentLibrary()
+        component = library.cheapest_for(
+            {OpKind.ADD, OpKind.LT}, 8
+        )
+        assert component.name == "alu"
+
+    def test_unsupported_kinds_raise(self):
+        library = ComponentLibrary(
+            [Component("add_only", frozenset({OpKind.ADD}), 7.0)]
+        )
+        with pytest.raises(BindingError):
+            library.cheapest_for({OpKind.MUL}, 8)
+
+    def test_library_without_incrementer_falls_back(self):
+        """§2: libraries 'can prevent efficient solutions' — without an
+        incrementer the INC op binds to a full adder."""
+        no_inc = ComponentLibrary(
+            [c for c in ComponentLibrary() if c.name != "inc"]
+        )
+        component = no_inc.cheapest_for({OpKind.INC}, 8)
+        assert component.name == "add"
+
+    def test_binding_merge_unions_kinds(self):
+        design = synthesize(
+            SQRT_SOURCE, constraints=ResourceConstraints({"fu": 2})
+        )
+        binding = design.binding
+        assert binding is not None
+        # The universal FU carries div/add/mul kinds merged over blocks.
+        universal = [
+            fu for fu, comp in binding.components.items()
+            if comp.name == "universal"
+        ]
+        assert universal
+        assert binding.area() > 0
+
+    def test_custom_library_in_engine(self):
+        tiny = ComponentLibrary(
+            [
+                Component("super", frozenset(OpKind), 1.0,
+                          delay_ns=5.0),
+            ]
+        )
+        design = synthesize(
+            SQRT_SOURCE,
+            options=SynthesisOptions(
+                constraints=ResourceConstraints({"fu": 2}),
+                library=tiny,
+            ),
+        )
+        assert all(
+            comp.name == "super"
+            for comp in design.binding.components.values()
+        )
+
+    def test_component_area_scales_with_width(self):
+        library = ComponentLibrary()
+        add = library.component("add")
+        assert add.area(32) > add.area(8)

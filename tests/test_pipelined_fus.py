@@ -1,0 +1,136 @@
+"""Tests for pipelined functional units (occupancy < latency)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocation import CliqueAllocator, LeftEdgeRegisterAllocator
+from repro.core import SynthesisOptions, synthesize_cdfg
+from repro.pipeline import find_best_pipeline, minimum_initiation_interval
+from repro.scheduling import (
+    ASAPScheduler,
+    ListScheduler,
+    ResourceConstraints,
+    SchedulingProblem,
+    TypedFUModel,
+)
+from repro.sim import check_equivalence, default_vectors
+from repro.workloads import (
+    RandomDFGSpec,
+    ewf_cdfg,
+    fir_block_cdfg,
+    random_dfg,
+)
+
+PIPELINED = TypedFUModel(delays={"mul": 3}, pipelined_classes={"mul"})
+BLOCKING = TypedFUModel(delays={"mul": 3})
+
+
+def fir_problem(model, muls=1):
+    cdfg = fir_block_cdfg(4)
+    return SchedulingProblem.from_block(
+        cdfg.blocks()[0], model,
+        ResourceConstraints({"mul": muls, "add": 1}),
+    )
+
+
+class TestPipelinedScheduling:
+    def test_occupancy_defaults_to_delay(self):
+        problem = fir_problem(BLOCKING)
+        mul_id = next(
+            op_id for op_id in problem.compute_op_ids()
+            if problem.op_class(op_id) == "mul"
+        )
+        assert problem.occupancy(mul_id) == problem.delay(mul_id) == 3
+
+    def test_pipelined_occupancy_is_one(self):
+        problem = fir_problem(PIPELINED)
+        mul_id = next(
+            op_id for op_id in problem.compute_op_ids()
+            if problem.op_class(op_id) == "mul"
+        )
+        assert problem.delay(mul_id) == 3
+        assert problem.occupancy(mul_id) == 1
+
+    def test_pipelined_multiplier_shortens_schedule(self):
+        """One pipelined multiplier accepts a multiply every cycle, so
+        four independent multiplies start back to back instead of
+        serializing for 3 cycles each."""
+        blocking = ListScheduler(fir_problem(BLOCKING)).schedule()
+        blocking.validate()
+        pipelined = ListScheduler(fir_problem(PIPELINED)).schedule()
+        pipelined.validate()
+        assert pipelined.length < blocking.length
+        # Back-to-back issue on the single multiplier.
+        problem = pipelined.problem
+        mul_starts = sorted(
+            pipelined.start[op_id]
+            for op_id in problem.compute_op_ids()
+            if problem.op_class(op_id) == "mul"
+        )
+        assert mul_starts == [0, 1, 2, 3]
+
+    def test_latency_still_respected(self):
+        """Results still take the full delay: no consumer starts before
+        its multiply completes."""
+        schedule = ListScheduler(fir_problem(PIPELINED)).schedule()
+        problem = schedule.problem
+        for u, v in problem.graph.edges:
+            if problem.op_class(u) == "mul" and problem.delay(v) > 0:
+                assert schedule.start[v] >= schedule.start[u] + 3
+
+    def test_checker_counts_occupancy_not_latency(self):
+        schedule = ListScheduler(fir_problem(PIPELINED)).schedule()
+        schedule.validate()  # 4 in-flight muls on 1 unit are legal
+        assert schedule.resource_usage()["mul"] == 1
+
+    def test_asap_handles_pipelined_units(self):
+        schedule = ASAPScheduler(fir_problem(PIPELINED)).schedule()
+        schedule.validate()
+
+    def test_allocators_share_pipelined_units(self):
+        schedule = ListScheduler(fir_problem(PIPELINED)).schedule()
+        for factory in (CliqueAllocator, LeftEdgeRegisterAllocator):
+            allocation = factory(schedule).allocate()
+            allocation.validate()
+            assert allocation.fu_count("mul") == 1
+
+    def test_modulo_scheduling_with_pipelined_units(self):
+        """A pipelined multiplier lowers the MII: 4 muls x occupancy 1
+        on one unit bounds II at 4 instead of 12."""
+        problem = fir_problem(PIPELINED)
+        assert minimum_initiation_interval(problem) == 4
+        schedule = find_best_pipeline(problem)
+        schedule.validate()
+        assert schedule.initiation_interval == 4
+
+    def test_end_to_end_equivalence_with_pipelined_units(self):
+        design = synthesize_cdfg(
+            ewf_cdfg(),
+            SynthesisOptions(
+                model=TypedFUModel(delays={"mul": 2},
+                                   pipelined_classes={"mul"}),
+                constraints=ResourceConstraints({"add": 2, "mul": 1}),
+            ),
+        )
+        assert check_equivalence(design).equivalent
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(1, 10_000))
+    def test_random_dfgs_with_pipelined_units(self, seed):
+        cdfg = random_dfg(RandomDFGSpec(ops=14, seed=seed, mul_weight=3))
+        design = synthesize_cdfg(
+            cdfg,
+            SynthesisOptions(
+                model=TypedFUModel(delays={"mul": 3},
+                                   pipelined_classes={"mul"}),
+                constraints=ResourceConstraints({"add": 1, "mul": 1}),
+            ),
+        )
+        vectors = default_vectors(design.cdfg, count=3, seed=seed)
+        assert check_equivalence(design, vectors=vectors).equivalent
+
+    def test_pipelined_never_slower(self):
+        blocking = ListScheduler(fir_problem(BLOCKING)).schedule()
+        pipelined = ListScheduler(fir_problem(PIPELINED)).schedule()
+        assert pipelined.length <= blocking.length

@@ -1,0 +1,297 @@
+"""RTL simulation, equivalence checking, Verilog emission and the
+end-to-end engine grid (every scheduler x allocator on every workload)."""
+
+import math
+
+import pytest
+
+from repro.core import SCHEDULERS, ALLOCATORS, SynthesisOptions, synthesize, synthesize_cdfg
+from repro.errors import EquivalenceError, HLSError, SimulationError
+from repro.lang import compile_source
+from repro.rtl import emit_verilog
+from repro.scheduling import (
+    ResourceConstraints,
+    TypedFUModel,
+    UniversalFUModel,
+)
+from repro.sim import (
+    BehavioralSimulator,
+    RTLSimulator,
+    check_equivalence,
+    default_vectors,
+)
+from repro.workloads import (
+    SQRT_SOURCE,
+    diffeq_cdfg,
+    diffeq_inputs,
+    ewf_cdfg,
+    fir_source,
+    sqrt_cdfg,
+)
+
+
+class TestRTLSimulator:
+    def test_sqrt_ten_cycles(self):
+        """The optimized 2-FU sqrt runs in exactly the paper's 10
+        control steps (2 + 4x2)."""
+        design = synthesize(
+            SQRT_SOURCE, constraints=ResourceConstraints({"fu": 2})
+        )
+        simulator = RTLSimulator(design)
+        out = simulator.run({"X": 0.5})
+        assert simulator.cycles == 10
+        assert out["Y"] == pytest.approx(math.sqrt(0.5), abs=1e-3)
+
+    def test_sqrt_serial_23_cycles(self):
+        """Unoptimized, one FU, bare moves costing a step: 23 cycles."""
+        design = synthesize(
+            SQRT_SOURCE,
+            options=SynthesisOptions(
+                constraints=ResourceConstraints({"fu": 1}),
+                optimize_ir=False,
+            ),
+        )
+        simulator = RTLSimulator(design)
+        simulator.run({"X": 0.5})
+        assert simulator.cycles == 23
+
+    def test_missing_input(self):
+        design = synthesize(
+            SQRT_SOURCE, constraints=ResourceConstraints({"fu": 2})
+        )
+        with pytest.raises(SimulationError):
+            RTLSimulator(design).run({})
+
+    def test_runaway_guard(self):
+        design = synthesize(
+            SQRT_SOURCE, constraints=ResourceConstraints({"fu": 2})
+        )
+        with pytest.raises(SimulationError):
+            RTLSimulator(design, max_cycles=3).run({"X": 0.5})
+
+    def test_memories_roundtrip(self):
+        design = synthesize(fir_source(4))
+        memories = {
+            "c": [0.5, 0.25, 0.125, 0.0625],
+            "s": [0.0, 1.0, 2.0, 4.0],
+        }
+        behavioral = BehavioralSimulator(design.cdfg).run(
+            {"x": 1.0}, memories
+        )
+        simulator = RTLSimulator(design)
+        rtl = simulator.run({"x": 1.0}, memories)
+        assert behavioral == rtl
+        # s[0] was overwritten with x in both worlds.
+        assert simulator.memory_contents("s")[0] == 1.0
+
+
+class TestEquivalence:
+    def test_sqrt_equivalent(self):
+        design = synthesize(
+            SQRT_SOURCE, constraints=ResourceConstraints({"fu": 2})
+        )
+        report = check_equivalence(design)
+        assert report.equivalent
+        assert report.vectors == 8
+
+    def test_default_vectors_cover_corners(self):
+        cdfg = sqrt_cdfg()
+        vectors = default_vectors(cdfg, count=8)
+        xs = [v["X"] for v in vectors]
+        assert 0 in xs and 1 in xs
+        assert len(vectors) == 8
+        # Deterministic.
+        assert default_vectors(cdfg, count=8) == vectors
+
+    def test_mismatch_detection(self):
+        """Corrupting the design makes the checker raise."""
+        design = synthesize(
+            SQRT_SOURCE, constraints=ResourceConstraints({"fu": 2})
+        )
+        # Swap a transition to skip the loop entirely.
+        for state in design.fsm.states:
+            if not state.transition.unconditional:
+                state.transition.if_false = None  # exit immediately
+        with pytest.raises(EquivalenceError):
+            check_equivalence(design, vectors=[{"X": 0.5}])
+
+    @pytest.mark.parametrize("scheduler", sorted(SCHEDULERS))
+    def test_sqrt_grid_schedulers(self, scheduler):
+        design = synthesize(
+            SQRT_SOURCE,
+            options=SynthesisOptions(
+                scheduler=scheduler,
+                constraints=ResourceConstraints({"fu": 2}),
+            ),
+        )
+        report = check_equivalence(
+            design, vectors=[{"X": x} for x in (0.0625, 0.5, 1.0)]
+        )
+        assert report.equivalent
+
+    @pytest.mark.parametrize("allocator", sorted(ALLOCATORS))
+    def test_sqrt_grid_allocators(self, allocator):
+        design = synthesize(
+            SQRT_SOURCE,
+            options=SynthesisOptions(
+                allocator=allocator,
+                constraints=ResourceConstraints({"fu": 2}),
+            ),
+        )
+        report = check_equivalence(
+            design, vectors=[{"X": x} for x in (0.0625, 0.5, 1.0)]
+        )
+        assert report.equivalent
+
+    @pytest.mark.parametrize("scheduler", ["asap", "list", "ysc"])
+    @pytest.mark.parametrize("allocator", sorted(ALLOCATORS))
+    def test_diffeq_grid(self, scheduler, allocator):
+        design = synthesize_cdfg(
+            diffeq_cdfg(),
+            SynthesisOptions(
+                scheduler=scheduler,
+                allocator=allocator,
+                model=TypedFUModel(),
+                constraints=ResourceConstraints(
+                    {"mul": 2, "add": 1, "cmp": 1}
+                ),
+            ),
+        )
+        report = check_equivalence(
+            design, vectors=[diffeq_inputs(k) for k in (1, 3)]
+        )
+        assert report.equivalent
+
+    def test_ewf_equivalent(self):
+        design = synthesize_cdfg(
+            ewf_cdfg(),
+            SynthesisOptions(
+                model=TypedFUModel(delays={"mul": 2}),
+                constraints=ResourceConstraints({"add": 2, "mul": 1}),
+            ),
+        )
+        report = check_equivalence(design)
+        assert report.equivalent
+
+    def test_unrolled_sqrt_equivalent(self):
+        design = synthesize(
+            SQRT_SOURCE,
+            options=SynthesisOptions(
+                constraints=ResourceConstraints({"fu": 2}),
+                unroll=True,
+            ),
+        )
+        report = check_equivalence(design)
+        assert report.equivalent
+        # No loop left: straight-line FSM, every transition forward.
+        assert all(
+            s.transition.unconditional for s in design.fsm.states
+        )
+
+    def test_branches_equivalent(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; input b: int<8>; output c: int<8>);
+begin
+  if a > b then
+    c := a - b;
+  else
+    c := b - a;
+  if c > 10 then c := 10;
+end
+""")
+        design = synthesize_cdfg(
+            cdfg,
+            SynthesisOptions(constraints=ResourceConstraints({"fu": 1})),
+        )
+        vectors = [
+            {"a": 1, "b": 2},
+            {"a": 9, "b": -8},
+            {"a": -5, "b": -5},
+            {"a": 127, "b": -128},
+        ]
+        assert check_equivalence(design, vectors=vectors).equivalent
+
+
+class TestEngine:
+    def test_unknown_scheduler(self):
+        with pytest.raises(HLSError):
+            synthesize(SQRT_SOURCE, scheduler="magic")
+
+    def test_unknown_allocator(self):
+        with pytest.raises(HLSError):
+            synthesize(SQRT_SOURCE, allocator="magic")
+
+    def test_options_and_kwargs_exclusive(self):
+        with pytest.raises(HLSError):
+            synthesize(
+                SQRT_SOURCE,
+                options=SynthesisOptions(),
+                scheduler="list",
+            )
+
+    def test_report(self):
+        design = synthesize(
+            SQRT_SOURCE, constraints=ResourceConstraints({"fu": 2})
+        )
+        text = design.report()
+        assert "scheduler=list" in text
+        assert "FUs" in text
+
+    def test_design_counts(self):
+        design = synthesize(
+            SQRT_SOURCE, constraints=ResourceConstraints({"fu": 2})
+        )
+        assert design.fu_count >= 2
+        assert design.register_count >= 3
+        assert design.state_count == 4
+
+
+class TestVerilog:
+    def test_module_structure(self):
+        design = synthesize(
+            SQRT_SOURCE, constraints=ResourceConstraints({"fu": 2})
+        )
+        text = emit_verilog(design)
+        assert "module sqrt (" in text
+        assert "input  wire [23:0] in_X" in text
+        assert "output wire [23:0] out_Y" in text
+        assert "endmodule" in text
+
+    def test_one_localparam_per_state(self):
+        design = synthesize(
+            SQRT_SOURCE, constraints=ResourceConstraints({"fu": 2})
+        )
+        text = emit_verilog(design)
+        for state in design.fsm.states:
+            assert f"localparam S{state.id} =" in text
+
+    def test_registers_declared(self):
+        design = synthesize(
+            SQRT_SOURCE, constraints=ResourceConstraints({"fu": 2})
+        )
+        text = emit_verilog(design)
+        assert "reg [23:0] r_Y;" in text
+        assert "reg [1:0] r_I;" in text  # the narrowed counter
+
+    def test_memories_declared(self):
+        design = synthesize(fir_source(4))
+        text = emit_verilog(design)
+        assert "mem_c [0:3]" in text
+        assert "mem_s [0:3]" in text
+
+    def test_fixed_point_scaling_present(self):
+        design = synthesize(
+            SQRT_SOURCE, constraints=ResourceConstraints({"fu": 2})
+        )
+        text = emit_verilog(design)
+        # Division re-scales by the fraction width (16).
+        assert "<<< 16" in text
+
+    def test_balanced_begin_end(self):
+        design = synthesize(
+            SQRT_SOURCE, constraints=ResourceConstraints({"fu": 2})
+        )
+        text = emit_verilog(design)
+        assert text.count("begin") == text.count("end") - text.count(
+            "endmodule"
+        ) - text.count("endcase")

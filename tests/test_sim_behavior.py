@@ -1,0 +1,213 @@
+"""Tests for the behavioral interpreter and the shared op semantics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.ir import IntType, OpKind
+from repro.ir.types import BOOL, FixedType
+from repro.lang import compile_source
+from repro.sim import BehavioralSimulator, run_behavior
+from repro.sim.semantics import coerce, evaluate
+from repro.workloads import SQRT_SOURCE, sqrt_cdfg
+
+I8 = IntType(8)
+F16 = FixedType(16, 8)
+
+
+class TestSemantics:
+    def test_add_wraps(self):
+        assert evaluate(OpKind.ADD, [120, 10], [I8, I8], I8) == -126
+
+    def test_sub(self):
+        assert evaluate(OpKind.SUB, [5, 9], [I8, I8], I8) == -4
+
+    def test_mul_fixed_quantizes(self):
+        result = evaluate(OpKind.MUL, [0.5, 0.5], [F16, F16], F16)
+        assert result == 0.25
+
+    def test_div_truncates_toward_zero(self):
+        assert evaluate(OpKind.DIV, [-7, 2], [I8, I8], I8) == -3
+        assert evaluate(OpKind.DIV, [7, -2], [I8, I8], I8) == -3
+
+    def test_div_by_zero(self):
+        with pytest.raises(SimulationError):
+            evaluate(OpKind.DIV, [1, 0], [I8, I8], I8)
+
+    def test_mod_sign_follows_dividend(self):
+        assert evaluate(OpKind.MOD, [-7, 2], [I8, I8], I8) == -1
+        assert evaluate(OpKind.MOD, [7, -2], [I8, I8], I8) == 1
+
+    def test_shr_fixed_is_half(self):
+        """The paper's strength reduction: x >> 1 == x * 0.5 in fixed."""
+        assert evaluate(OpKind.SHR, [0.75, 1], [F16, I8], F16) == 0.375
+
+    def test_shr_int_arithmetic(self):
+        assert evaluate(OpKind.SHR, [-8, 1], [I8, I8], I8) == -4
+
+    def test_shl(self):
+        assert evaluate(OpKind.SHL, [3, 2], [I8, I8], I8) == 12
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(SimulationError):
+            evaluate(OpKind.SHR, [1, -1], [I8, I8], I8)
+
+    def test_inc_dec(self):
+        assert evaluate(OpKind.INC, [3], [I8], I8) == 4
+        assert evaluate(OpKind.DEC, [3], [I8], I8) == 2
+
+    def test_inc_wraps_two_bit_counter(self):
+        two_bit = IntType(2, signed=False)
+        assert evaluate(OpKind.INC, [3], [two_bit], two_bit) == 0
+
+    def test_bitwise(self):
+        assert evaluate(OpKind.AND, [0b1100, 0b1010], [I8, I8], I8) == 0b1000
+        assert evaluate(OpKind.OR, [0b1100, 0b1010], [I8, I8], I8) == 0b1110
+        assert evaluate(OpKind.XOR, [0b1100, 0b1010], [I8, I8], I8) == 0b0110
+        assert evaluate(OpKind.NOT, [0], [BOOL], BOOL) == 1
+
+    def test_comparisons(self):
+        assert evaluate(OpKind.LT, [1, 2], [I8, I8], BOOL) == 1
+        assert evaluate(OpKind.GE, [1, 2], [I8, I8], BOOL) == 0
+        assert evaluate(OpKind.EQ, [2, 2], [I8, I8], BOOL) == 1
+
+    def test_mux(self):
+        assert evaluate(OpKind.MUX, [1, 10, 20], [BOOL, I8, I8], I8) == 10
+        assert evaluate(OpKind.MUX, [0, 10, 20], [BOOL, I8, I8], I8) == 20
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_add_matches_wrapped_python(self, a, b):
+        t = IntType(12)
+        result = evaluate(OpKind.ADD, [t.wrap(a), t.wrap(b)], [t, t], t)
+        assert result == t.wrap(a + b)
+
+    @given(st.integers(-100, 100), st.integers(1, 100))
+    def test_divmod_identity(self, a, b):
+        t = IntType(16)
+        q = evaluate(OpKind.DIV, [a, b], [t, t], t)
+        r = evaluate(OpKind.MOD, [a, b], [t, t], t)
+        assert q * b + r == a
+
+
+class TestBehavioralSimulator:
+    def test_sqrt_converges(self):
+        cdfg = sqrt_cdfg()
+        for x in (0.0625, 0.125, 0.3, 0.5, 0.77, 1.0):
+            out = run_behavior(cdfg, {"X": x})
+            assert out["Y"] == pytest.approx(math.sqrt(x), abs=2e-4)
+
+    def test_missing_input_rejected(self):
+        with pytest.raises(SimulationError):
+            run_behavior(sqrt_cdfg(), {})
+
+    def test_unknown_input_rejected(self):
+        with pytest.raises(SimulationError):
+            run_behavior(sqrt_cdfg(), {"X": 1.0, "bogus": 2})
+
+    def test_stats_collected(self):
+        sim = BehavioralSimulator(sqrt_cdfg())
+        sim.run({"X": 0.5})
+        assert sim.stats.blocks_executed == 1 + 4  # entry + 4 iterations
+        assert sim.stats.op_histogram[OpKind.DIV] == 4
+
+    def test_loop_guard(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+begin
+  b := 0;
+  while a = a do b := b + 1;
+end
+""")
+        sim = BehavioralSimulator(cdfg, max_iterations=100)
+        with pytest.raises(SimulationError):
+            sim.run({"a": 1})
+
+    def test_if_else(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+begin
+  if a > 0 then b := 1; else b := 2;
+end
+""")
+        assert run_behavior(cdfg, {"a": 5})["b"] == 1
+        assert run_behavior(cdfg, {"a": -5})["b"] == 2
+
+    def test_memories(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+var m: int<8>[4];
+var i: uint<3>;
+begin
+  for i := 0 to 3 do m[i] := a + i;
+  b := m[0] + m[3];
+end
+""")
+        sim = BehavioralSimulator(cdfg)
+        out = sim.run({"a": 10})
+        assert out["b"] == 10 + 13
+        assert sim.memory_contents("m") == [10, 11, 12, 13]
+
+    def test_memory_initialization(self):
+        cdfg = compile_source("""
+procedure p(input i: uint<2>; output b: int<8>);
+var m: int<8>[4];
+begin
+  b := m[i];
+end
+""")
+        out = run_behavior(cdfg, {"i": 2}, {"m": [5, 6, 7, 8]})
+        assert out["b"] == 7
+
+    def test_out_of_range_index(self):
+        cdfg = compile_source("""
+procedure p(input i: uint<4>; output b: int<8>);
+var m: int<8>[4];
+begin
+  b := m[i];
+end
+""")
+        with pytest.raises(SimulationError):
+            run_behavior(cdfg, {"i": 9})
+
+    def test_variable_wraparound(self):
+        """Writes quantize to the declared type, hardware style."""
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: uint<2>);
+begin
+  b := a;
+end
+""")
+        assert run_behavior(cdfg, {"a": 5})["b"] == 1  # 5 mod 4
+
+    def test_for_downto(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+var i: int<8>;
+begin
+  b := 0;
+  for i := 3 downto 1 do b := b + i;
+end
+""")
+        assert run_behavior(cdfg, {"a": 0})["b"] == 6
+
+    def test_nested_loops(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+var i, j: int<8>;
+begin
+  b := 0;
+  for i := 0 to 2 do
+    for j := 0 to 2 do
+      b := b + 1;
+end
+""")
+        assert run_behavior(cdfg, {"a": 0})["b"] == 9
+
+    def test_coerce_rejects_arrays(self):
+        from repro.ir.types import ArrayType
+
+        with pytest.raises(SimulationError):
+            coerce(1, ArrayType(I8, 4))

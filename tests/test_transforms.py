@@ -1,0 +1,464 @@
+"""Tests for the high-level transformation passes (paper §2)."""
+
+import pytest
+
+from repro.ir import IntType, OpKind
+from repro.ir.types import FixedType
+from repro.lang import compile_source
+from repro.sim import run_behavior
+from repro.transforms import (
+    CommonSubexpressionElimination,
+    ConstantFolding,
+    CounterNarrowing,
+    DeadCodeElimination,
+    LoopUnrolling,
+    PassManager,
+    StrengthReduction,
+    TreeHeightReduction,
+    TripCountAnalysis,
+    optimize,
+)
+from repro.workloads import SQRT_SOURCE, sqrt_cdfg
+
+
+def kinds_of(cdfg):
+    return [op.kind for op in cdfg.operations()]
+
+
+class TestDCE:
+    def test_removes_unused_expression(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+var dead: int<8>;
+begin
+  dead := a * a + 3;
+  b := a;
+end
+""")
+        before = cdfg.count_ops()
+        assert DeadCodeElimination().run(cdfg)
+        cdfg.validate()
+        assert cdfg.count_ops() < before
+        assert OpKind.MUL not in kinds_of(cdfg)
+
+    def test_keeps_live_writes(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+var t: int<8>;
+begin
+  t := a + 1;
+end
+
+procedure q(input a: int<8>; output b: int<8>);
+var t: int<8>;
+begin
+  t := a + 1;
+  repeat
+    t := t + 1;
+  until t > 10;
+  b := t;
+end
+""", procedure="q")
+        DeadCodeElimination().run(cdfg)
+        cdfg.validate()
+        assert run_behavior(cdfg, {"a": 0})["b"] == 11
+
+    def test_region_conditions_stay_live(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+begin
+  if a > 0 then b := 1; else b := 2;
+end
+""")
+        changed = DeadCodeElimination().run(cdfg)
+        cdfg.validate()
+        assert OpKind.GT in kinds_of(cdfg)
+        assert run_behavior(cdfg, {"a": 1})["b"] == 1
+        del changed
+
+    def test_idempotent(self):
+        cdfg = sqrt_cdfg()
+        DeadCodeElimination().run(cdfg)
+        assert not DeadCodeElimination().run(cdfg)
+
+
+class TestConstantFolding:
+    def test_folds_constant_tree(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+begin
+  b := a + (2 + 3) * 4;
+end
+""")
+        assert ConstantFolding().run(cdfg)
+        DeadCodeElimination().run(cdfg)
+        cdfg.validate()
+        kinds = kinds_of(cdfg)
+        assert kinds.count(OpKind.ADD) == 1   # only a + 20 remains
+        assert OpKind.MUL not in kinds
+        assert run_behavior(cdfg, {"a": 1})["b"] == 21
+
+    def test_identity_add_zero(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+begin
+  b := a + 0;
+end
+""")
+        assert ConstantFolding().run(cdfg)
+        DeadCodeElimination().run(cdfg)
+        assert OpKind.ADD not in kinds_of(cdfg)
+        assert run_behavior(cdfg, {"a": 7})["b"] == 7
+
+    def test_identity_mul_one_and_zero(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>; output c: int<8>);
+begin
+  b := a * 1;
+  c := a * 0;
+end
+""")
+        ConstantFolding().run(cdfg)
+        DeadCodeElimination().run(cdfg)
+        assert OpKind.MUL not in kinds_of(cdfg)
+        out = run_behavior(cdfg, {"a": 9})
+        assert out == {"b": 9, "c": 0}
+
+    def test_division_by_zero_not_folded(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+begin
+  b := a + 4 / 0;
+end
+""")
+        ConstantFolding().run(cdfg)
+        assert OpKind.DIV in kinds_of(cdfg)
+
+    def test_folds_comparison_condition(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+begin
+  if 2 > 1 then b := 1; else b := 2;
+end
+""")
+        assert ConstantFolding().run(cdfg)
+        cdfg.validate()
+        assert run_behavior(cdfg, {"a": 0})["b"] == 1
+
+
+class TestCSE:
+    def test_merges_duplicate_expression(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; input c: int<8>; output b: int<8>);
+begin
+  b := (a + c) * (a + c);
+end
+""")
+        assert CommonSubexpressionElimination().run(cdfg)
+        cdfg.validate()
+        assert kinds_of(cdfg).count(OpKind.ADD) == 1
+        assert run_behavior(cdfg, {"a": 3, "c": 4})["b"] == 49
+
+    def test_commutative_canonicalization(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; input c: int<8>; output b: int<8>);
+begin
+  b := (a + c) + (c + a);
+end
+""")
+        assert CommonSubexpressionElimination().run(cdfg)
+        assert kinds_of(cdfg).count(OpKind.ADD) == 2  # one inner + outer
+
+    def test_noncommutative_not_merged(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; input c: int<8>; output b: int<8>);
+begin
+  b := (a - c) + (c - a);
+end
+""")
+        assert not CommonSubexpressionElimination().run(cdfg)
+        assert kinds_of(cdfg).count(OpKind.SUB) == 2
+
+
+class TestStrengthReduction:
+    def test_mul_half_becomes_shift(self):
+        """§2: 'The multiplication times 0.5 can be replaced by a right
+        shift by one.'"""
+        cdfg = compile_source("""
+procedure p(input a: fixed<16,8>; output b: fixed<16,8>);
+begin
+  b := 0.5 * a;
+end
+""")
+        assert StrengthReduction().run(cdfg)
+        cdfg.validate()
+        assert OpKind.MUL not in kinds_of(cdfg)
+        assert OpKind.SHR in kinds_of(cdfg)
+        assert run_behavior(cdfg, {"a": 0.75})["b"] == 0.375
+
+    def test_int_mul_power_of_two(self):
+        cdfg = compile_source("""
+procedure p(input a: int<16>; output b: int<16>);
+begin
+  b := a * 8;
+end
+""")
+        assert StrengthReduction().run(cdfg)
+        assert OpKind.SHL in kinds_of(cdfg)
+        assert run_behavior(cdfg, {"a": 5})["b"] == 40
+
+    def test_div_power_of_two(self):
+        cdfg = compile_source("""
+procedure p(input a: fixed<16,8>; output b: fixed<16,8>);
+begin
+  b := a / 4.0;
+end
+""")
+        assert StrengthReduction().run(cdfg)
+        assert OpKind.DIV not in kinds_of(cdfg)
+        assert run_behavior(cdfg, {"a": 1.0})["b"] == 0.25
+
+    def test_add_one_becomes_inc(self):
+        """§2: 'The addition of 1 to I can be replaced by an increment
+        operation.'"""
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+begin
+  b := a + 1;
+end
+""")
+        assert StrengthReduction().run(cdfg)
+        assert OpKind.INC in kinds_of(cdfg)
+        assert run_behavior(cdfg, {"a": 4})["b"] == 5
+
+    def test_sub_one_becomes_dec(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+begin
+  b := a - 1;
+end
+""")
+        assert StrengthReduction().run(cdfg)
+        assert OpKind.DEC in kinds_of(cdfg)
+
+    def test_mul_by_three_untouched(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+begin
+  b := a * 3;
+end
+""")
+        assert not StrengthReduction().run(cdfg)
+
+    def test_int_mul_by_fraction_untouched(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+begin
+  b := a * 2 / 3;
+end
+""")
+        StrengthReduction().run(cdfg)
+        assert OpKind.DIV in kinds_of(cdfg)  # /3 not reducible
+
+
+class TestCounterNarrowing:
+    def test_sqrt_counter_narrows(self):
+        """§2: 'the loop-ending criterion can be changed to I = 0 using
+        a two-bit variable for I.'"""
+        cdfg = sqrt_cdfg()
+        PassManager([StrengthReduction(), CounterNarrowing()]).run(cdfg)
+        cdfg.validate()
+        assert cdfg.variables["I"] == IntType(2, signed=False)
+        assert OpKind.EQ in kinds_of(cdfg)
+        assert OpKind.GT not in kinds_of(cdfg)
+        # Behaviour identical: still exactly 4 Newton iterations.
+        out = run_behavior(cdfg, {"X": 0.25})
+        assert out["Y"] == pytest.approx(0.5, abs=1e-3)
+
+    def test_limit_not_power_of_two_untouched(self):
+        cdfg = compile_source("""
+procedure p(input a: fixed<16,8>; output b: fixed<16,8>);
+var i: uint<4>;
+begin
+  b := a;
+  i := 0;
+  repeat
+    b := b + a;
+    i := i + 1;
+  until i > 4;
+end
+""")
+        PassManager([StrengthReduction(), CounterNarrowing()]).run(cdfg)
+        assert cdfg.variables["i"] == IntType(4, signed=False)
+
+    def test_counter_with_observer_untouched(self):
+        """A counter whose value is *used* cannot be narrowed."""
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+var i: uint<4>;
+begin
+  b := 0;
+  i := 0;
+  repeat
+    b := b + i;
+    i := i + 1;
+  until i > 3;
+end
+""")
+        expected = run_behavior(cdfg, {"a": 0})["b"]
+        PassManager([StrengthReduction(), CounterNarrowing()]).run(cdfg)
+        assert cdfg.variables["i"] == IntType(4, signed=False)
+        assert run_behavior(cdfg, {"a": 0})["b"] == expected
+
+
+class TestTripCount:
+    def test_sqrt_trip_count(self):
+        cdfg = sqrt_cdfg()
+        TripCountAnalysis().run(cdfg)
+        assert cdfg.loops()[0].trip_count == 4
+
+    def test_narrowed_counter_trip_count(self):
+        cdfg = sqrt_cdfg()
+        PassManager([
+            StrengthReduction(), CounterNarrowing(), TripCountAnalysis()
+        ]).run(cdfg)
+        assert cdfg.loops()[0].trip_count == 4
+
+    def test_data_dependent_loop_unannotated(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+begin
+  b := 0;
+  repeat
+    b := b + 1;
+  until b > a;
+end
+""")
+        TripCountAnalysis().run(cdfg)
+        assert cdfg.loops()[0].trip_count is None
+
+
+class TestUnrolling:
+    def test_sqrt_fully_unrolls(self):
+        """§2: 'Loop unrolling can also be done in this case since the
+        number of iterations is fixed and small.'"""
+        cdfg = sqrt_cdfg()
+        expected = {
+            x: run_behavior(cdfg, {"X": x})["Y"] for x in (0.1, 0.5, 0.9)
+        }
+        optimize(cdfg, unroll=True)
+        cdfg.validate()
+        assert cdfg.loops() == []
+        assert kinds_of(cdfg).count(OpKind.DIV) == 4
+        for x, y in expected.items():
+            assert run_behavior(cdfg, {"X": x})["Y"] == y
+
+    def test_for_loop_unrolls(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+var i: int<8>;
+begin
+  b := 0;
+  for i := 0 to 3 do b := b + a;
+end
+""")
+        expected = run_behavior(cdfg, {"a": 5})["b"]
+        LoopUnrolling().run(cdfg)
+        cdfg.validate()
+        assert cdfg.loops() == []
+        assert run_behavior(cdfg, {"a": 5})["b"] == expected
+
+    def test_unknown_trips_not_unrolled(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+begin
+  b := 0;
+  repeat
+    b := b + 1;
+  until b > a;
+end
+""")
+        assert not LoopUnrolling().run(cdfg)
+
+    def test_max_trips_respected(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+var i: int<8>;
+begin
+  b := 0;
+  for i := 0 to 9 do b := b + a;
+end
+""")
+        assert not LoopUnrolling(max_trips=5).run(cdfg)
+
+
+class TestTreeHeight:
+    def test_chain_balanced(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; input b: int<8>; input c: int<8>;
+            input d: int<8>; output o: int<8>);
+begin
+  o := a + b + c + d;
+end
+""")
+        from repro.ir import dependence_graph
+        from repro.ir.dfg import critical_path_length
+
+        block = cdfg.blocks()[0]
+        delay = lambda op: 1 if op.kind is OpKind.ADD else 0  # noqa: E731
+        before = critical_path_length(dependence_graph(block.ops), delay)
+        assert TreeHeightReduction().run(cdfg)
+        cdfg.validate()
+        after = critical_path_length(dependence_graph(block.ops), delay)
+        assert before == 3 and after == 2
+        out = run_behavior(cdfg, {"a": 1, "b": 2, "c": 3, "d": 4})
+        assert out["o"] == 10
+
+    def test_multi_use_intermediate_not_touched(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; input b: int<8>; input c: int<8>;
+            output o: int<8>; output t: int<8>);
+begin
+  t := a + b;
+  o := t + c + a;
+end
+""")
+        changed = TreeHeightReduction().run(cdfg)
+        cdfg.validate()
+        out = run_behavior(cdfg, {"a": 1, "b": 2, "c": 3})
+        assert out == {"t": 3, "o": 7}
+        del changed
+
+
+class TestStandardPipeline:
+    def test_sqrt_reproduces_paper_body(self):
+        """After optimization the loop body is exactly the paper's
+        Fig. 2 op set: div, add, shift, increment, equality test."""
+        cdfg = sqrt_cdfg()
+        optimize(cdfg)
+        body = cdfg.loops()[0].test_block
+        kinds = sorted(op.kind.value for op in body.compute_ops())
+        assert kinds == ["add", "div", "eq", "inc", "shr"]
+
+    @pytest.mark.parametrize("x", [0.0625, 0.2, 0.5, 0.9, 1.0])
+    def test_optimization_preserves_sqrt(self, x):
+        reference = run_behavior(sqrt_cdfg(), {"X": x})
+        cdfg = sqrt_cdfg()
+        optimize(cdfg)
+        assert run_behavior(cdfg, {"X": x}) == reference
+
+    def test_pipeline_reaches_fixpoint(self):
+        cdfg = sqrt_cdfg()
+        report1 = optimize(cdfg)
+        report2 = optimize(cdfg)
+        assert report1.applied
+        assert not report2.applied
+
+    def test_diffeq_preserved(self):
+        from repro.workloads import diffeq_cdfg, diffeq_inputs
+
+        inputs = diffeq_inputs(3)
+        reference = run_behavior(diffeq_cdfg(), inputs)
+        cdfg = diffeq_cdfg()
+        optimize(cdfg, tree_height=True)
+        assert run_behavior(cdfg, inputs) == reference

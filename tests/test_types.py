@@ -1,0 +1,160 @@
+"""Unit tests for repro.ir.types."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.types import (
+    BOOL,
+    ArrayType,
+    FixedType,
+    IntType,
+    bit_width,
+    common_type,
+    is_scalar,
+)
+
+
+class TestIntType:
+    def test_signed_range(self):
+        t = IntType(8)
+        assert t.min_value == -128
+        assert t.max_value == 127
+
+    def test_unsigned_range(self):
+        t = IntType(8, signed=False)
+        assert t.min_value == 0
+        assert t.max_value == 255
+
+    def test_wrap_positive_overflow(self):
+        assert IntType(8).wrap(128) == -128
+
+    def test_wrap_negative_overflow(self):
+        assert IntType(8).wrap(-129) == 127
+
+    def test_wrap_unsigned(self):
+        assert IntType(2, signed=False).wrap(4) == 0
+        assert IntType(2, signed=False).wrap(5) == 1
+
+    def test_two_bit_counter_wraps_to_zero(self):
+        """The paper's 2-bit loop counter: 3 + 1 wraps to 0."""
+        t = IntType(2, signed=False)
+        assert t.wrap(3 + 1) == 0
+
+    def test_wrap_identity_in_range(self):
+        t = IntType(6)
+        for value in range(t.min_value, t.max_value + 1):
+            assert t.wrap(value) == value
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            IntType(0)
+
+    def test_str(self):
+        assert str(IntType(8)) == "int<8>"
+        assert str(IntType(3, signed=False)) == "uint<3>"
+
+    @given(st.integers(min_value=1, max_value=40), st.integers())
+    def test_wrap_always_in_range(self, width, value):
+        t = IntType(width)
+        wrapped = t.wrap(value)
+        assert t.min_value <= wrapped <= t.max_value
+
+    @given(st.integers(min_value=1, max_value=40), st.integers())
+    def test_wrap_idempotent(self, width, value):
+        t = IntType(width, signed=False)
+        assert t.wrap(t.wrap(value)) == t.wrap(value)
+
+    @given(st.integers(min_value=2, max_value=30), st.integers(),
+           st.integers())
+    def test_wrap_is_ring_homomorphism(self, width, a, b):
+        """(a + b) mod 2^w == (a mod 2^w + b mod 2^w) mod 2^w."""
+        t = IntType(width)
+        assert t.wrap(a + b) == t.wrap(t.wrap(a) + t.wrap(b))
+
+
+class TestFixedType:
+    def test_scale(self):
+        assert FixedType(16, 8).scale == 256
+
+    def test_quantize_exact(self):
+        t = FixedType(16, 8)
+        assert t.quantize(0.5) == 0.5
+        assert t.quantize(1.25) == 1.25
+
+    def test_quantize_rounds(self):
+        t = FixedType(16, 2)  # grid 0.25
+        assert t.quantize(0.3) == 0.25
+        assert t.quantize(0.4) == 0.5
+
+    def test_quantize_negative(self):
+        t = FixedType(16, 2)
+        assert t.quantize(-0.3) == -0.25
+
+    def test_invalid_frac(self):
+        with pytest.raises(ValueError):
+            FixedType(8, 8)
+
+    def test_str(self):
+        assert str(FixedType(24, 16)) == "fixed<24,16>"
+
+    @given(st.floats(min_value=-100, max_value=100,
+                     allow_nan=False, allow_infinity=False))
+    def test_quantize_idempotent(self, value):
+        t = FixedType(24, 8)
+        assert t.quantize(t.quantize(value)) == t.quantize(value)
+
+    @given(st.floats(min_value=-100, max_value=100,
+                     allow_nan=False, allow_infinity=False))
+    def test_quantize_error_bound(self, value):
+        t = FixedType(24, 8)
+        assert abs(t.quantize(value) - value) <= 1 / (2 * t.scale) + 1e-12
+
+
+class TestArrayType:
+    def test_address_width(self):
+        assert ArrayType(IntType(8), 16).address_width == 4
+        assert ArrayType(IntType(8), 17).address_width == 5
+        assert ArrayType(IntType(8), 1).address_width == 1
+
+    def test_no_nested_arrays(self):
+        with pytest.raises(ValueError):
+            ArrayType(ArrayType(IntType(8), 4), 4)
+
+    def test_bit_width(self):
+        assert bit_width(ArrayType(IntType(8), 4)) == 32
+
+    def test_str(self):
+        assert str(ArrayType(IntType(8), 4)) == "int<8>[4]"
+
+
+class TestCommonType:
+    def test_same_type(self):
+        assert common_type(IntType(8), IntType(8)) == IntType(8)
+
+    def test_widening(self):
+        assert common_type(IntType(8), IntType(16)) == IntType(16)
+
+    def test_signed_sticky(self):
+        t = common_type(IntType(8, signed=False), IntType(8, signed=True))
+        assert t.signed
+
+    def test_fixed_promotion(self):
+        t = common_type(IntType(8), FixedType(16, 8))
+        assert isinstance(t, FixedType)
+        assert t.frac_bits == 8
+
+    def test_array_rejected(self):
+        with pytest.raises(TypeError):
+            common_type(ArrayType(IntType(8), 4), IntType(8))
+
+
+def test_bool_is_unsigned_bit():
+    assert BOOL.width == 1
+    assert not BOOL.signed
+
+
+def test_is_scalar():
+    assert is_scalar(IntType(8))
+    assert is_scalar(FixedType(8, 4))
+    assert not is_scalar(ArrayType(IntType(8), 4))

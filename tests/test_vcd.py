@@ -1,0 +1,93 @@
+"""Tests for execution tracing and VCD emission."""
+
+import pytest
+
+from repro.core import synthesize
+from repro.errors import SimulationError
+from repro.scheduling import ResourceConstraints
+from repro.sim import RTLSimulator, write_vcd
+from repro.workloads import SQRT_SOURCE
+
+
+def traced_run():
+    design = synthesize(
+        SQRT_SOURCE, constraints=ResourceConstraints({"fu": 2})
+    )
+    simulator = RTLSimulator(design, trace=True)
+    simulator.run({"X": 0.25})
+    return design, simulator
+
+
+class TestTrace:
+    def test_one_entry_per_cycle(self):
+        _, simulator = traced_run()
+        assert len(simulator.trace) == simulator.cycles == 10
+        assert [e.cycle for e in simulator.trace] == list(range(1, 11))
+
+    def test_registers_snapshot_isolated(self):
+        """Snapshots are copies, not views of live state."""
+        _, simulator = traced_run()
+        first = simulator.trace[0].registers
+        last = simulator.trace[-1].registers
+        assert first[("var", "Y")] != last[("var", "Y")]
+
+    def test_counter_visible_in_trace(self):
+        """The 2-bit counter walks 1,2,3,0 through the loop."""
+        _, simulator = traced_run()
+        counter_values = [
+            entry.registers[("var", "I")] for entry in simulator.trace
+        ]
+        # I increments at the end of each 2-step body pass.
+        assert counter_values[-1] == 0  # wrapped at the end
+        assert 3 in counter_values
+
+    def test_tracing_off_by_default(self):
+        design, _ = traced_run()
+        simulator = RTLSimulator(design)
+        simulator.run({"X": 0.25})
+        assert simulator.trace == []
+
+
+class TestVCD:
+    def test_structure(self):
+        design, simulator = traced_run()
+        text = write_vcd(design, simulator.trace)
+        assert "$timescale 1ns $end" in text
+        assert "$var wire 24" in text      # the fixed<24,16> registers
+        assert "fsm_state" in text
+        assert "$enddefinitions $end" in text
+        assert text.count("#") >= simulator.cycles  # one timestamp/cycle
+
+    def test_final_y_value_encoded(self):
+        design, simulator = traced_run()
+        text = write_vcd(design, simulator.trace)
+        # sqrt(0.25) = 0.5 -> 0.5 * 2^16 = 32768 = 0b1000000000000000.
+        assert f"b{32768:024b}" in text
+
+    def test_unchanged_signals_not_redumped(self):
+        design, simulator = traced_run()
+        text = write_vcd(design, simulator.trace)
+        # X never changes after load: exactly one dump of its pattern.
+        x_bits = format(int(0.25 * (1 << 16)), "024b")
+        x_lines = [
+            line for line in text.splitlines()
+            if line.startswith(f"b{x_bits} ")
+        ]
+        # Y passes through many values; X's exact pattern appears once
+        # (as X) — Y could coincide, so allow <= 2 but require >= 1.
+        assert 1 <= len(x_lines) <= 2
+
+    def test_empty_trace_rejected(self):
+        design, _ = traced_run()
+        with pytest.raises(SimulationError):
+            write_vcd(design, [])
+
+    def test_gtkwave_token_sanity(self):
+        """Every change line is `b<binary> <id>` with a printable id."""
+        design, simulator = traced_run()
+        text = write_vcd(design, simulator.trace)
+        for line in text.splitlines():
+            if line.startswith("b"):
+                bits, identifier = line[1:].split(" ")
+                assert set(bits) <= {"0", "1"}
+                assert identifier.isprintable()

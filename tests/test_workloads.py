@@ -1,0 +1,165 @@
+"""Tests for the workload builders themselves."""
+
+import math
+
+import pytest
+
+from repro.ir import OpKind
+from repro.sim import run_behavior
+from repro.workloads import (
+    RandomDFGSpec,
+    diffeq_cdfg,
+    diffeq_inputs,
+    ewf_cdfg,
+    fig3_cdfg,
+    fig5_cdfg,
+    fig6_cdfg,
+    fir_block_cdfg,
+    fir_cdfg,
+    random_dfg,
+    sqrt_cdfg,
+)
+
+
+class TestSqrtWorkload:
+    def test_structure(self):
+        cdfg = sqrt_cdfg()
+        assert len(cdfg.blocks()) == 2
+        assert len(cdfg.loops()) == 1
+
+    def test_converges_across_domain(self):
+        cdfg = sqrt_cdfg()
+        for k in range(1, 17):
+            x = k / 16
+            out = run_behavior(cdfg, {"X": x})
+            assert out["Y"] == pytest.approx(math.sqrt(x), abs=5e-4)
+
+
+class TestDiffeqWorkload:
+    def test_reference_euler(self):
+        """The behavioral result matches a plain-Python Euler
+        integration with the same fixed-point quantization applied."""
+        from repro.ir.types import FixedType
+
+        fmt = FixedType(32, 16)
+        inputs = diffeq_inputs(5)
+        x, y, u = inputs["x0"], inputs["y0"], inputs["u0"]
+        dx, a = fmt.quantize(inputs["dx"]), fmt.quantize(inputs["a"])
+        while x < a:
+            x1 = fmt.quantize(x + dx)
+            t1 = fmt.quantize(fmt.quantize(fmt.quantize(3.0) * x) * u)
+            t1 = fmt.quantize(t1 * dx)
+            t2 = fmt.quantize(fmt.quantize(fmt.quantize(3.0) * y) * dx)
+            u1 = fmt.quantize(fmt.quantize(u - t1) - t2)
+            y1 = fmt.quantize(y + fmt.quantize(u * dx))
+            x, u, y = x1, u1, y1
+        out = run_behavior(diffeq_cdfg(), inputs)
+        assert out["xn"] == pytest.approx(x, abs=1e-9)
+        assert out["yn"] == pytest.approx(y, abs=1e-3)
+
+    def test_op_mix(self):
+        cdfg = diffeq_cdfg()
+        body_kinds = [
+            op.kind
+            for op in cdfg.operations()
+        ]
+        assert body_kinds.count(OpKind.MUL) == 6
+        assert body_kinds.count(OpKind.LT) == 1
+
+
+class TestEWF:
+    def test_op_counts(self):
+        cdfg = ewf_cdfg()
+        kinds = [op.kind for op in cdfg.operations()]
+        assert kinds.count(OpKind.ADD) == 26
+        assert kinds.count(OpKind.MUL) == 8
+
+    def test_behavioral_runs(self):
+        cdfg = ewf_cdfg()
+        inputs = {"x": 0.5}
+        inputs.update({f"sv{i}": 0.0 for i in range(7)})
+        out = run_behavior(cdfg, inputs)
+        assert "y" in out and len(out) == 8
+
+    def test_filter_responds_to_input(self):
+        cdfg = ewf_cdfg()
+        zero = {"x": 0.0, **{f"sv{i}": 0.0 for i in range(7)}}
+        one = {"x": 1.0, **{f"sv{i}": 0.0 for i in range(7)}}
+        assert run_behavior(cdfg, zero)["y"] != run_behavior(
+            cdfg, one
+        )["y"]
+
+
+class TestFIR:
+    def test_loop_fir_computes_inner_product(self):
+        cdfg = fir_cdfg(4)
+        memories = {"c": [1.0, 2.0, 3.0, 4.0], "s": [0.0, 1.0, 1.0, 1.0]}
+        out = run_behavior(cdfg, {"x": 2.0}, memories)
+        # s[0] := x first, so the product is 1*2 + 2*1 + 3*1 + 4*1.
+        assert out["y"] == pytest.approx(11.0)
+
+    def test_flat_fir_matches_formula(self):
+        cdfg = fir_block_cdfg(4)
+        inputs = {}
+        expected = 0.0
+        for i in range(4):
+            inputs[f"x{i}"] = 0.5 * (i + 1)
+            inputs[f"c{i}"] = 0.25
+            expected += 0.5 * (i + 1) * 0.25
+        out = run_behavior(cdfg, inputs)
+        assert out["y"] == pytest.approx(expected, abs=1e-3)
+
+    def test_flat_fir_shape(self):
+        cdfg = fir_block_cdfg(8)
+        kinds = [op.kind for op in cdfg.operations()]
+        assert kinds.count(OpKind.MUL) == 8
+        assert kinds.count(OpKind.ADD) == 7
+
+
+class TestFigureWorkloads:
+    def test_fig3_has_mul_and_chain(self):
+        cdfg = fig3_cdfg()
+        kinds = [op.kind for op in cdfg.operations()]
+        assert kinds.count(OpKind.MUL) == 2
+        assert kinds.count(OpKind.ADD) == 2
+
+    def test_fig5_three_adds_four_muls(self):
+        cdfg = fig5_cdfg()
+        kinds = [op.kind for op in cdfg.operations()]
+        assert kinds.count(OpKind.ADD) == 3
+        assert kinds.count(OpKind.MUL) == 5
+
+    def test_fig6_four_adds(self):
+        cdfg = fig6_cdfg()
+        kinds = [op.kind for op in cdfg.operations()]
+        assert kinds.count(OpKind.ADD) == 4
+
+
+class TestRandomDFG:
+    def test_deterministic(self):
+        a = random_dfg(RandomDFGSpec(ops=12, seed=7))
+        b = random_dfg(RandomDFGSpec(ops=12, seed=7))
+        assert [op.kind for op in a.operations()] == [
+            op.kind for op in b.operations()
+        ]
+
+    def test_seed_changes_graph(self):
+        a = random_dfg(RandomDFGSpec(ops=12, seed=7))
+        b = random_dfg(RandomDFGSpec(ops=12, seed=8))
+        assert [op.kind for op in a.operations()] != [
+            op.kind for op in b.operations()
+        ]
+
+    def test_requested_op_count(self):
+        cdfg = random_dfg(RandomDFGSpec(ops=25, seed=3))
+        computes = [
+            op for op in cdfg.operations()
+            if op.kind in (OpKind.ADD, OpKind.SUB, OpKind.MUL)
+        ]
+        assert len(computes) == 25
+
+    def test_behavioral_executability(self):
+        cdfg = random_dfg(RandomDFGSpec(ops=15, seed=11))
+        inputs = {port.name: 0.5 for port in cdfg.inputs}
+        out = run_behavior(cdfg, inputs)
+        assert out  # at least one output produced
