@@ -1,0 +1,339 @@
+"""Performance harness for the DSE fast path and the schedulers.
+
+Times the *seed* implementation strategy (recompile per point, no
+memoization, full-recompute force-directed loop) against the current
+fast path (compile-once + shared scheduling structure + synthesis and
+measurement caches; incremental force-directed frames) on the same
+workloads, and writes the numbers to ``BENCH_dse.json`` at the repo
+root.  Every comparison also checks that the two paths produce
+identical results — a speedup that changes answers is a bug, not a
+win.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/perf/run_bench.py            # full
+    PYTHONPATH=src python benchmarks/perf/run_bench.py --budget smoke
+
+The smoke budget (also exercised by ``tests/test_perf_smoke.py`` via
+the ``perf-smoke`` marker) uses one repeat and trimmed workloads so it
+stays test-suite fast; the full budget repeats each measurement and
+keeps the minimum, which is robust against scheduler noise on busy
+machines (noise only ever adds time).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.core import clear_synthesis_cache
+from repro.core.engine import SynthesisOptions, synthesize_cdfg
+from repro.estimation import estimate_area, estimate_timing
+from repro.explore import explore_fu_range, search_for_latency
+from repro.explore.dse import measure_cycles
+from repro.lang import compile_source
+from repro.scheduling import (
+    ForceDirectedScheduler,
+    ListScheduler,
+    ResourceConstraints,
+    SchedulingProblem,
+    TypedFUModel,
+    UniversalFUModel,
+    set_problem_caching,
+)
+from repro.workloads import ewf_cdfg, fig5_cdfg
+from repro.workloads.diffeq import DIFFEQ_SOURCE
+from repro.workloads.random_dfg import RandomDFGSpec, random_dfg
+from repro.workloads.sqrt import SQRT_SOURCE
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+OUTPUT = REPO_ROOT / "BENCH_dse.json"
+
+BUDGETS = {
+    "smoke": {"repeats": 1, "diffeq_limits": 4, "sqrt_limits": 3,
+              "random_ops": 30, "search_max_units": 8},
+    "full": {"repeats": 5, "diffeq_limits": 8, "sqrt_limits": 6,
+             "random_ops": 60, "search_max_units": 16},
+}
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _point_rows(points) -> list[tuple]:
+    return [
+        (str(p.constraints), p.area, p.cycles, p.clock_ns) for p in points
+    ]
+
+
+# ----------------------------------------------------------------------
+# Seed replicas: what the code did before the fast path existed.
+
+def _seed_point(source: str, limit: int) -> tuple:
+    cdfg = compile_source(source)
+    options = SynthesisOptions(
+        constraints=ResourceConstraints({"fu": limit})
+    )
+    design = synthesize_cdfg(cdfg, options)
+    cycles = measure_cycles(design, None)
+    timing = estimate_timing(design, cycles)
+    return (str(options.constraints), estimate_area(design).total,
+            cycles, timing.clock_ns)
+
+
+def _seed_sweep(source: str, limits: list[int]) -> list[tuple]:
+    return [_seed_point(source, limit) for limit in limits]
+
+
+def _seed_search(source: str, target_cycles: int,
+                 max_units: int) -> tuple | None:
+    low, high = 1, max_units
+    ceiling = _seed_point(source, high)
+    if ceiling[2] > target_cycles:
+        return None
+    best = ceiling
+    while low < high:
+        middle = (low + high) // 2
+        point = _seed_point(source, middle)
+        if point[2] <= target_cycles:
+            best, high = point, middle
+        else:
+            low = middle + 1
+    return best
+
+
+def _as_seed(fn):
+    """Run ``fn`` with every post-seed cache disabled."""
+    def wrapped():
+        previous = set_problem_caching(False)
+        try:
+            return fn()
+        finally:
+            set_problem_caching(previous)
+    return wrapped
+
+
+def _fresh(fn):
+    """Run ``fn`` against a cold synthesis cache (each repeat must do
+    real work, not replay the previous repeat)."""
+    def wrapped():
+        clear_synthesis_cache()
+        return fn()
+    return wrapped
+
+
+# ----------------------------------------------------------------------
+# Benchmarks.
+
+def _bench_sweep(name: str, source: str, limits: list[int],
+                 repeats: int) -> dict:
+    baseline_rows = _seed_sweep(source, limits)
+    new_rows = _point_rows(
+        _fresh(lambda: explore_fu_range(source, limits))().points
+    )
+    baseline_s = _best_of(
+        _as_seed(lambda: _seed_sweep(source, limits)), repeats
+    )
+    new_s = _best_of(
+        _fresh(lambda: explore_fu_range(source, limits)), repeats
+    )
+    return {
+        "workload": name,
+        "points": len(limits),
+        "baseline_s": baseline_s,
+        "new_s": new_s,
+        "speedup": baseline_s / new_s,
+        "equivalent": baseline_rows == new_rows,
+    }
+
+
+def _bench_search(source: str, target_cycles: int, max_units: int,
+                  repeats: int) -> dict:
+    baseline_row = _seed_search(source, target_cycles, max_units)
+    point = _fresh(
+        lambda: search_for_latency(source, target_cycles,
+                                   max_units=max_units)
+    )()
+    new_row = (None if point is None else
+               (str(point.constraints), point.area, point.cycles,
+                point.clock_ns))
+    baseline_s = _best_of(
+        _as_seed(lambda: _seed_search(source, target_cycles, max_units)),
+        repeats,
+    )
+    new_s = _best_of(
+        _fresh(lambda: search_for_latency(source, target_cycles,
+                                          max_units=max_units)),
+        repeats,
+    )
+    return {
+        "target_cycles": target_cycles,
+        "max_units": max_units,
+        "result": new_row and new_row[0],
+        "baseline_s": baseline_s,
+        "new_s": new_s,
+        "speedup": baseline_s / new_s,
+        "equivalent": baseline_row == new_row,
+    }
+
+
+def _bench_force_directed(name: str, problem_factory, repeats: int,
+                          deadline: int | None = None) -> dict:
+    def reference():
+        previous = set_problem_caching(False)
+        try:
+            return ForceDirectedScheduler(
+                problem_factory(), deadline=deadline, _reference=True
+            ).schedule()
+        finally:
+            set_problem_caching(previous)
+
+    def incremental():
+        return ForceDirectedScheduler(
+            problem_factory(), deadline=deadline
+        ).schedule()
+
+    identical = reference().start == incremental().start
+    reference_s = _best_of(reference, repeats)
+    incremental_s = _best_of(incremental, repeats)
+    return {
+        "workload": name,
+        "reference_s": reference_s,
+        "incremental_s": incremental_s,
+        "speedup": reference_s / incremental_s,
+        "identical_schedules": identical,
+    }
+
+
+def _bench_list(name: str, problem_factory, repeats: int) -> dict:
+    def uncached():
+        previous = set_problem_caching(False)
+        try:
+            return ListScheduler(problem_factory()).schedule()
+        finally:
+            set_problem_caching(previous)
+
+    def cached():
+        return ListScheduler(problem_factory()).schedule()
+
+    identical = uncached().start == cached().start
+    uncached_s = _best_of(uncached, repeats)
+    cached_s = _best_of(cached, repeats)
+    return {
+        "workload": name,
+        "baseline_s": uncached_s,
+        "new_s": cached_s,
+        "speedup": uncached_s / cached_s,
+        "identical_schedules": identical,
+    }
+
+
+def _single_block_problem(cdfg, model, constraints=None,
+                          time_limit=None) -> SchedulingProblem:
+    blocks = [block for block in cdfg.blocks() if block.ops]
+    return SchedulingProblem.from_block(blocks[0], model, constraints,
+                                        time_limit=time_limit)
+
+
+def run_benchmarks(budget: str = "full") -> dict:
+    """Time seed vs fast paths; returns the report dict."""
+    if budget not in BUDGETS:
+        raise ValueError(f"unknown budget {budget!r}")
+    knobs = BUDGETS[budget]
+    repeats = knobs["repeats"]
+
+    random_spec = RandomDFGSpec(ops=knobs["random_ops"], seed=42)
+    typed = TypedFUModel()
+    universal = UniversalFUModel()
+
+    report = {
+        "budget": budget,
+        "repeats": repeats,
+        "timer": "min over repeats of time.perf_counter",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "dse": {
+            "diffeq_sweep": _bench_sweep(
+                "diffeq", DIFFEQ_SOURCE,
+                list(range(1, knobs["diffeq_limits"] + 1)), repeats,
+            ),
+            "sqrt_sweep": _bench_sweep(
+                "sqrt", SQRT_SOURCE,
+                list(range(1, knobs["sqrt_limits"] + 1)), repeats,
+            ),
+            "sqrt_search": _bench_search(
+                SQRT_SOURCE, target_cycles=10,
+                max_units=knobs["search_max_units"], repeats=repeats,
+            ),
+        },
+        "schedulers": {
+            "force_directed_fig5": _bench_force_directed(
+                "fig5",
+                lambda: _single_block_problem(
+                    fig5_cdfg(), TypedFUModel(single_cycle=True),
+                    time_limit=3,
+                ),
+                repeats, deadline=3,
+            ),
+            "force_directed_ewf": _bench_force_directed(
+                "ewf",
+                lambda: _single_block_problem(ewf_cdfg(), typed),
+                repeats,
+            ),
+            "force_directed_random": _bench_force_directed(
+                f"random_dfg(ops={random_spec.ops}, seed=42)",
+                lambda: _single_block_problem(
+                    random_dfg(random_spec), typed
+                ),
+                repeats,
+            ),
+            "list_random": _bench_list(
+                f"random_dfg(ops={random_spec.ops}, seed=42)",
+                lambda: _single_block_problem(
+                    random_dfg(random_spec), universal,
+                    ResourceConstraints({"fu": 4}),
+                ),
+                repeats,
+            ),
+        },
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="time the DSE fast path against the seed strategy"
+    )
+    parser.add_argument("--budget", choices=sorted(BUDGETS),
+                        default="full")
+    parser.add_argument("--output", default=str(OUTPUT),
+                        help=f"report path (default {OUTPUT})")
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks(args.budget)
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+
+    for section in ("dse", "schedulers"):
+        for name, entry in report[section].items():
+            flag = entry.get("equivalent",
+                             entry.get("identical_schedules"))
+            print(f"{section}/{name}: {entry['speedup']:.2f}x "
+                  f"(results identical: {flag})")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

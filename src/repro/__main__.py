@@ -126,7 +126,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 def cmd_explore(args: argparse.Namespace) -> int:
     source = _read_source(args.file)
     limits = [int(x) for x in args.limits.split(",")]
-    result = explore_fu_range(source, limits, options=_options(args))
+    result = explore_fu_range(source, limits, options=_options(args),
+                              n_jobs=args.jobs)
     print(result.table())
     return 0
 
@@ -163,6 +164,10 @@ def main(argv: list[str] | None = None) -> int:
     explore.add_argument(
         "--limits", default="1,2,3",
         help="comma-separated FU limits to try (default 1,2,3)",
+    )
+    explore.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sweep (default 1 = serial)",
     )
     explore.set_defaults(handler=cmd_explore)
 

@@ -4,7 +4,11 @@ from .design import SynthesizedDesign
 from .engine import (
     ALLOCATORS,
     SCHEDULERS,
+    SynthesisCache,
     SynthesisOptions,
+    clear_synthesis_cache,
+    source_digest,
+    synthesis_cache,
     synthesize,
     synthesize_cdfg,
 )
@@ -12,8 +16,12 @@ from .engine import (
 __all__ = [
     "ALLOCATORS",
     "SCHEDULERS",
+    "SynthesisCache",
     "SynthesisOptions",
     "SynthesizedDesign",
+    "clear_synthesis_cache",
+    "source_digest",
+    "synthesis_cache",
     "synthesize",
     "synthesize_cdfg",
 ]

@@ -9,8 +9,10 @@ harness design-space exploration drives.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Callable, Hashable, Mapping
 
 from ..allocation import (
     CliqueAllocator,
@@ -84,6 +86,113 @@ class SynthesisOptions:
     tree_height: bool = False
     library: ComponentLibrary | None = None
 
+    def with_constraints(
+        self,
+        constraints: ResourceConstraints | Mapping[str, int] | None,
+    ) -> "SynthesisOptions":
+        """A copy of these options with only the constraints replaced.
+
+        The single way DSE derives per-point options — new fields added
+        to :class:`SynthesisOptions` are carried along automatically
+        instead of having to be re-listed at every call site.
+        """
+        if constraints is not None and not isinstance(
+            constraints, ResourceConstraints
+        ):
+            constraints = ResourceConstraints(dict(constraints))
+        return replace(self, constraints=constraints)
+
+    def cache_key(self) -> tuple[Hashable, ...]:
+        """A hashable key identifying every behavior-relevant knob.
+
+        Model and library objects are keyed by identity (they are
+        stateless strategy objects); the key tuple keeps a reference to
+        them, so an entry can never collide with a different object
+        that happens to reuse a freed id.
+        """
+        limits = (
+            None
+            if self.constraints is None
+            else tuple(sorted(self.constraints.limits.items()))
+        )
+        return (
+            self.scheduler,
+            self.allocator,
+            self.model,
+            limits,
+            self.optimize_ir,
+            self.unroll,
+            self.tree_height,
+            self.library,
+        )
+
+
+def source_digest(source: str) -> str:
+    """Stable digest of behavioral source text, for cache keys."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class SynthesisCache:
+    """A bounded LRU cache of synthesized designs.
+
+    Keyed by ``(source digest, entry procedure, options cache key)``;
+    the design-space explorers use it so re-probing a constraint the
+    binary search (or an earlier sweep) already built never re-runs
+    the synthesis pipeline.  Entries are complete
+    :class:`SynthesizedDesign` objects and must be treated as
+    immutable by callers.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple, SynthesizedDesign] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> SynthesizedDesign | None:
+        design = self._entries.get(key)
+        if design is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return design
+
+    def put(self, key: tuple, design: SynthesizedDesign) -> None:
+        self._entries[key] = design
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+#: Process-global design cache shared by every exploration entry point.
+_SYNTHESIS_CACHE = SynthesisCache()
+
+
+def synthesis_cache() -> SynthesisCache:
+    """The process-global :class:`SynthesisCache`."""
+    return _SYNTHESIS_CACHE
+
+
+def clear_synthesis_cache() -> None:
+    """Drop every cached design and reset the hit/miss counters."""
+    _SYNTHESIS_CACHE.clear()
+
 
 def _region_condition_values(cdfg: CDFG) -> dict[int, set[int]]:
     """Block id → condition value ids the controller reads there."""
@@ -96,11 +205,24 @@ def _region_condition_values(cdfg: CDFG) -> dict[int, set[int]]:
 
 
 def synthesize_cdfg(cdfg: CDFG,
-                    options: SynthesisOptions | None = None
+                    options: SynthesisOptions | None = None,
+                    problem_cache: dict[int, SchedulingProblem] | None = None,
                     ) -> SynthesizedDesign:
     """Run scheduling → allocation → binding → control on a CDFG.
 
-    The CDFG is optimized in place when ``options.optimize_ir`` is set.
+    The CDFG is optimized in place when ``options.optimize_ir`` is set;
+    everything after that point only reads the CDFG.
+
+    Args:
+        cdfg: the design to synthesize.
+        options: pipeline knobs.
+        problem_cache: optional block-id → :class:`SchedulingProblem`
+            memo for resynthesizing the *same* CDFG under different
+            resource constraints (the DSE fast path).  Each block's
+            dependence graph and derived memos are built once and
+            shared across runs via
+            :meth:`SchedulingProblem.with_constraints`.  Only valid
+            while the CDFG and resource model stay the same.
     """
     options = options or SynthesisOptions()
     model = options.model or UniversalFUModel()
@@ -134,7 +256,14 @@ def synthesize_cdfg(cdfg: CDFG,
     for block in cdfg.blocks():
         if not block.ops:
             continue
-        problem = SchedulingProblem.from_block(block, model, constraints)
+        if problem_cache is not None:
+            base_problem = problem_cache.get(block.id)
+            if base_problem is None:
+                base_problem = SchedulingProblem.from_block(block, model)
+                problem_cache[block.id] = base_problem
+            problem = base_problem.with_constraints(constraints)
+        else:
+            problem = SchedulingProblem.from_block(block, model, constraints)
         schedule = scheduler_factory(problem).schedule()
         schedule.validate()
         allocation = allocator_factory(schedule).allocate()
@@ -177,6 +306,7 @@ def synthesize_cdfg(cdfg: CDFG,
 
 def synthesize(source: str, procedure: str | None = None,
                options: SynthesisOptions | None = None,
+               use_cache: bool = False,
                **option_kwargs) -> SynthesizedDesign:
     """Compile behavioral source and synthesize it.
 
@@ -186,10 +316,22 @@ def synthesize(source: str, procedure: str | None = None,
         options: a full :class:`SynthesisOptions`; otherwise
             ``option_kwargs`` are forwarded to its constructor
             (``scheduler=``, ``allocator=``, ``constraints=``, …).
+        use_cache: look the design up in (and store it into) the
+            process-global :class:`SynthesisCache`.  Cached designs are
+            shared objects — callers must not mutate them.
     """
     if options is None:
         options = SynthesisOptions(**option_kwargs)
     elif option_kwargs:
         raise HLSError("pass either options or keyword options, not both")
+    key: tuple | None = None
+    if use_cache:
+        key = (source_digest(source), procedure, options.cache_key())
+        cached = _SYNTHESIS_CACHE.get(key)
+        if cached is not None:
+            return cached
     cdfg = compile_source(source, procedure)
-    return synthesize_cdfg(cdfg, options)
+    design = synthesize_cdfg(cdfg, options)
+    if key is not None:
+        _SYNTHESIS_CACHE.put(key, design)
+    return design

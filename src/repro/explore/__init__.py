@@ -7,10 +7,12 @@ from .dse import (
     measure_cycles,
     search_for_latency,
 )
+from .parallel import ParallelExplorer
 
 __all__ = [
     "DesignPoint",
     "ExplorationResult",
+    "ParallelExplorer",
     "explore_fu_range",
     "measure_cycles",
     "search_for_latency",

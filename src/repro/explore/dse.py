@@ -10,21 +10,45 @@ and so on until a satisfactory design has been found."
 :func:`explore_fu_range` sweeps functional-unit limits, synthesizes a
 design per point, measures area (estimator) and latency (cycle-accurate
 simulation), and reports the Pareto-optimal set.
+
+Exploration is built for "a reasonable amount of time":
+
+* behavioral source is compiled and IR-optimized **once** per sweep;
+  every point then synthesizes against the shared CDFG (the pipeline
+  only reads it after optimization) while per-block scheduling
+  structure is reused across resource budgets — parallel workers
+  instead deep-clone the template per point
+  (:func:`~repro.transforms.clone_cdfg`);
+* synthesized designs are memoized in the process-global
+  :func:`~repro.core.engine.synthesis_cache`, keyed by source digest
+  and option knobs, so a constraint probed twice — e.g. across an
+  :func:`explore_fu_range` sweep and a later
+  :func:`search_for_latency` — is never rebuilt;
+* both entry points take ``n_jobs``: with more than one job, points
+  fan out over a :class:`~repro.explore.parallel.ParallelExplorer`
+  process pool, producing results identical to the serial path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 from ..core.design import SynthesizedDesign
-from ..core.engine import SynthesisOptions, synthesize_cdfg
+from ..core.engine import (
+    SynthesisOptions,
+    source_digest,
+    synthesis_cache,
+    synthesize_cdfg,
+)
 from ..estimation import estimate_area, estimate_timing
 from ..ir.cdfg import CDFG
 from ..lang import compile_source
 from ..scheduling import ResourceConstraints
 from ..sim.equivalence import default_vectors
 from ..sim.rtl_sim import RTLSimulator
+from ..transforms import optimize
 
 
 @dataclass
@@ -49,29 +73,112 @@ class DesignPoint:
         )
 
 
+class _VersionedPointList(list):
+    """A point list that counts mutations, so the Pareto cache knows
+    when to recompute."""
+
+    def __init__(self, iterable: Sequence = ()) -> None:
+        super().__init__(iterable)
+        self.version = 0
+
+    def _bump(self) -> None:
+        self.version += 1
+
+    def append(self, item) -> None:
+        super().append(item)
+        self._bump()
+
+    def extend(self, iterable) -> None:
+        super().extend(iterable)
+        self._bump()
+
+    def insert(self, index, item) -> None:
+        super().insert(index, item)
+        self._bump()
+
+    def remove(self, item) -> None:
+        super().remove(item)
+        self._bump()
+
+    def pop(self, index=-1):
+        item = super().pop(index)
+        self._bump()
+        return item
+
+    def clear(self) -> None:
+        super().clear()
+        self._bump()
+
+    def sort(self, **kwargs) -> None:
+        super().sort(**kwargs)
+        self._bump()
+
+    def reverse(self) -> None:
+        super().reverse()
+        self._bump()
+
+    def __setitem__(self, index, value) -> None:
+        super().__setitem__(index, value)
+        self._bump()
+
+    def __delitem__(self, index) -> None:
+        super().__delitem__(index)
+        self._bump()
+
+    def __iadd__(self, other):
+        result = super().__iadd__(other)
+        self._bump()
+        return result
+
+
 @dataclass
 class ExplorationResult:
     """All explored points plus the Pareto front (area vs latency)."""
 
     points: list[DesignPoint] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self.points = _VersionedPointList(self.points)
+        self._pareto_cache: list[DesignPoint] | None = None
+        self._pareto_version = -1
+
     @property
     def pareto(self) -> list[DesignPoint]:
+        version = getattr(self.points, "version", None)
+        if version is None:
+            # Someone replaced .points with a plain list; stay correct
+            # by recomputing every time.
+            return self._compute_pareto()
+        if self._pareto_cache is None or version != self._pareto_version:
+            self._pareto_cache = self._compute_pareto()
+            self._pareto_version = version
+        return list(self._pareto_cache)
+
+    def _compute_pareto(self) -> list[DesignPoint]:
+        """Single sorted sweep: a point survives iff its latency is the
+        minimum of its area group and strictly beats every smaller-area
+        group's minimum (equal-cost duplicates don't dominate each
+        other, matching the pairwise definition)."""
+        points = list(self.points)
+        order = sorted(
+            range(len(points)),
+            key=lambda i: (points[i].area, points[i].latency_ns, i),
+        )
         front: list[DesignPoint] = []
-        for point in self.points:
-            dominated = any(
-                other.area <= point.area
-                and other.latency_ns <= point.latency_ns
-                and (
-                    other.area < point.area
-                    or other.latency_ns < point.latency_ns
-                )
-                for other in self.points
-                if other is not point
-            )
-            if not dominated:
-                front.append(point)
-        front.sort(key=lambda p: (p.area, p.latency_ns))
+        best_latency = math.inf
+        i = 0
+        while i < len(order):
+            j = i
+            area = points[order[i]].area
+            while j < len(order) and points[order[j]].area == area:
+                j += 1
+            group_min = points[order[i]].latency_ns
+            if group_min < best_latency:
+                for k in range(i, j):
+                    if points[order[k]].latency_ns == group_min:
+                        front.append(points[order[k]])
+                best_latency = group_min
+            i = j
         return front
 
     def table(self) -> str:
@@ -97,6 +204,149 @@ def measure_cycles(design: SynthesizedDesign,
     return worst
 
 
+def _design_signature(design: SynthesizedDesign) -> tuple:
+    """Schedules + allocations as a hashable tuple.
+
+    Binding, datapath plans, the FSM, simulation and the estimators
+    are all deterministic functions of (CDFG, schedules, allocations),
+    so for designs over the *same* CDFG an equal signature implies
+    equal measurements.  Lets a sweep measure each distinct design
+    once — past the budget where a constraint stops binding, every
+    larger budget yields the same design.
+    """
+    parts = []
+    for block_id in sorted(design.schedules):
+        schedule = design.schedules[block_id]
+        allocation = design.allocations[block_id]
+        parts.append((
+            block_id,
+            tuple(sorted(schedule.start.items())),
+            tuple(sorted(
+                (op_id, (fu.cls, fu.index))
+                for op_id, fu in allocation.fu_map.items()
+            )),
+            tuple(sorted(allocation.register_map.items())),
+        ))
+    return tuple(parts)
+
+
+class _PointBuilder:
+    """Synthesizes and measures one design point per resource limit.
+
+    For string sources the behavioral program is compiled **and
+    optimized once**; every point synthesizes against that shared CDFG
+    (the pipeline after IR optimization only reads it — changing the
+    constraint cannot change the graph) and reuses per-block
+    :class:`~repro.scheduling.SchedulingProblem` structure via the
+    engine's ``problem_cache``.  Synthesized designs additionally go
+    through the process-global synthesis cache, and measurements are
+    memoized per distinct design.  Factory callables are invoked per
+    point, exactly as before (the factory owns freshness).
+    """
+
+    def __init__(
+        self,
+        source_or_factory: str | Callable[[], CDFG],
+        resource_class: str,
+        options: SynthesisOptions | None,
+        vectors: Sequence[dict] | None,
+        use_cache: bool = True,
+    ) -> None:
+        self.source_or_factory = source_or_factory
+        self.resource_class = resource_class
+        self.base = options or SynthesisOptions()
+        self.vectors = vectors
+        self.use_cache = use_cache and isinstance(source_or_factory, str)
+        self._digest = (
+            source_digest(source_or_factory)
+            if isinstance(source_or_factory, str)
+            else None
+        )
+        self._working: CDFG | None = None
+        self._problem_cache: dict = {}
+        self._measure_memo: dict[tuple, tuple[int, float, float]] = {}
+
+    def _working_cdfg(self) -> CDFG:
+        """The compiled-and-optimized CDFG shared by every point."""
+        if self._working is None:
+            self._working = compile_source(self.source_or_factory)
+            if self.base.optimize_ir:
+                optimize(
+                    self._working,
+                    unroll=self.base.unroll,
+                    tree_height=self.base.tree_height,
+                )
+        return self._working
+
+    def build(self, limit: int) -> DesignPoint:
+        if self.vectors is None and isinstance(self.source_or_factory, str):
+            # Vector generation is deterministic in the CDFG's inputs,
+            # so one batch serves the whole sweep.
+            self.vectors = default_vectors(self._working_cdfg(), count=4)
+        point_options = self.base.with_constraints(
+            {self.resource_class: limit}
+        )
+        design = None
+        key = None
+        if self.use_cache:
+            key = (self._digest, None, point_options.cache_key())
+            design = synthesis_cache().get(key)
+        if design is None:
+            if isinstance(self.source_or_factory, str):
+                # IR optimization already ran once on the shared CDFG.
+                run_options = replace(point_options, optimize_ir=False)
+                design = synthesize_cdfg(
+                    self._working_cdfg(), run_options,
+                    problem_cache=self._problem_cache,
+                )
+            else:
+                design = synthesize_cdfg(
+                    self.source_or_factory(), point_options
+                )
+            if key is not None:
+                synthesis_cache().put(key, design)
+        cycles, clock_ns, area = self._measure(design)
+        return DesignPoint(
+            constraints=point_options.constraints,
+            design=design,
+            area=area,
+            cycles=cycles,
+            clock_ns=clock_ns,
+        )
+
+    def _measure(self, design: SynthesizedDesign) -> tuple[int, float, float]:
+        # The signature shortcut is only sound when every design shares
+        # one CDFG, i.e. the string-source path.
+        signature = (
+            _design_signature(design)
+            if isinstance(self.source_or_factory, str)
+            else None
+        )
+        if signature is not None:
+            cached = self._measure_memo.get(signature)
+            if cached is not None:
+                return cached
+        cycles = measure_cycles(design, self.vectors)
+        timing = estimate_timing(design, cycles)
+        area = estimate_area(design).total
+        measured = (cycles, timing.clock_ns, area)
+        if signature is not None:
+            self._measure_memo[signature] = measured
+        return measured
+
+
+def _map_points(builder: _PointBuilder, limits: Sequence[int],
+                n_jobs: int | None) -> list[DesignPoint]:
+    """Build a point per limit, in order — fanning out when asked."""
+    if n_jobs is not None and n_jobs > 1:
+        from .parallel import ParallelExplorer
+
+        return ParallelExplorer(max_workers=n_jobs).build_points(
+            builder, limits
+        )
+    return [builder.build(limit) for limit in limits]
+
+
 def search_for_latency(
     source_or_factory: str | Callable[[], CDFG],
     target_cycles: int,
@@ -104,6 +354,8 @@ def search_for_latency(
     max_units: int = 16,
     options: SynthesisOptions | None = None,
     vectors: Sequence[dict] | None = None,
+    n_jobs: int | None = 1,
+    use_cache: bool = True,
 ) -> DesignPoint | None:
     """Chippe-style constraint-driven search: the *smallest* unit count
     whose design meets ``target_cycles``.
@@ -112,46 +364,41 @@ def search_for_latency(
     changing the limit based on the results of the scheduling,
     rescheduling and so on until a satisfactory design has been found."
     Cycle counts are monotone non-increasing in the unit budget here,
-    so the loop is a binary search.  Returns None when even
+    so the loop is a binary search — or, with ``n_jobs > 1``, a
+    k-section search probing ``n_jobs`` limits per round, which finds
+    the same smallest feasible count.  Returns None when even
     ``max_units`` cannot meet the target.
     """
-    base = options or SynthesisOptions()
-
-    def build(limit: int) -> DesignPoint:
-        if isinstance(source_or_factory, str):
-            cdfg = compile_source(source_or_factory)
-        else:
-            cdfg = source_or_factory()
-        point_options = SynthesisOptions(
-            scheduler=base.scheduler,
-            allocator=base.allocator,
-            model=base.model,
-            constraints=ResourceConstraints({resource_class: limit}),
-            optimize_ir=base.optimize_ir,
-            unroll=base.unroll,
-            tree_height=base.tree_height,
-            library=base.library,
-        )
-        design = synthesize_cdfg(cdfg, point_options)
-        cycles = measure_cycles(design, vectors)
-        timing = estimate_timing(design, cycles)
-        return DesignPoint(
-            constraints=point_options.constraints,
-            design=design,
-            area=estimate_area(design).total,
-            cycles=cycles,
-            clock_ns=timing.clock_ns,
-        )
-
-    low, high = 1, max_units
-    best: DesignPoint | None = None
-    ceiling = build(high)
+    builder = _PointBuilder(
+        source_or_factory, resource_class, options, vectors, use_cache
+    )
+    ceiling = builder.build(max_units)
     if ceiling.cycles > target_cycles:
         return None
     best = ceiling
+    low, high = 1, max_units
+    if n_jobs is not None and n_jobs > 1:
+        while low < high:
+            count = min(n_jobs, high - low)
+            probes = sorted({
+                low + ((i + 1) * (high - low)) // (count + 1)
+                for i in range(count)
+            })
+            points = _map_points(builder, probes, n_jobs)
+            advanced = low
+            feasible = None
+            for probe, point in zip(probes, points):
+                if point.cycles <= target_cycles:
+                    feasible = (probe, point)
+                    break
+                advanced = probe + 1
+            if feasible is not None:
+                high, best = feasible
+            low = advanced
+        return best
     while low < high:
         middle = (low + high) // 2
-        point = build(middle)
+        point = builder.build(middle)
         if point.cycles <= target_cycles:
             best = point
             high = middle
@@ -166,6 +413,8 @@ def explore_fu_range(
     resource_class: str = "fu",
     options: SynthesisOptions | None = None,
     vectors: Sequence[dict] | None = None,
+    n_jobs: int | None = 1,
+    use_cache: bool = True,
 ) -> ExplorationResult:
     """Sweep a functional-unit limit and collect the trade-off curve.
 
@@ -177,35 +426,15 @@ def explore_fu_range(
         options: base options; the constraint field is overridden per
             point.
         vectors: inputs for cycle measurement (default: generated).
+        n_jobs: fan points out over this many worker processes when
+            greater than one; results are identical to the serial
+            sweep, in ``fu_limits`` order.
+        use_cache: reuse designs from the process-global synthesis
+            cache for string sources.
     """
-    base = options or SynthesisOptions()
+    builder = _PointBuilder(
+        source_or_factory, resource_class, options, vectors, use_cache
+    )
     result = ExplorationResult()
-    for limit in fu_limits:
-        if isinstance(source_or_factory, str):
-            cdfg = compile_source(source_or_factory)
-        else:
-            cdfg = source_or_factory()
-        point_options = SynthesisOptions(
-            scheduler=base.scheduler,
-            allocator=base.allocator,
-            model=base.model,
-            constraints=ResourceConstraints({resource_class: limit}),
-            optimize_ir=base.optimize_ir,
-            unroll=base.unroll,
-            tree_height=base.tree_height,
-            library=base.library,
-        )
-        design = synthesize_cdfg(cdfg, point_options)
-        cycles = measure_cycles(design, vectors)
-        timing = estimate_timing(design, cycles)
-        area = estimate_area(design).total
-        result.points.append(
-            DesignPoint(
-                constraints=point_options.constraints,
-                design=design,
-                area=area,
-                cycles=cycles,
-                clock_ns=timing.clock_ns,
-            )
-        )
+    result.points.extend(_map_points(builder, list(fu_limits), n_jobs))
     return result

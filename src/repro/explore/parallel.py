@@ -1,0 +1,122 @@
+"""Parallel fan-out of design-point synthesis.
+
+§1.2's promise — "produce several designs for the same specification
+in a reasonable amount of time" — is embarrassingly parallel across
+resource limits: each design point is an independent synthesis run.
+:class:`ParallelExplorer` distributes points over a
+:class:`~concurrent.futures.ProcessPoolExecutor`; each worker compiles
+a behavioral source at most once (a per-process template memo keyed by
+source digest) and deep-clones the CDFG per point, mirroring the
+serial compile-once path, so the resulting points are identical to a
+serial sweep.
+
+The pool is an optimization, never a requirement: one worker, an
+unpicklable work item (e.g. a closure CDFG factory), or any pool
+failure silently degrades to the in-process serial path — where a
+genuine synthesis error then surfaces with its ordinary traceback.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Sequence
+
+from ..core.engine import synthesize_cdfg
+from ..estimation import estimate_area, estimate_timing
+from ..ir.cdfg import CDFG
+from ..lang import compile_source
+from ..transforms import clone_cdfg, optimize
+from .dse import DesignPoint, _PointBuilder, measure_cycles
+
+#: Per-worker-process compiled templates, keyed by source digest.
+_WORKER_TEMPLATES: dict[str, CDFG] = {}
+
+
+def _build_point_task(payload: dict) -> DesignPoint:
+    """Worker-side build of one design point (module-level: must be
+    importable by pickle in the worker process)."""
+    source = payload["source"]
+    options = payload["options"].with_constraints(
+        {payload["resource_class"]: payload["limit"]}
+    )
+    if source is not None:
+        digest = payload["digest"]
+        template = _WORKER_TEMPLATES.get(digest)
+        if template is None:
+            template = compile_source(source)
+            if options.optimize_ir:
+                optimize(template, unroll=options.unroll,
+                         tree_height=options.tree_height)
+            _WORKER_TEMPLATES[digest] = template
+        # The memoized template is already optimized; each point gets
+        # a fresh deep clone to synthesize.
+        cdfg = clone_cdfg(template)
+        options = replace(options, optimize_ir=False)
+    else:
+        cdfg = payload["factory"]()
+    design = synthesize_cdfg(cdfg, options)
+    cycles = measure_cycles(design, payload["vectors"])
+    timing = estimate_timing(design, cycles)
+    return DesignPoint(
+        constraints=options.constraints,
+        design=design,
+        area=estimate_area(design).total,
+        cycles=cycles,
+        clock_ns=timing.clock_ns,
+    )
+
+
+class ParallelExplorer:
+    """Fans design points out over a process pool.
+
+    Args:
+        max_workers: worker process count; ``None`` means one per CPU.
+            A value of one (or an empty batch) skips the pool entirely.
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is None or max_workers < 1:
+            max_workers = os.cpu_count() or 1
+        self.max_workers = max_workers
+
+    def build_points(self, builder: _PointBuilder,
+                     limits: Sequence[int]) -> list[DesignPoint]:
+        """One measured :class:`DesignPoint` per limit, in input order.
+
+        Results are identical to ``[builder.build(l) for l in limits]``
+        — the serial path is also the fallback when the pool cannot be
+        used or fails.
+        """
+        limits = list(limits)
+        if not limits or self.max_workers <= 1 or len(limits) == 1:
+            return [builder.build(limit) for limit in limits]
+
+        source_or_factory = builder.source_or_factory
+        is_source = isinstance(source_or_factory, str)
+        payloads = [
+            {
+                "source": source_or_factory if is_source else None,
+                "factory": None if is_source else source_or_factory,
+                "digest": builder._digest,
+                "options": builder.base,
+                "resource_class": builder.resource_class,
+                "limit": limit,
+                "vectors": builder.vectors,
+            }
+            for limit in limits
+        ]
+        try:
+            pickle.dumps(payloads[0])
+        except Exception:
+            return [builder.build(limit) for limit in limits]
+        try:
+            workers = min(self.max_workers, len(limits))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(_build_point_task, payloads))
+        except Exception:
+            # Pool or pickling-of-results trouble: redo serially; a
+            # genuine synthesis error re-raises here with full context.
+            return [builder.build(limit) for limit in limits]

@@ -104,15 +104,19 @@ def op_of(graph: nx.DiGraph, op_id: int) -> Operation:
     return graph.nodes[op_id]["op"]
 
 
-def path_length_to_sink(graph: nx.DiGraph, delay: DelayFn) -> dict[int, int]:
+def path_length_to_sink(graph: nx.DiGraph, delay: DelayFn,
+                        order: list[int] | None = None) -> dict[int, int]:
     """For each op, the longest delay-weighted path from it to any sink.
 
     This is the classic list-scheduling priority the paper attributes to
     BUD: "the length of the path from the operation to the end of the
-    block".  The length *includes* the op's own delay.
+    block".  The length *includes* the op's own delay.  ``order`` lets
+    callers reuse an already-computed topological order.
     """
+    if order is None:
+        order = topological_order(graph)
     lengths: dict[int, int] = {}
-    for op_id in reversed(topological_order(graph)):
+    for op_id in reversed(order):
         op = op_of(graph, op_id)
         best_succ = max(
             (lengths[succ] for succ in graph.successors(op_id)), default=0

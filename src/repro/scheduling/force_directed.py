@@ -12,9 +12,29 @@ This is a *time-constrained* scheduler: it minimizes the number of
 functional units needed to meet a deadline.  "The number of functional
 units allocated is then the maximum number required in any control
 step."
+
+Two execution strategies produce the identical schedule:
+
+* the **incremental** default — after each placement, time frames are
+  updated by propagating only from the newly pinned operation, and the
+  distribution graphs are delta-updated from the occupancy rows of the
+  operations whose frames actually moved;
+* the **reference** path (``_reference=True``) — the textbook loop
+  that recomputes every frame and rebuilds every distribution graph
+  from scratch after each placement.  It exists as the oracle for the
+  incremental path's regression tests.
+
+Exactness is what makes "identical" provable: distribution-graph
+entries are kept as integers scaled by ``lcm(1..deadline)`` (each op
+with a width-``k`` frame contributes ``scale/k`` per covered step), so
+graph contents never depend on the order updates were applied in.
+Both paths convert to floats the same way before force evaluation.
 """
 
 from __future__ import annotations
+
+import heapq
+from math import lcm
 
 from ..errors import SchedulingError
 from .base import Schedule, Scheduler, SchedulingProblem
@@ -89,6 +109,207 @@ def distribution_graph(problem: SchedulingProblem, frames: TimeFrames,
     return graph
 
 
+# ----------------------------------------------------------------------
+# Exact distribution-graph state
+# ----------------------------------------------------------------------
+
+
+def _scaled_row(first: int, last: int, span: int, deadline: int,
+                scale: int) -> dict[int, int]:
+    """One op's occupancy row, integer-scaled: ``row[step]`` is
+    ``active_starts(step) * scale / width`` for frame ``[first, last]``.
+    """
+    unit = scale // (last - first + 1)
+    row: dict[int, int] = {}
+    for t in range(first, last + 1):
+        for s in range(t, min(t + span, deadline)):
+            row[s] = row.get(s, 0) + unit
+    return row
+
+
+class _DistributionState:
+    """Per-class distribution graphs as exact scaled integers.
+
+    ``graphs[cls][step]`` holds the class's expected load times
+    ``scale``; :meth:`refresh_op` delta-updates a single op's
+    contribution after its time frame moved.  Because the entries are
+    integers, delta-updated graphs equal rebuilt-from-scratch graphs
+    bit for bit — the property the incremental/reference regression
+    tests rely on.
+    """
+
+    def __init__(self, problem: SchedulingProblem, deadline: int,
+                 frames: TimeFrames) -> None:
+        self.problem = problem
+        self.deadline = deadline
+        self.frames = frames
+        self.scale = lcm(*range(1, deadline + 1)) if deadline >= 1 else 1
+        self.graphs: dict[str, list[int]] = {
+            cls: [0] * deadline
+            for cls in problem.model.classes_used(problem.ops)
+        }
+        self._rows: dict[int, dict[int, int]] = {}
+        for op in problem.ops:
+            cls = problem.op_class(op.id)
+            if cls is None:
+                continue
+            row = self._row_of(op.id)
+            self._rows[op.id] = row
+            graph = self.graphs[cls]
+            for step, load in row.items():
+                graph[step] += load
+
+    def _row_of(self, op_id: int) -> dict[int, int]:
+        return _scaled_row(
+            self.frames.asap[op_id], self.frames.alap[op_id],
+            max(self.problem.delay(op_id), 1), self.deadline, self.scale,
+        )
+
+    def refresh_op(self, op_id: int) -> None:
+        """Replace one op's contribution after its frame changed."""
+        old_row = self._rows.get(op_id)
+        if old_row is None:  # free op: contributes nothing
+            return
+        cls = self.problem.op_class(op_id)
+        assert cls is not None
+        new_row = self._row_of(op_id)
+        graph = self.graphs[cls]
+        for step, load in old_row.items():
+            graph[step] -= load
+        for step, load in new_row.items():
+            graph[step] += load
+        self._rows[op_id] = new_row
+
+    def float_graphs(self) -> dict[str, list[float]]:
+        """The graphs in HAL's 1/k units, for force evaluation."""
+        scale = self.scale
+        return {
+            cls: [load / scale for load in graph]
+            for cls, graph in self.graphs.items()
+        }
+
+
+# ----------------------------------------------------------------------
+# Incremental time frames
+# ----------------------------------------------------------------------
+
+
+class _IncrementalFrames:
+    """Time frames maintained under a growing set of pinned ops.
+
+    Pinning an op can only *shrink* frames (ASAPs rise downstream,
+    ALAPs fall upstream), so after each pin it suffices to propagate
+    outward from the pinned op along dependence edges, visiting nodes
+    in (reverse) topological order and stopping where nothing moved.
+    The result is exactly ``_frames_with_fixed(problem, deadline,
+    fixed)`` at every iteration.
+    """
+
+    def __init__(self, problem: SchedulingProblem, deadline: int) -> None:
+        self.problem = problem
+        self.deadline = deadline
+        self.frames = _frames_with_fixed(problem, deadline, {})
+        self.fixed: dict[int, int] = {}
+        self._pos = {
+            op_id: pos for pos, op_id in enumerate(problem.topological())
+        }
+
+    def pin(self, op_id: int, step: int) -> set[int]:
+        """Pin ``op_id`` to ``step``; return ids whose frame changed."""
+        frames = self.frames
+        if step < frames.asap[op_id] or step > frames.alap[op_id]:
+            raise SchedulingError(
+                f"op{op_id} pinned at {step} outside its time frame "
+                f"[{frames.asap[op_id]}, {frames.alap[op_id]}]"
+            )
+        self.fixed[op_id] = step
+        changed: set[int] = set()
+        if frames.asap[op_id] != step:
+            frames.asap[op_id] = step
+            changed.add(op_id)
+            self._propagate_asap(op_id, changed)
+        if frames.alap[op_id] != step:
+            frames.alap[op_id] = step
+            changed.add(op_id)
+            self._propagate_alap(op_id, changed)
+        return changed
+
+    def _propagate_asap(self, source: int, changed: set[int]) -> None:
+        graph = self.problem.graph
+        frames = self.frames
+        heap: list[tuple[int, int]] = []
+        queued: set[int] = set()
+        for succ in graph.successors(source):
+            heapq.heappush(heap, (self._pos[succ], succ))
+            queued.add(succ)
+        while heap:
+            _, node = heapq.heappop(heap)
+            queued.discard(node)
+            earliest = 0
+            for pred in graph.predecessors(node):
+                offset = self.problem.edge_offset(pred, node)
+                earliest = max(earliest, frames.asap[pred] + offset)
+            if node in self.fixed:
+                if earliest > self.fixed[node]:
+                    raise SchedulingError(
+                        f"op{node} pinned at {self.fixed[node]} before "
+                        f"its earliest legal step {earliest}"
+                    )
+                continue
+            if earliest > frames.asap[node]:
+                frames.asap[node] = earliest
+                changed.add(node)
+                if frames.alap[node] < earliest:
+                    raise SchedulingError(
+                        f"op{node} has empty time frame under deadline "
+                        f"{self.deadline}"
+                    )
+                for succ in graph.successors(node):
+                    if succ not in queued:
+                        heapq.heappush(heap, (self._pos[succ], succ))
+                        queued.add(succ)
+
+    def _propagate_alap(self, source: int, changed: set[int]) -> None:
+        graph = self.problem.graph
+        frames = self.frames
+        heap: list[tuple[int, int]] = []
+        queued: set[int] = set()
+        for pred in graph.predecessors(source):
+            heapq.heappush(heap, (-self._pos[pred], pred))
+            queued.add(pred)
+        while heap:
+            _, node = heapq.heappop(heap)
+            queued.discard(node)
+            latest = self.deadline - max(self.problem.delay(node), 1)
+            for succ in graph.successors(node):
+                offset = self.problem.edge_offset(node, succ)
+                latest = min(latest, frames.alap[succ] - offset)
+            if node in self.fixed:
+                if latest < self.fixed[node]:
+                    raise SchedulingError(
+                        f"op{node} pinned at {self.fixed[node]} after "
+                        f"its latest legal step {latest}"
+                    )
+                continue
+            if latest < frames.alap[node]:
+                frames.alap[node] = latest
+                changed.add(node)
+                if latest < frames.asap[node]:
+                    raise SchedulingError(
+                        f"op{node} has empty time frame under deadline "
+                        f"{self.deadline}"
+                    )
+                for pred in graph.predecessors(node):
+                    if pred not in queued:
+                        heapq.heappush(heap, (-self._pos[pred], pred))
+                        queued.add(pred)
+
+
+# ----------------------------------------------------------------------
+# The scheduler
+# ----------------------------------------------------------------------
+
+
 class ForceDirectedScheduler(Scheduler):
     """Time-constrained scheduler balancing distribution graphs.
 
@@ -96,12 +317,16 @@ class ForceDirectedScheduler(Scheduler):
         problem: the scheduling problem.
         deadline: available control steps; defaults to the problem's
             time limit, else the critical path length.
+        _reference: run the full-recompute textbook loop instead of
+            the incremental one (same schedule, used as the oracle in
+            regression tests and as the perf-bench baseline).
     """
 
     name = "force-directed"
 
     def __init__(self, problem: SchedulingProblem,
-                 deadline: int | None = None) -> None:
+                 deadline: int | None = None,
+                 _reference: bool = False) -> None:
         super().__init__(problem)
         if deadline is None:
             deadline = problem.time_limit
@@ -109,59 +334,93 @@ class ForceDirectedScheduler(Scheduler):
             base = compute_time_frames(problem)
             deadline = base.deadline
         self.deadline = deadline
+        self._reference = _reference
 
     def schedule(self) -> Schedule:
+        if self._reference:
+            return self._schedule_reference()
+        return self._schedule_incremental()
+
+    def _schedule_incremental(self) -> Schedule:
+        problem = self.problem
+        incremental = _IncrementalFrames(problem, self.deadline)
+        state = _DistributionState(problem, self.deadline,
+                                  incremental.frames)
+        pending = set(problem.compute_op_ids())
+        while pending:
+            _, op_id, step = self._select(
+                incremental.frames, state.float_graphs(), pending
+            )
+            for moved in incremental.pin(op_id, step):
+                state.refresh_op(moved)
+            pending.discard(op_id)
+        return self._finish(incremental.fixed, incremental.frames)
+
+    def _schedule_reference(self) -> Schedule:
         problem = self.problem
         fixed: dict[int, int] = {}
         pending = set(problem.compute_op_ids())
-
         while pending:
             frames = _frames_with_fixed(problem, self.deadline, fixed)
-            graphs = {
-                cls: distribution_graph(problem, frames, cls)
-                for cls in problem.model.classes_used(problem.ops)
-            }
-            best: tuple[float, int, int] | None = None
-            for op_id in sorted(pending):
-                cls = problem.op_class(op_id)
-                assert cls is not None
-                for step in frames.frame(op_id):
-                    force = self._total_force(
-                        problem, frames, graphs, op_id, step
-                    )
-                    key = (force, op_id, step)
-                    if best is None or key < best:
-                        best = key
-            assert best is not None
-            _, op_id, step = best
+            state = _DistributionState(problem, self.deadline, frames)
+            _, op_id, step = self._select(
+                frames, state.float_graphs(), pending
+            )
             fixed[op_id] = step
             pending.discard(op_id)
-
-        # Free ops take their earliest start under the pinned schedule.
         frames = _frames_with_fixed(problem, self.deadline, fixed)
+        return self._finish(fixed, frames)
+
+    def _select(self, frames: TimeFrames,
+                graphs: dict[str, list[float]],
+                pending: set[int]) -> tuple[float, int, int]:
+        """The placement minimizing total force, ties to the smallest
+        (op id, step)."""
+        problem = self.problem
+        best: tuple[float, int, int] | None = None
+        # Frames are fixed for the duration of one selection sweep, so
+        # the probability row of any (op, frame) pair is evaluated once
+        # and shared across all candidate placements that touch it.
+        probs_memo: dict[tuple[int, int, int], dict[int, float]] = {}
+        for op_id in sorted(pending):
+            for step in frames.frame(op_id):
+                force = self._total_force(
+                    problem, frames, graphs, op_id, step, probs_memo
+                )
+                key = (force, op_id, step)
+                if best is None or key < best:
+                    best = key
+        assert best is not None
+        return best
+
+    def _finish(self, fixed: dict[int, int],
+                frames: TimeFrames) -> Schedule:
+        # Free ops take their earliest start under the pinned schedule.
         start = dict(fixed)
-        for op in problem.ops:
+        for op in self.problem.ops:
             if op.id not in start:
                 start[op.id] = frames.asap[op.id]
-        return Schedule(problem, start, scheduler=self.name)
+        return Schedule(self.problem, start, scheduler=self.name)
 
     # ------------------------------------------------------------------
 
     def _total_force(self, problem: SchedulingProblem, frames: TimeFrames,
                      graphs: dict[str, list[float]], op_id: int,
-                     step: int) -> float:
+                     step: int,
+                     probs_memo: dict[tuple[int, int, int],
+                                      dict[int, float]] | None = None,
+                     ) -> float:
         """Self force of pinning ``op_id`` at ``step`` plus the implied
         forces on its direct predecessors and successors."""
         force = self._self_force(problem, frames, graphs, op_id,
-                                 step, step)
-        delay = problem.delay(op_id)
+                                 step, step, probs_memo)
         for pred in problem.graph.predecessors(op_id):
             offset = problem.edge_offset(pred, op_id)
             new_last = min(frames.alap[pred], step - offset)
             if new_last < frames.alap[pred]:
                 force += self._self_force(
                     problem, frames, graphs, pred,
-                    frames.asap[pred], new_last,
+                    frames.asap[pred], new_last, probs_memo,
                 )
         for succ in problem.graph.successors(op_id):
             offset = problem.edge_offset(op_id, succ)
@@ -169,13 +428,16 @@ class ForceDirectedScheduler(Scheduler):
             if new_first > frames.asap[succ]:
                 force += self._self_force(
                     problem, frames, graphs, succ,
-                    new_first, frames.alap[succ],
+                    new_first, frames.alap[succ], probs_memo,
                 )
         return force
 
     def _self_force(self, problem: SchedulingProblem, frames: TimeFrames,
                     graphs: dict[str, list[float]], op_id: int,
-                    new_first: int, new_last: int) -> float:
+                    new_first: int, new_last: int,
+                    probs_memo: dict[tuple[int, int, int],
+                                     dict[int, float]] | None = None,
+                    ) -> float:
         """Change in (DG-weighted) expected load if the op's frame
         shrinks from its current range to ``[new_first, new_last]``."""
         cls = problem.op_class(op_id)
@@ -187,11 +449,18 @@ class ForceDirectedScheduler(Scheduler):
         old_first, old_last = frames.asap[op_id], frames.alap[op_id]
 
         def probabilities(first: int, last: int) -> dict[int, float]:
+            key = (op_id, first, last)
+            if probs_memo is not None:
+                cached = probs_memo.get(key)
+                if cached is not None:
+                    return cached
             width = last - first + 1
             probs: dict[int, float] = {}
             for t in range(first, last + 1):
                 for s in range(t, t + span):
                     probs[s] = probs.get(s, 0.0) + 1.0 / width
+            if probs_memo is not None:
+                probs_memo[key] = probs
             return probs
 
         old_probs = probabilities(old_first, old_last)

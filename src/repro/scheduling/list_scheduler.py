@@ -24,7 +24,6 @@ from __future__ import annotations
 
 from typing import Callable
 
-from ..ir.dfg import path_length_to_sink
 from .base import Schedule, Scheduler, SchedulingProblem
 from .mobility import compute_time_frames
 
@@ -34,7 +33,7 @@ PriorityFn = Callable[[SchedulingProblem], dict[int, float]]
 
 def path_length_priority(problem: SchedulingProblem) -> dict[int, float]:
     """Longest delay-weighted path from the op to any sink (BUD)."""
-    return dict(path_length_to_sink(problem.graph, problem.model.delay))
+    return dict(problem.path_lengths_to_sink())
 
 
 def urgency_priority(problem: SchedulingProblem) -> dict[int, float]:
@@ -87,9 +86,10 @@ class ListScheduler(Scheduler):
 
         step = 0
         guard = 0
+        guard_limit = 10 * len(problem.ops) + problem.critical_path() + 100
         while unscheduled:
             guard += 1
-            if guard > 10 * len(problem.ops) + problem.critical_path() + 100:
+            if guard > guard_limit:
                 raise AssertionError("list scheduler failed to converge")
             progressed = True
             while progressed:

@@ -8,7 +8,7 @@ design-space decision rather than an always-win).
 """
 
 from .base import Pass, PassManager, PassReport
-from .clone import RegionCloner
+from .clone import RegionCloner, clone_cdfg
 from .constprop import ConstantFolding
 from .counter import CounterNarrowing
 from .cse import CommonSubexpressionElimination
@@ -31,6 +31,7 @@ __all__ = [
     "PassReport",
     "RegionCloner",
     "StrengthReduction",
+    "clone_cdfg",
     "TreeHeightReduction",
     "TripCountAnalysis",
     "match_counter",

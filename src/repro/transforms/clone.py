@@ -20,14 +20,22 @@ from ..ir.values import BasicBlock, Operation, Value
 
 
 class RegionCloner:
-    """Clones regions within one CDFG, remapping values."""
+    """Clones regions, remapping values.
 
-    def __init__(self, cdfg: CDFG) -> None:
+    ``cdfg`` is the graph that owns the clones (it allocates the fresh
+    op/value/block ids).  When cloning *within* one CDFG (loop
+    unrolling) cloned blocks get a ``'`` name suffix; pass
+    ``name_suffix=""`` to keep names, as :func:`clone_cdfg` does when
+    cloning a whole procedure into a fresh CDFG.
+    """
+
+    def __init__(self, cdfg: CDFG, name_suffix: str = "'") -> None:
         self._cdfg = cdfg
+        self._suffix = name_suffix
         self.value_map: dict[int, Value] = {}
 
     def clone_block(self, block: BasicBlock) -> BasicBlock:
-        new_block = self._cdfg.new_block(f"{block.name}'")
+        new_block = self._cdfg.new_block(f"{block.name}{self._suffix}")
         for op in block.ops:
             operands = []
             for value in op.operands:
@@ -107,3 +115,30 @@ class RegionCloner:
         """
         cond_clone = self.value_map[loop.cond.id]
         return cond_clone.producer.block
+
+
+def clone_cdfg(cdfg: CDFG) -> CDFG:
+    """Deep-clone a whole procedure into a fresh, independent CDFG.
+
+    Synthesis mutates its input (the transform pipeline rewrites ops in
+    place), so design-space exploration clones the compiled template
+    once per design point instead of re-running the frontend.  The
+    clone allocates ids from 1 in region execution order, so every
+    clone of the same template is structurally identical — which keeps
+    exploration results deterministic across points and processes.
+    """
+    fresh = CDFG(cdfg.name)
+    for port in cdfg.inputs:
+        fresh.add_input(port.name, port.type)
+    for port in cdfg.outputs:
+        fresh.add_output(port.name, port.type)
+    declared = set(fresh.variables) | set(fresh.memories)
+    for name, type_ in cdfg.variables.items():
+        if name not in declared:
+            fresh.add_variable(name, type_)
+    for name, type_ in cdfg.memories.items():
+        if name not in declared:
+            fresh.add_variable(name, type_)
+    cloner = RegionCloner(fresh, name_suffix="")
+    fresh.body = cloner.clone_region(cdfg.body)
+    return fresh

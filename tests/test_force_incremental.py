@@ -1,0 +1,95 @@
+"""The incremental force-directed scheduler is a pure optimization.
+
+``ForceDirectedScheduler`` keeps time frames and distribution graphs
+up to date incrementally as operations are pinned; the textbook
+full-recompute loop survives behind ``_reference=True`` as the oracle.
+Both paths share the integer-scaled distribution arithmetic, so the
+schedules must match *op for op* — not just in length or cost.
+"""
+
+import pytest
+
+from repro.ir import OpKind
+from repro.scheduling import (
+    ForceDirectedScheduler,
+    SchedulingProblem,
+    TypedFUModel,
+    set_problem_caching,
+)
+from repro.workloads import ewf_cdfg, fig5_cdfg
+from repro.workloads.random_dfg import RandomDFGSpec, random_dfg
+
+
+def _single_block_problem(cdfg, model, time_limit=None):
+    block = next(b for b in cdfg.blocks() if b.ops)
+    return SchedulingProblem.from_block(block, model,
+                                        time_limit=time_limit)
+
+
+def _both_schedules(problem_factory, deadline=None):
+    reference = ForceDirectedScheduler(
+        problem_factory(), deadline=deadline, _reference=True
+    ).schedule()
+    incremental = ForceDirectedScheduler(
+        problem_factory(), deadline=deadline
+    ).schedule()
+    reference.validate()
+    incremental.validate()
+    return reference, incremental
+
+
+def test_fig5_incremental_matches_reference():
+    factory = lambda: _single_block_problem(  # noqa: E731
+        fig5_cdfg(), TypedFUModel(single_cycle=True), time_limit=3
+    )
+    reference, incremental = _both_schedules(factory, deadline=3)
+    assert incremental.start == reference.start
+    # and both still reproduce the paper's Fig. 5 outcome
+    problem = factory()
+    a3 = [op.id for op in problem.ops if op.kind is OpKind.ADD][-1]
+    assert incremental.start[a3] == 2
+    assert incremental.resource_usage()["add"] == 1
+
+
+def test_ewf_incremental_matches_reference():
+    """Multicycle multiplies (delay 2) stretch occupancy rows across
+    steps — the delta updates must account for the full span."""
+    factory = lambda: _single_block_problem(  # noqa: E731
+        ewf_cdfg(), TypedFUModel()
+    )
+    reference, incremental = _both_schedules(factory)
+    assert incremental.start == reference.start
+
+
+@pytest.mark.parametrize("seed", [7, 42, 99])
+@pytest.mark.parametrize("ops", [30, 60])
+def test_random_dfg_incremental_matches_reference(seed, ops):
+    spec = RandomDFGSpec(ops=ops, seed=seed)
+    factory = lambda: _single_block_problem(  # noqa: E731
+        random_dfg(spec), TypedFUModel()
+    )
+    reference, incremental = _both_schedules(factory)
+    assert incremental.start == reference.start
+
+
+def test_incremental_matches_with_problem_caching_disabled():
+    """The parity does not depend on the memoization layer."""
+    spec = RandomDFGSpec(ops=40, seed=123)
+    factory = lambda: _single_block_problem(  # noqa: E731
+        random_dfg(spec), TypedFUModel()
+    )
+    previous = set_problem_caching(False)
+    try:
+        reference, incremental = _both_schedules(factory)
+    finally:
+        set_problem_caching(previous)
+    assert incremental.start == reference.start
+
+
+def test_relaxed_deadline_matches_reference():
+    """Extra slack widens every frame; the paths must still agree."""
+    factory = lambda: _single_block_problem(  # noqa: E731
+        fig5_cdfg(), TypedFUModel(single_cycle=True)
+    )
+    reference, incremental = _both_schedules(factory, deadline=5)
+    assert incremental.start == reference.start

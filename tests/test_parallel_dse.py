@@ -1,0 +1,82 @@
+"""Parallel exploration must be a pure speedup: identical results.
+
+The contract of ``n_jobs`` on :func:`repro.explore.explore_fu_range`
+and :func:`repro.explore.search_for_latency` is that fanning points
+out over worker processes changes wall-clock time and nothing else —
+the :class:`DesignPoint` tables (constraints, area, cycles, clock)
+match the serial sweep exactly, in the same order.
+"""
+
+import pytest
+
+from repro.core import clear_synthesis_cache
+from repro.explore import (
+    ParallelExplorer,
+    explore_fu_range,
+    search_for_latency,
+)
+from repro.explore.dse import _PointBuilder
+from repro.lang import compile_source
+from repro.workloads.diffeq import DIFFEQ_SOURCE
+from repro.workloads.sqrt import SQRT_SOURCE
+
+LIMITS = [1, 2, 3]
+
+
+def rows(points):
+    return [
+        (str(p.constraints), p.area, p.cycles, p.clock_ns)
+        for p in points
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _cold_cache():
+    """Each run below must do its own work, not replay another's."""
+    clear_synthesis_cache()
+    yield
+    clear_synthesis_cache()
+
+
+@pytest.mark.parametrize("source", [SQRT_SOURCE, DIFFEQ_SOURCE],
+                         ids=["sqrt", "diffeq"])
+@pytest.mark.parametrize("n_jobs", [1, 4])
+def test_sweep_matches_serial(source, n_jobs):
+    serial = explore_fu_range(source, LIMITS)
+    clear_synthesis_cache()
+    jobbed = explore_fu_range(source, LIMITS, n_jobs=n_jobs)
+    assert rows(jobbed.points) == rows(serial.points)
+    assert rows(jobbed.pareto) == rows(serial.pareto)
+
+
+@pytest.mark.parametrize("n_jobs", [1, 4])
+def test_search_matches_serial(n_jobs):
+    serial = search_for_latency(SQRT_SOURCE, 10, max_units=8)
+    clear_synthesis_cache()
+    jobbed = search_for_latency(SQRT_SOURCE, 10, max_units=8,
+                                n_jobs=n_jobs)
+    assert rows([jobbed]) == rows([serial])
+    # the known answer for sqrt: two universal FUs reach 10 cycles
+    assert str(jobbed.constraints) == "fu=2"
+
+
+def test_search_infeasible_target_parallel():
+    assert search_for_latency(SQRT_SOURCE, 1, max_units=4,
+                              n_jobs=4) is None
+
+
+def test_factory_source_falls_back_to_serial():
+    """A closure factory cannot be pickled; the pool must silently
+    degrade to the serial path and still produce correct points."""
+    factory = lambda: compile_source(SQRT_SOURCE)  # noqa: E731
+    serial = explore_fu_range(factory, LIMITS)
+    jobbed = explore_fu_range(factory, LIMITS, n_jobs=4)
+    assert rows(jobbed.points) == rows(serial.points)
+
+
+def test_single_worker_explorer_never_spawns():
+    builder = _PointBuilder(SQRT_SOURCE, "fu", None, None)
+    explorer = ParallelExplorer(max_workers=1)
+    points = explorer.build_points(builder, LIMITS)
+    assert rows(points) == rows(explore_fu_range(SQRT_SOURCE,
+                                                 LIMITS).points)

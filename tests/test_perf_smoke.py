@@ -1,0 +1,53 @@
+"""Smoke-runs the perf harness so its code path stays healthy.
+
+``benchmarks/perf/run_bench.py`` is a script, not a package module;
+it is loaded here by file path.  The smoke budget uses one repeat and
+trimmed workloads, so the assertions stick to structure and the
+equivalence flags — never to timing thresholds, which would flake on
+a loaded machine.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+RUN_BENCH = (
+    Path(__file__).resolve().parents[1]
+    / "benchmarks" / "perf" / "run_bench.py"
+)
+
+
+def _load_run_bench():
+    spec = importlib.util.spec_from_file_location("run_bench", RUN_BENCH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.perf_smoke
+def test_smoke_budget_runs_and_results_match():
+    run_bench = _load_run_bench()
+    report = run_bench.run_benchmarks("smoke")
+
+    assert report["budget"] == "smoke"
+    assert set(report["dse"]) == {
+        "diffeq_sweep", "sqrt_sweep", "sqrt_search"
+    }
+    for name, entry in report["dse"].items():
+        assert entry["equivalent"], f"dse/{name} diverged from the seed path"
+        assert entry["baseline_s"] > 0 and entry["new_s"] > 0
+    for name, entry in report["schedulers"].items():
+        assert entry["identical_schedules"], (
+            f"schedulers/{name} changed its schedule"
+        )
+        assert entry["speedup"] > 0
+
+
+@pytest.mark.perf_smoke
+def test_unknown_budget_rejected():
+    run_bench = _load_run_bench()
+    with pytest.raises(ValueError):
+        run_bench.run_benchmarks("enormous")
