@@ -1,0 +1,32 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+export PYTHONPATH
+
+.PHONY: test test-slow fuzz-smoke fuzz verify-examples
+
+# Tier-1 suite (what CI runs).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Tier-1 plus the raised-budget hypothesis variants.
+test-slow:
+	$(PYTHON) -m pytest -x -q --runslow
+
+# The fixed-seed differential fuzzing pass that ships inside tier-1.
+fuzz-smoke:
+	$(PYTHON) -m pytest -q -m fuzz_smoke
+
+# Long-run fuzzing: many seeds, bigger DFGs, parallel workers.
+# Failures shrink automatically and land in artifacts/ as repro
+# scripts.  Tune with e.g. `make fuzz SEEDS=1000 JOBS=8`.
+SEEDS ?= 200
+JOBS ?= 4
+OPS ?= 14
+fuzz:
+	$(PYTHON) -m repro fuzz --seeds $(SEEDS) --jobs $(JOBS) --ops $(OPS)
+
+# Stage contracts + full differential matrix on the example sources.
+verify-examples:
+	$(PYTHON) -c "from repro.workloads import SQRT_SOURCE; open('/tmp/sqrt.bsl','w').write(SQRT_SOURCE)"
+	$(PYTHON) -m repro verify /tmp/sqrt.bsl --differential

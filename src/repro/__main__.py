@@ -8,12 +8,18 @@ Commands:
   given as ``name=value`` pairs; print outputs and cycle count.
 * ``explore FILE``  — sweep a functional-unit budget and print the
   area/latency trade-off table.
+* ``verify FILE``   — synthesize, run every stage contract, and
+  optionally the full scheduler × allocator differential matrix.
+* ``fuzz``          — differentially fuzz random DFGs over many seeds;
+  shrink failures and write repro scripts to ``artifacts/``.
 
 Examples::
 
     python -m repro synth design.bsl --fu 2 --verify -o design.v
     python -m repro simulate design.bsl X=0.5 --fu 2
     python -m repro explore design.bsl --limits 1,2,3,4
+    python -m repro verify design.bsl --differential
+    python -m repro fuzz --seeds 50 --jobs 4 --ops 14
 """
 
 from __future__ import annotations
@@ -132,6 +138,37 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    from .verify import run_differential, verify_design
+
+    source = _read_source(args.file)
+    design = synthesize(source, args.procedure, _options(args))
+    report = verify_design(design)
+    print(report.render())
+    failed = not report.ok
+    if args.differential:
+        print()
+        diff = run_differential(source, options=_options(args))
+        print(diff.render())
+        failed = failed or not diff.ok
+    return 1 if failed else 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .verify import fuzz_seeds
+
+    report = fuzz_seeds(
+        args.seeds,
+        ops=args.ops,
+        inputs=args.inputs,
+        jobs=args.jobs,
+        artifacts_dir=args.artifacts,
+        shrink=not args.no_shrink,
+    )
+    print(report.render())
+    return 1 if not report.ok else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -170,6 +207,45 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for the sweep (default 1 = serial)",
     )
     explore.set_defaults(handler=cmd_explore)
+
+    verify = subparsers.add_parser(
+        "verify", help="run stage contracts on a synthesized design"
+    )
+    _add_common(verify)
+    verify.add_argument(
+        "--differential", action="store_true",
+        help="also run the full scheduler x allocator matrix",
+    )
+    verify.set_defaults(handler=cmd_verify)
+
+    fuzz = subparsers.add_parser(
+        "fuzz", help="differentially fuzz random DFGs"
+    )
+    fuzz.add_argument(
+        "--seeds", type=int, default=25,
+        help="number of seeds to run (default 25)",
+    )
+    fuzz.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (default 1 = serial)",
+    )
+    fuzz.add_argument(
+        "--ops", type=int, default=12,
+        help="operations per generated DFG (default 12)",
+    )
+    fuzz.add_argument(
+        "--inputs", type=int, default=4,
+        help="inputs per generated DFG (default 4)",
+    )
+    fuzz.add_argument(
+        "--artifacts", default="artifacts",
+        help="directory for repro scripts (default artifacts/)",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="keep raw failing recipes instead of shrinking",
+    )
+    fuzz.set_defaults(handler=cmd_fuzz)
 
     args = parser.parse_args(argv)
     try:

@@ -75,6 +75,34 @@ class Allocation:
             if reg == register
         )
 
+    def signature(self) -> tuple:
+        """Hashable identity of the allocation's decisions (op → FU,
+        value → register), for caching and for stage-level differential
+        comparison.
+
+        Ops and values are identified by the producing op's position in
+        the problem's op order, not by raw ids — ids are process-global
+        counters, and signatures must compare equal across processes
+        and across repeated compiles of the same source.
+        """
+        problem = self.schedule.problem
+        op_index = {op.id: index for index, op in enumerate(problem.ops)}
+        value_index = {
+            op.result.id: index
+            for index, op in enumerate(problem.ops)
+            if op.result is not None
+        }
+        return (
+            tuple(sorted(
+                (op_index[op_id], (fu.cls, fu.index))
+                for op_id, fu in self.fu_map.items()
+            )),
+            tuple(sorted(
+                (value_index.get(value_id, -1), register)
+                for value_id, register in self.register_map.items()
+            )),
+        )
+
     # Legality ----------------------------------------------------------
 
     def validate(self) -> None:

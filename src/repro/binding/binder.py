@@ -44,6 +44,14 @@ class Binding:
             default=0.0,
         )
 
+    def signature(self) -> tuple:
+        """Hashable identity of the binding's decisions (FU →
+        component, width), for stage-level differential comparison."""
+        return tuple(sorted(
+            (str(fu), component.name, self.widths[fu])
+            for fu, component in self.components.items()
+        ))
+
     def report(self) -> str:
         lines = ["module binding:"]
         for fu in sorted(self.components, key=lambda f: (f.cls, f.index)):

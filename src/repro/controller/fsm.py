@@ -100,6 +100,36 @@ class FSM:
                     f"condition"
                 )
 
+    def signature(self) -> tuple:
+        """Hashable identity of the machine's structure (states and
+        transitions), for stage-level differential comparison.
+
+        Condition values are identified by (producer block name, op
+        position in that block), not by raw value id — ids are
+        process-global counters, and signatures must compare equal
+        across processes and repeated compiles of the same source.
+        """
+
+        def cond_key(cond: Value | None):
+            if cond is None:
+                return None
+            producer = cond.producer
+            return (producer.block.name,
+                    producer.block.ops.index(producer))
+
+        states = tuple(
+            (
+                state.id,
+                state.block_name,
+                state.step,
+                state.transition.if_true,
+                state.transition.if_false,
+                cond_key(state.transition.cond),
+            )
+            for state in self.states
+        )
+        return (self.entry, states)
+
     def dot(self) -> str:
         """DOT rendering of the state graph."""
         lines = ["digraph fsm {", "  node [shape=circle];"]

@@ -90,6 +90,36 @@ class SynthesizedDesign:
     def state_count(self) -> int:
         return self.fsm.state_count if self.fsm is not None else 0
 
+    def stage_signatures(self) -> dict[str, tuple]:
+        """Per-stage decision signatures, in pipeline order.
+
+        Two designs synthesized from the same CDFG along different code
+        paths (cached vs uncached, serial vs parallel, incremental vs
+        reference) must produce *equal* signatures stage by stage; the
+        differential engine compares them in order to name the first
+        stage where two paths diverged.
+        """
+        # Blocks are keyed by their name (the problem label), not their
+        # id — like op/value ids, block ids are process-local counters
+        # and signatures must compare equal across processes.
+        return {
+            "scheduling": tuple(sorted(
+                (schedule.problem.label, schedule.signature())
+                for schedule in self.schedules.values()
+            )),
+            "allocation": tuple(sorted(
+                (allocation.schedule.problem.label,
+                 allocation.signature())
+                for allocation in self.allocations.values()
+            )),
+            "binding": (
+                () if self.binding is None else self.binding.signature()
+            ),
+            "controller": (
+                () if self.fsm is None else self.fsm.signature()
+            ),
+        }
+
     def report(self) -> str:
         """A compact human-readable design summary."""
         lines = [f"design {self.cdfg.name}:"]

@@ -75,6 +75,9 @@ class SynthesisOptions:
         unroll: fully unroll constant-trip loops during optimization.
         tree_height: rebalance associative chains during optimization.
         library: component library for module binding.
+        verify: run the :mod:`repro.verify` stage contracts after each
+            pipeline stage and raise
+            :class:`~repro.errors.VerificationError` on any violation.
     """
 
     scheduler: str = "list"
@@ -85,6 +88,7 @@ class SynthesisOptions:
     unroll: bool = False
     tree_height: bool = False
     library: ComponentLibrary | None = None
+    verify: bool = False
 
     def with_constraints(
         self,
@@ -124,6 +128,7 @@ class SynthesisOptions:
             self.unroll,
             self.tree_height,
             self.library,
+            self.verify,
         )
 
 
@@ -192,6 +197,25 @@ def synthesis_cache() -> SynthesisCache:
 def clear_synthesis_cache() -> None:
     """Drop every cached design and reset the hit/miss counters."""
     _SYNTHESIS_CACHE.clear()
+
+
+def _verify_stages(design: SynthesizedDesign, stages: tuple[str, ...],
+                   log: list[str]) -> None:
+    """Opt-in engine hook: run stage contracts, raise on violations.
+
+    Imported lazily — :mod:`repro.verify` imports the pipeline
+    packages, so the engine must not import it at module level.
+    """
+    from ..errors import VerificationError
+    from ..verify import verify_design
+
+    report = verify_design(design, stages=stages)
+    log.append(
+        f"verify[{','.join(stages)}]: "
+        f"{'ok' if report.ok else f'{len(report.violations)} violations'}"
+    )
+    if not report.ok:
+        raise VerificationError(report.render(), report.violations)
 
 
 def _region_condition_values(cdfg: CDFG) -> dict[int, set[int]]:
@@ -291,6 +315,9 @@ def synthesize_cdfg(cdfg: CDFG,
             f"{allocation.register_count} registers"
         )
 
+    if options.verify:
+        _verify_stages(design, ("scheduling", "allocation"), log)
+
     design.binding = binder.merge(bindings)
     for fu in sorted(design.binding.components,
                      key=lambda f: (f.cls, f.index)):
@@ -299,8 +326,12 @@ def synthesize_cdfg(cdfg: CDFG,
             f"bind: {fu} -> {component.name} "
             f"({design.binding.widths[fu]} bits)"
         )
+    if options.verify:
+        _verify_stages(design, ("binding",), log)
     design.fsm = synthesize_fsm(cdfg, design.plans)
     log.append(f"control: FSM with {design.fsm.state_count} states")
+    if options.verify:
+        _verify_stages(design, ("controller", "netlist"), log)
     return design
 
 

@@ -87,5 +87,19 @@ class SimulationError(HLSError):
     """Behavioral or RTL simulation encountered an invalid state."""
 
 
+class VerificationError(HLSError):
+    """A stage contract was violated (see :mod:`repro.verify`).
+
+    Raised by the engine's opt-in verification hook
+    (``SynthesisOptions(verify=True)``) when any post-stage contract
+    check reports violations.  Carries the violation records so
+    callers can inspect them programmatically.
+    """
+
+    def __init__(self, message: str, violations=()) -> None:
+        super().__init__(message)
+        self.violations = list(violations)
+
+
 class EquivalenceError(HLSError):
     """Behavior/RTL co-simulation found diverging outputs."""

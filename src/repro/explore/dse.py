@@ -214,20 +214,8 @@ def _design_signature(design: SynthesizedDesign) -> tuple:
     once — past the budget where a constraint stops binding, every
     larger budget yields the same design.
     """
-    parts = []
-    for block_id in sorted(design.schedules):
-        schedule = design.schedules[block_id]
-        allocation = design.allocations[block_id]
-        parts.append((
-            block_id,
-            tuple(sorted(schedule.start.items())),
-            tuple(sorted(
-                (op_id, (fu.cls, fu.index))
-                for op_id, fu in allocation.fu_map.items()
-            )),
-            tuple(sorted(allocation.register_map.items())),
-        ))
-    return tuple(parts)
+    signatures = design.stage_signatures()
+    return (signatures["scheduling"], signatures["allocation"])
 
 
 class _PointBuilder:

@@ -625,6 +625,22 @@ class Schedule:
                 f"time limit {problem.time_limit}"
             )
 
+    def signature(self) -> tuple:
+        """Hashable identity of the schedule's decisions (op → start),
+        for caching and for stage-level differential comparison.
+
+        Ops are identified by their *position* in the problem's op
+        order, not their raw id — value/op ids are process-global
+        counters, and signatures must compare equal across processes
+        (serial vs parallel exploration) and across repeated compiles
+        of the same source.
+        """
+        return tuple(
+            (index, self.start[op.id])
+            for index, op in enumerate(self.problem.ops)
+            if op.id in self.start
+        )
+
     # Rendering ---------------------------------------------------------
 
     def table(self) -> str:

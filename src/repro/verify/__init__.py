@@ -1,0 +1,84 @@
+"""Stage-contract checking and differential verification.
+
+This package answers "did the pipeline do something legal?" three ways:
+
+* **contracts** (:func:`verify_design`) — pure checkers over a
+  finished :class:`~repro.core.design.SynthesizedDesign`, one per
+  pipeline stage, returning structured :class:`Violation` records
+  instead of raising;
+* **differential** (:func:`run_differential`,
+  :func:`check_all_paths`) — every scheduler × allocator combination
+  (and every paired code path: cached/uncached, serial/parallel,
+  incremental/reference) must agree with the behavioral reference,
+  with failures localized to the first diverging stage;
+* **fuzzing** (:func:`fuzz_seeds`) — seeded random DFGs through the
+  full matrix, with failing cases shrunk to minimal recipes and saved
+  as standalone repro scripts.
+
+The checkers here deliberately re-derive stage legality independently
+of each stage's own raising ``validate()`` method, so the two
+implementations cross-check each other.
+"""
+
+from .contracts import (
+    CONTRACTS,
+    check_allocation,
+    check_binding,
+    check_controller,
+    check_netlist,
+    check_schedule,
+    verify_design,
+)
+from .differential import (
+    DIFF_STAGE_ORDER,
+    ComboResult,
+    DifferentialReport,
+    PathResult,
+    check_all_paths,
+    check_cached_paths,
+    check_incremental_force_directed,
+    check_parallel_paths,
+    first_diverging_stage,
+    run_differential,
+)
+from .fuzz import FuzzFailure, FuzzReport, check_seed, fuzz_seeds
+from .shrink import (
+    ShrinkResult,
+    describe_failure,
+    recipe_fails,
+    shrink_failure,
+    write_repro_script,
+)
+from .violations import STAGE_ORDER, VerificationReport, Violation
+
+__all__ = [
+    "CONTRACTS",
+    "DIFF_STAGE_ORDER",
+    "STAGE_ORDER",
+    "ComboResult",
+    "DifferentialReport",
+    "FuzzFailure",
+    "FuzzReport",
+    "PathResult",
+    "ShrinkResult",
+    "VerificationReport",
+    "Violation",
+    "check_all_paths",
+    "check_allocation",
+    "check_binding",
+    "check_cached_paths",
+    "check_controller",
+    "check_incremental_force_directed",
+    "check_netlist",
+    "check_parallel_paths",
+    "check_schedule",
+    "check_seed",
+    "describe_failure",
+    "first_diverging_stage",
+    "fuzz_seeds",
+    "recipe_fails",
+    "run_differential",
+    "shrink_failure",
+    "verify_design",
+    "write_repro_script",
+]

@@ -1,0 +1,187 @@
+"""Differential fuzzing: random DFGs through the full combo matrix.
+
+Each seed deterministically generates one DFG recipe, synthesizes it
+through every scheduler × allocator combination, and checks all stage
+contracts plus behavioral/RTL agreement.  A failing seed is shrunk to
+a locally-minimal recipe and a standalone repro script is written to
+the artifacts directory.
+
+Seeds are independent, so they parallelize across processes the same
+way design-space exploration does (``jobs > 1``); shrinking always
+happens in the parent process so injected in-process bugs (tests
+monkeypatching a scheduler) shrink correctly with ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.engine import ALLOCATORS, SCHEDULERS
+from ..workloads.random_dfg import (
+    DFGRecipe,
+    RandomDFGSpec,
+    build_dfg,
+    dfg_recipe,
+)
+from .differential import run_differential
+from .shrink import (
+    describe_failure,
+    recipe_fails,
+    shrink_failure,
+    write_repro_script,
+)
+
+
+@dataclass
+class FuzzFailure:
+    """One failing seed, after optional shrinking."""
+
+    seed: int
+    recipe: DFGRecipe
+    summary: str
+    shrunk: DFGRecipe | None = None
+    script_path: str | None = None
+
+    @property
+    def minimal(self) -> DFGRecipe:
+        return self.shrunk if self.shrunk is not None else self.recipe
+
+    def render(self) -> str:
+        line = f"  seed {self.seed}: {self.summary}"
+        if self.shrunk is not None:
+            line += (
+                f" (shrunk {self.recipe.op_count} -> "
+                f"{self.shrunk.op_count} ops)"
+            )
+        if self.script_path is not None:
+            line += f" repro: {self.script_path}"
+        return line
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing run."""
+
+    seeds: list[int] = field(default_factory=list)
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        lines = [
+            f"fuzz: {verdict} ({len(self.seeds)} seeds, "
+            f"{len(self.failures)} failing)"
+        ]
+        lines.extend(failure.render() for failure in self.failures)
+        return "\n".join(lines)
+
+
+def _spec(seed: int, ops: int, inputs: int) -> RandomDFGSpec:
+    return RandomDFGSpec(ops=ops, inputs=inputs, seed=seed)
+
+
+def check_seed(
+    seed: int,
+    ops: int = 12,
+    inputs: int = 4,
+    schedulers: Sequence[str] | None = None,
+    allocators: Sequence[str] | None = None,
+) -> tuple[bool, str]:
+    """Differentially check one seed; returns (ok, failure summary)."""
+    recipe = dfg_recipe(_spec(seed, ops, inputs))
+    report = run_differential(
+        lambda: build_dfg(recipe),
+        schedulers=schedulers,
+        allocators=allocators,
+        label=recipe.name,
+    )
+    if report.ok:
+        return True, ""
+    return False, describe_failure(report)
+
+
+def _fuzz_worker(payload: tuple) -> tuple[int, bool, str]:
+    """Process-pool entry point: check one seed in a worker."""
+    seed, ops, inputs, schedulers, allocators = payload
+    ok, summary = check_seed(seed, ops, inputs, schedulers, allocators)
+    return seed, ok, summary
+
+
+def _run_seeds(payloads: list[tuple], jobs: int) -> list[tuple]:
+    if jobs <= 1 or len(payloads) <= 1:
+        return [_fuzz_worker(payload) for payload in payloads]
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            return list(pool.map(_fuzz_worker, payloads))
+    except (ImportError, OSError, PermissionError):
+        # No process support in this environment — degrade to serial,
+        # same policy as explore.parallel.
+        return [_fuzz_worker(payload) for payload in payloads]
+
+
+def fuzz_seeds(
+    seeds: int | Sequence[int],
+    *,
+    ops: int = 12,
+    inputs: int = 4,
+    schedulers: Sequence[str] | None = None,
+    allocators: Sequence[str] | None = None,
+    jobs: int = 1,
+    artifacts_dir: str = "artifacts",
+    shrink: bool = True,
+) -> FuzzReport:
+    """Fuzz the differential matrix over many seeds.
+
+    Args:
+        seeds: either a seed count (runs seeds ``1..N``) or an explicit
+            seed sequence.
+        ops / inputs: generated DFG shape.
+        schedulers / allocators: combo matrix (default: all registered).
+        jobs: worker processes; seed checking parallelizes, shrinking
+            stays in the parent.
+        artifacts_dir: where repro scripts for shrunk failures go.
+        shrink: disable to keep raw failing recipes (faster).
+    """
+    seed_list = (
+        list(range(1, seeds + 1)) if isinstance(seeds, int)
+        else list(seeds)
+    )
+    scheduler_names = sorted(schedulers if schedulers is not None
+                             else SCHEDULERS)
+    allocator_names = sorted(allocators if allocators is not None
+                             else ALLOCATORS)
+    payloads = [
+        (seed, ops, inputs, tuple(scheduler_names),
+         tuple(allocator_names))
+        for seed in seed_list
+    ]
+    report = FuzzReport(seeds=seed_list)
+    for seed, ok, summary in _run_seeds(payloads, jobs):
+        if ok:
+            continue
+        recipe = dfg_recipe(_spec(seed, ops, inputs))
+        failure = FuzzFailure(seed, recipe, summary)
+        report.failures.append(failure)
+        if shrink:
+            result = shrink_failure(
+                recipe,
+                lambda candidate: recipe_fails(
+                    candidate, scheduler_names, allocator_names
+                ),
+            )
+            failure.shrunk = result.shrunk
+        failure.script_path = write_repro_script(
+            failure.minimal,
+            scheduler_names,
+            allocator_names,
+            os.path.join(artifacts_dir, f"repro_seed{seed}.py"),
+            notes=f"Seed {seed}: {summary}",
+        )
+    return report

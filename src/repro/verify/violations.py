@@ -1,0 +1,129 @@
+"""Structured contract-violation records.
+
+Every stage contract (:mod:`repro.verify.contracts`) returns a list of
+:class:`Violation` records instead of raising, so callers can see *all*
+the ways a design is broken at once, machine-process them (the fuzzer
+keys on ``(stage, kind)``), and render them stably (the CLI's golden
+output).  The stage checkers inside the pipeline
+(:meth:`~repro.scheduling.base.Schedule.validate` and friends) keep
+raising on the first problem — contracts are the diagnostic
+counterpart, implemented independently so the two can cross-check each
+other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+#: Pipeline order of the contract stages — reports sort by it, and the
+#: differential engine uses it to name the *first* diverging stage.
+STAGE_ORDER: tuple[str, ...] = (
+    "scheduling",
+    "allocation",
+    "binding",
+    "controller",
+    "netlist",
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, located and machine-readable.
+
+    Attributes:
+        stage: contract stage (one of :data:`STAGE_ORDER`).
+        kind: short violation slug, e.g. ``"precedence"`` or
+            ``"register-overlap"`` — stable across releases, the
+            fuzzer and tests key on it.
+        where: locus inside the design (block name, FSM state,
+            component name, or ``"design"``).
+        message: human-readable one-line description.
+        subject: machine-readable details (op ids, steps, registers).
+    """
+
+    stage: str
+    kind: str
+    where: str
+    message: str
+    subject: Mapping[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        return f"[{self.stage}] {self.kind} @{self.where}: {self.message}"
+
+    def sort_key(self) -> tuple:
+        stage_rank = (
+            STAGE_ORDER.index(self.stage)
+            if self.stage in STAGE_ORDER
+            else len(STAGE_ORDER)
+        )
+        return (stage_rank, self.where, self.kind, self.message)
+
+
+@dataclass
+class VerificationReport:
+    """All violations one :func:`~repro.verify.contracts.verify_design`
+    run found, plus which stages were checked."""
+
+    design_name: str
+    stages_checked: tuple[str, ...] = STAGE_ORDER
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def by_stage(self) -> dict[str, list[Violation]]:
+        grouped: dict[str, list[Violation]] = {}
+        for violation in self.violations:
+            grouped.setdefault(violation.stage, []).append(violation)
+        return grouped
+
+    def kinds(self) -> set[str]:
+        return {violation.kind for violation in self.violations}
+
+    def first_bad_stage(self) -> str | None:
+        """Earliest pipeline stage with a violation (None when clean)."""
+        bad = self.by_stage()
+        for stage in STAGE_ORDER:
+            if stage in bad:
+                return stage
+        return next(iter(bad), None)
+
+    def extend(self, violations: Iterable[Violation]) -> None:
+        self.violations.extend(violations)
+        self.violations.sort(key=Violation.sort_key)
+
+    def render(self) -> str:
+        """Stable multi-line rendering (golden-tested)."""
+        if self.ok:
+            return (
+                f"contracts for '{self.design_name}': PASS "
+                f"({len(self.stages_checked)} stages, 0 violations)"
+            )
+        lines = [
+            f"contracts for '{self.design_name}': FAIL "
+            f"({len(self.violations)} violation"
+            f"{'s' if len(self.violations) != 1 else ''})"
+        ]
+        for violation in sorted(self.violations, key=Violation.sort_key):
+            lines.append(f"  {violation.render()}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (fuzzer artifacts embed it)."""
+        return {
+            "design": self.design_name,
+            "ok": self.ok,
+            "stages_checked": list(self.stages_checked),
+            "violations": [
+                {
+                    "stage": v.stage,
+                    "kind": v.kind,
+                    "where": v.where,
+                    "message": v.message,
+                    "subject": dict(v.subject),
+                }
+                for v in sorted(self.violations, key=Violation.sort_key)
+            ],
+        }

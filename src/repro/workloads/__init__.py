@@ -9,14 +9,24 @@ from .filters import (
     fir_cdfg,
     fir_source,
 )
-from .random_dfg import RandomDFGSpec, random_dfg
+from .random_dfg import (
+    DFGRecipe,
+    RandomDFGSpec,
+    build_dfg,
+    dfg_recipe,
+    random_dfg,
+    shrink_recipe,
+)
 from .sqrt import SQRT_SOURCE, sqrt_cdfg
 
 __all__ = [
+    "DFGRecipe",
     "DIFFEQ_SOURCE",
     "RandomDFGSpec",
     "SQRT_SOURCE",
     "ar_lattice_cdfg",
+    "build_dfg",
+    "dfg_recipe",
     "diffeq_cdfg",
     "diffeq_inputs",
     "ewf_cdfg",
@@ -28,4 +38,5 @@ __all__ = [
     "fir_cdfg",
     "fir_source",
     "random_dfg",
+    "shrink_recipe",
 ]

@@ -3,11 +3,25 @@
 Generates layered, feed-forward single-block CDFGs with a configurable
 op mix.  Determinism matters (tests assert exact results per seed), so
 a local linear-congruential generator is used instead of ``random``.
+
+Generation is split into two steps so failures can be *shrunk*:
+
+* :func:`dfg_recipe` replays the seeded generator into a
+  :class:`DFGRecipe` — a plain, serializable list of
+  ``(kind, left, right)`` triples over a growing value pool;
+* :func:`build_dfg` constructs the CDFG from a recipe.
+
+``random_dfg(spec) == build_dfg(dfg_recipe(spec))`` by construction,
+and :func:`shrink_recipe` delta-debugs a failing recipe — deleting ops
+and rewiring edges while a caller-supplied predicate keeps failing —
+until it is locally minimal.  The fuzzer (:mod:`repro.verify.fuzz`)
+embeds the shrunk recipe in a standalone repro script.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Callable
 
 from ..ir.cdfg import CDFG, BlockRegion
 from ..ir.opcodes import OpKind
@@ -56,33 +70,87 @@ class RandomDFGSpec:
     add_weight: int = 2
 
 
-def random_dfg(spec: RandomDFGSpec) -> CDFG:
-    """Generate a single-block CDFG per ``spec``."""
-    rng = _LCG(spec.seed)
-    cdfg = CDFG(f"rand{spec.seed}_{spec.ops}")
-    for index in range(spec.inputs):
-        cdfg.add_input(f"in{index}", _WORD)
-    block = cdfg.new_block("body")
-    cdfg.body = BlockRegion(block)
+@dataclass(frozen=True)
+class DFGRecipe:
+    """A serializable construction trace for one single-block DFG.
 
-    pool = [block.read(f"in{i}", _WORD) for i in range(spec.inputs)]
+    The value pool is indexed ``0 .. inputs-1`` for the input reads,
+    then ``inputs + k`` for the result of op ``k``.  Each op is a
+    ``(kind_name, left_pool_index, right_pool_index)`` triple whose
+    operand indices must precede the op itself — the recipe is a DAG by
+    construction, which is what makes deletion-based shrinking sound.
+    """
+
+    inputs: int
+    ops: tuple[tuple[str, int, int], ...]
+    name: str = "dfg"
+
+    def __post_init__(self) -> None:
+        for position, (kind, left, right) in enumerate(self.ops):
+            limit = self.inputs + position
+            if not (0 <= left < limit and 0 <= right < limit):
+                raise ValueError(
+                    f"recipe op {position} ({kind}) reads pool index "
+                    f"{max(left, right)}, but only {limit} values "
+                    f"precede it"
+                )
+            OpKind[kind]  # raises KeyError on an unknown kind name
+
+    @property
+    def op_count(self) -> int:
+        return len(self.ops)
+
+    def render(self) -> str:
+        """Python-literal rendering (embedded in repro scripts)."""
+        lines = [f"DFGRecipe(", f"    inputs={self.inputs},", "    ops=("]
+        for kind, left, right in self.ops:
+            lines.append(f"        ({kind!r}, {left}, {right}),")
+        lines.append("    ),")
+        lines.append(f"    name={self.name!r},")
+        lines.append(")")
+        return "\n".join(lines)
+
+
+def dfg_recipe(spec: RandomDFGSpec) -> DFGRecipe:
+    """Replay the seeded generator into a :class:`DFGRecipe`."""
+    rng = _LCG(spec.seed)
     kinds = [OpKind.MUL] * spec.mul_weight + [
         OpKind.ADD,
         OpKind.SUB,
     ] * spec.add_weight
-
+    pool_size = spec.inputs
+    ops: list[tuple[str, int, int]] = []
     for _ in range(spec.ops):
         kind = rng.choice(kinds)
-        window = pool[-spec.fan_in_window:]
-        left = window[rng.below(len(window))]
-        right = window[rng.below(len(window))]
-        op = block.emit(kind, [left, right], _WORD)
+        window = min(spec.fan_in_window, pool_size)
+        base = pool_size - window
+        left = base + rng.below(window)
+        right = base + rng.below(window)
+        ops.append((kind.name, left, right))
+        pool_size += 1
+    return DFGRecipe(spec.inputs, tuple(ops),
+                     name=f"rand{spec.seed}_{spec.ops}")
+
+
+def build_dfg(recipe: DFGRecipe) -> CDFG:
+    """Construct the single-block CDFG a recipe describes."""
+    cdfg = CDFG(recipe.name)
+    for index in range(recipe.inputs):
+        cdfg.add_input(f"in{index}", _WORD)
+    block = cdfg.new_block("body")
+    cdfg.body = BlockRegion(block)
+
+    pool = [block.read(f"in{i}", _WORD) for i in range(recipe.inputs)]
+    for kind_name, left, right in recipe.ops:
+        op = block.emit(
+            OpKind[kind_name], [pool[left], pool[right]], _WORD
+        )
         pool.append(op.result)
 
     # Every value some op didn't consume becomes an output (keeps the
     # whole graph live under DCE).
     sink_index = 0
-    for value in pool[spec.inputs:]:
+    for value in pool[recipe.inputs:]:
         if not value.uses:
             name = f"out{sink_index}"
             cdfg.add_output(name, _WORD)
@@ -93,3 +161,93 @@ def random_dfg(spec: RandomDFGSpec) -> CDFG:
         block.write("out0", pool[-1])
     cdfg.validate()
     return cdfg
+
+
+def random_dfg(spec: RandomDFGSpec) -> CDFG:
+    """Generate a single-block CDFG per ``spec``."""
+    return build_dfg(dfg_recipe(spec))
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+# ----------------------------------------------------------------------
+
+
+def _delete_op(recipe: DFGRecipe, position: int) -> DFGRecipe:
+    """The recipe with op ``position`` removed.
+
+    Later references to the deleted op's result are rewired to its
+    left operand (always an earlier pool index), and indices above the
+    deleted slot shift down by one.
+    """
+    removed_index = recipe.inputs + position
+    replacement = recipe.ops[position][1]
+
+    def remap(index: int) -> int:
+        if index == removed_index:
+            index = replacement
+        return index - 1 if index > removed_index else index
+
+    ops = tuple(
+        (kind, remap(left), remap(right))
+        for k, (kind, left, right) in enumerate(recipe.ops)
+        if k != position
+    )
+    return replace(recipe, ops=ops)
+
+
+def _rewire_operand(recipe: DFGRecipe, position: int, side: int,
+                    new_index: int) -> DFGRecipe:
+    """The recipe with one operand of op ``position`` redirected."""
+    ops = list(recipe.ops)
+    kind, left, right = ops[position]
+    ops[position] = (kind, new_index, right) if side == 0 \
+        else (kind, left, new_index)
+    return replace(recipe, ops=tuple(ops))
+
+
+def shrink_recipe(recipe: DFGRecipe,
+                  still_fails: Callable[[DFGRecipe], bool],
+                  min_ops: int = 1) -> DFGRecipe:
+    """Greedy delta-debugging reducer for a failing recipe.
+
+    Repeats two passes to a fixpoint:
+
+    1. **op deletion** — try removing each op (last to first, so
+       downstream consumers disappear before their producers);
+    2. **edge deletion** — try rewiring each operand that reads
+       another op's result to an input, or one level up the chain.
+
+    A candidate is kept only when ``still_fails(candidate)`` is True,
+    so the result still reproduces the original failure and is locally
+    minimal (no single deletion keeps it failing).  The predicate must
+    be deterministic; it is never called on the input recipe itself.
+    """
+    current = recipe
+    changed = True
+    while changed:
+        changed = False
+        position = current.op_count - 1
+        while position >= 0 and current.op_count > min_ops:
+            candidate = _delete_op(current, position)
+            if still_fails(candidate):
+                current = candidate
+                changed = True
+            position -= 1
+        for position in range(current.op_count):
+            kind, left, right = current.ops[position]
+            for side, operand in ((0, left), (1, right)):
+                if operand < current.inputs:
+                    continue  # already reads an input
+                producer_left = current.ops[operand - current.inputs][1]
+                for target in (0, producer_left):
+                    if target == operand:
+                        continue
+                    candidate = _rewire_operand(
+                        current, position, side, target
+                    )
+                    if still_fails(candidate):
+                        current = candidate
+                        changed = True
+                        break
+    return current

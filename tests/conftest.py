@@ -4,12 +4,41 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core import clear_synthesis_cache
 from repro.scheduling import (
     ResourceConstraints,
     TypedFUModel,
     UniversalFUModel,
 )
 from repro.workloads import SQRT_SOURCE
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow", action="store_true", default=False,
+        help="run tests marked slow (raised hypothesis budgets)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="needs --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_synthesis_cache():
+    """Isolate tests from the process-global design cache.
+
+    Cached designs are shared objects; a test that mutates one (or
+    depends on hit/miss counters) must not leak state into the next.
+    """
+    clear_synthesis_cache()
+    yield
+    clear_synthesis_cache()
 
 
 @pytest.fixture

@@ -10,9 +10,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import SynthesisOptions, synthesize_cdfg
+from repro.core import SCHEDULERS, SynthesisOptions, synthesize_cdfg
 from repro.scheduling import ResourceConstraints, TypedFUModel
 from repro.sim import check_equivalence, default_vectors
+from repro.verify import run_differential
 from repro.workloads import RandomDFGSpec, random_dfg
 
 
@@ -36,23 +37,65 @@ def test_random_dfg_equivalence(seed, ops, fus):
     assert report.equivalent
 
 
-@settings(max_examples=8, deadline=None)
+#: The grid runs without hard resource limits: force-directed is a
+#: *time-constrained* scheduler (it minimizes units under a deadline,
+#: it does not enforce limits), so under tight constraints the engine
+#: correctly rejects its schedules.  Resource-constrained behavior is
+#: covered by test_random_dfg_equivalence and the constrained subset
+#: below.
+@pytest.mark.parametrize("scheduler", sorted(SCHEDULERS))
+@settings(max_examples=4, deadline=None)
+@given(seed=st.integers(1, 100_000))
+def test_random_dfg_scheduler_grid(scheduler, seed):
+    """Every registered scheduler, via the differential engine: stage
+    contracts pass and RTL matches the behavioral reference."""
+    report = run_differential(
+        lambda: random_dfg(RandomDFGSpec(ops=14, seed=seed)),
+        schedulers=[scheduler],
+        allocators=["left-edge"],
+        options=SynthesisOptions(
+            model=TypedFUModel(single_cycle=True),
+        ),
+    )
+    assert report.ok, report.render()
+
+
+@settings(max_examples=4, deadline=None)
 @given(
     seed=st.integers(1, 100_000),
-    scheduler=st.sampled_from(["asap", "list", "ysc", "freedom-based"]),
+    scheduler=st.sampled_from(
+        ["asap", "list", "ysc", "freedom-based", "branch-and-bound"]
+    ),
 )
-def test_random_dfg_scheduler_grid(seed, scheduler):
-    cdfg = random_dfg(RandomDFGSpec(ops=14, seed=seed))
-    design = synthesize_cdfg(
-        cdfg,
-        SynthesisOptions(
-            scheduler=scheduler,
+def test_random_dfg_constrained_scheduler_grid(seed, scheduler):
+    """The resource-constrained schedulers under tight limits."""
+    report = run_differential(
+        lambda: random_dfg(RandomDFGSpec(ops=14, seed=seed)),
+        schedulers=[scheduler],
+        allocators=["left-edge"],
+        options=SynthesisOptions(
             model=TypedFUModel(single_cycle=True),
             constraints=ResourceConstraints({"add": 2, "mul": 1}),
         ),
     )
-    vectors = default_vectors(design.cdfg, count=3, seed=seed)
-    assert check_equivalence(design, vectors=vectors).equivalent
+    assert report.ok, report.render()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("scheduler", sorted(SCHEDULERS))
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(1, 100_000))
+def test_random_dfg_scheduler_grid_deep(scheduler, seed):
+    """--runslow variant of the grid with a raised hypothesis budget."""
+    report = run_differential(
+        lambda: random_dfg(RandomDFGSpec(ops=16, seed=seed)),
+        schedulers=[scheduler],
+        allocators=["left-edge", "clique"],
+        options=SynthesisOptions(
+            model=TypedFUModel(single_cycle=True),
+        ),
+    )
+    assert report.ok, report.render()
 
 
 @settings(max_examples=8, deadline=None)

@@ -344,7 +344,7 @@ class TestSchedulerProperties:
 
     @settings(max_examples=15, deadline=None)
     @given(seed=st.integers(1, 10_000), ops=st.integers(5, 20))
-    def test_list_never_worse_than_asap_with_tight_resources(
+    def test_list_and_asap_bounded_with_tight_resources(
         self, seed, ops
     ):
         cdfg = random_dfg(RandomDFGSpec(ops=ops, seed=seed))
@@ -352,9 +352,14 @@ class TestSchedulerProperties:
         problem = problem_of(cdfg, constraints=constraints)
         asap = ASAPScheduler(problem).schedule()
         lst = ListScheduler(problem).schedule()
-        # List scheduling dominates ASAP on these workloads; allow
-        # equality (they coincide when the fixed order is lucky).
-        assert lst.length <= asap.length
+        # Neither greedy order dominates pointwise (seed 4994 / 9 ops:
+        # the priority list takes 6 steps where fixed-order ASAP takes
+        # 5), so pin the bounds both must satisfy: legal, at least the
+        # unconstrained critical path, at most fully serial.
+        critical_path = ASAPScheduler(problem_of(cdfg)).schedule().length
+        for schedule in (asap, lst):
+            schedule.validate()
+            assert critical_path <= schedule.length <= len(problem.ops)
 
     @settings(max_examples=15, deadline=None)
     @given(seed=st.integers(1, 10_000), ops=st.integers(5, 25))

@@ -42,6 +42,30 @@ class TestLatencySearch:
         assert found is not None
         assert found.constraints.limit("fu") == 2
 
+    def test_impossible_target_consistent_across_jobs(self):
+        """Regression pin: both the serial and the parallel search
+        build the unconstrained ceiling first, so an impossible target
+        returns None from *both* paths — neither may raise or return a
+        partial point."""
+        for n_jobs in (1, 2):
+            point = search_for_latency(
+                SQRT_SOURCE, target_cycles=3, max_units=4,
+                n_jobs=n_jobs, use_cache=False,
+            )
+            assert point is None, f"n_jobs={n_jobs} found {point}"
+
+    def test_feasible_target_consistent_across_jobs(self):
+        serial = search_for_latency(SQRT_SOURCE, target_cycles=10,
+                                    max_units=4, n_jobs=1,
+                                    use_cache=False)
+        parallel = search_for_latency(SQRT_SOURCE, target_cycles=10,
+                                      max_units=4, n_jobs=2,
+                                      use_cache=False)
+        assert serial is not None and parallel is not None
+        assert serial.constraints.limit("fu") == \
+            parallel.constraints.limit("fu") == 2
+        assert serial.cycles == parallel.cycles
+
 
 class TestJSONExport:
     def test_round_trips_through_json(self):

@@ -1,0 +1,320 @@
+"""Stage contracts: clean designs pass, hand-corrupted designs report
+the expected violation kinds, and the engine hook raises.
+
+The corruption tests are the contract checkers' own differential
+counterpart: each one breaks exactly one invariant *after* synthesis
+(so the pipeline's raising validators never see it) and asserts the
+matching violation kind appears.
+"""
+
+import pytest
+
+from repro.core import SynthesisOptions, synthesize, synthesize_cdfg
+from repro.core.engine import SCHEDULERS
+from repro.allocation.lifetimes import compute_lifetimes
+from repro.controller.fsm import ControlState, Transition
+from repro.datapath.netlist import build_netlist
+from repro.errors import VerificationError
+from repro.scheduling import ResourceConstraints
+from repro.scheduling import ListScheduler
+from repro.verify import (
+    STAGE_ORDER,
+    check_allocation,
+    check_binding,
+    check_controller,
+    check_netlist,
+    check_schedule,
+    verify_design,
+)
+from repro.workloads import (
+    DIFFEQ_SOURCE,
+    SQRT_SOURCE,
+    ar_lattice_cdfg,
+    diffeq_cdfg,
+    ewf_cdfg,
+    fig3_cdfg,
+    fig5_cdfg,
+    fig6_cdfg,
+    fir_block_cdfg,
+    fir_cdfg,
+    sqrt_cdfg,
+)
+
+
+def _sqrt_design(fu: int = 2):
+    return synthesize(
+        SQRT_SOURCE,
+        options=SynthesisOptions(
+            constraints=ResourceConstraints({"fu": fu})
+        ),
+    )
+
+
+WORKLOAD_FACTORIES = {
+    "sqrt": sqrt_cdfg,
+    "diffeq": diffeq_cdfg,
+    "fig3": fig3_cdfg,
+    "fig5": fig5_cdfg,
+    "fig6": fig6_cdfg,
+    "ewf": ewf_cdfg,
+    "fir": lambda: fir_cdfg(4),
+    "fir_block": lambda: fir_block_cdfg(4),
+    "ar_lattice": lambda: ar_lattice_cdfg(2),
+}
+
+
+class TestCleanDesigns:
+    @pytest.mark.parametrize("name", sorted(WORKLOAD_FACTORIES))
+    def test_every_seed_workload_is_violation_free(self, name):
+        design = synthesize_cdfg(WORKLOAD_FACTORIES[name]())
+        report = verify_design(design)
+        assert report.ok, report.render()
+        assert report.stages_checked == STAGE_ORDER
+
+    @pytest.mark.parametrize("fu", [1, 2, 3])
+    def test_constrained_sqrt_is_violation_free(self, fu):
+        report = verify_design(_sqrt_design(fu))
+        assert report.ok, report.render()
+
+    def test_diffeq_source_is_violation_free(self):
+        report = verify_design(synthesize(DIFFEQ_SOURCE))
+        assert report.ok, report.render()
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError, match="unknown contract stages"):
+            verify_design(_sqrt_design(), stages=["rtl"])
+
+    def test_stage_subset_runs_only_those(self):
+        report = verify_design(_sqrt_design(),
+                               stages=["scheduling", "binding"])
+        assert report.ok
+        assert report.stages_checked == ("scheduling", "binding")
+
+
+class TestScheduleContract:
+    def test_unscheduled_op(self):
+        design = _sqrt_design()
+        schedule = next(iter(design.schedules.values()))
+        schedule.start.pop(next(iter(schedule.start)))
+        kinds = {v.kind for v in check_schedule(design)}
+        assert "unscheduled-op" in kinds
+
+    def test_negative_step(self):
+        design = _sqrt_design()
+        schedule = next(iter(design.schedules.values()))
+        op_id = next(iter(schedule.start))
+        schedule.start[op_id] = -1
+        kinds = {v.kind for v in check_schedule(design)}
+        assert "negative-step" in kinds
+
+    def test_precedence(self):
+        design = _sqrt_design()
+        # Find an edge whose source starts late enough that moving the
+        # sink before it stays non-negative.
+        for schedule in design.schedules.values():
+            for u, v in schedule.problem.graph.edges:
+                if schedule.start[u] >= 1:
+                    schedule.start[v] = schedule.start[u] - 1
+                    violations = check_schedule(design)
+                    assert "precedence" in {x.kind for x in violations}
+                    return
+        pytest.fail("no suitable edge found")
+
+    def test_resource_oversubscription(self):
+        design = _sqrt_design(fu=1)
+        # Pile every op of one block onto step 0: with one FU this
+        # oversubscribes (and breaks precedence, which is fine).
+        schedule = max(design.schedules.values(),
+                       key=lambda s: len(s.start))
+        for op_id in schedule.start:
+            schedule.start[op_id] = 0
+        kinds = {v.kind for v in check_schedule(design)}
+        assert "resource-oversubscribed" in kinds
+
+
+class TestAllocationContract:
+    def test_unassigned_op(self):
+        design = _sqrt_design()
+        for allocation in design.allocations.values():
+            if allocation.fu_map:
+                allocation.fu_map.pop(next(iter(allocation.fu_map)))
+                break
+        kinds = {v.kind for v in check_allocation(design)}
+        assert "unassigned-op" in kinds
+
+    def test_fu_double_booked(self):
+        design = _sqrt_design(fu=2)
+        for allocation in design.allocations.values():
+            schedule = allocation.schedule
+            by_step = {}
+            for op_id, fu in allocation.fu_map.items():
+                step = schedule.start[op_id]
+                if step in by_step and by_step[step][1] != fu:
+                    allocation.fu_map[op_id] = by_step[step][1]
+                    violations = check_allocation(design)
+                    kinds = {v.kind for v in violations}
+                    assert "fu-double-booked" in kinds
+                    return
+                by_step[step] = (op_id, fu)
+        pytest.fail("no two same-step ops on distinct FUs found")
+
+    def test_register_missing(self):
+        design = _sqrt_design(fu=1)
+        for allocation in design.allocations.values():
+            lifetimes = compute_lifetimes(allocation.schedule)
+            for lifetime in lifetimes:
+                if lifetime.value.id in allocation.register_map:
+                    allocation.register_map.pop(lifetime.value.id)
+                    kinds = {v.kind for v in check_allocation(design)}
+                    assert "register-missing" in kinds
+                    return
+        pytest.fail("no registered lifetime found")
+
+    def test_register_overlap(self):
+        design = _sqrt_design(fu=1)
+        for allocation in design.allocations.values():
+            lifetimes = compute_lifetimes(allocation.schedule)
+            for i, first in enumerate(lifetimes):
+                for second in lifetimes[i + 1:]:
+                    r1 = allocation.register_map.get(first.value.id)
+                    r2 = allocation.register_map.get(second.value.id)
+                    if (first.conflicts_with(second)
+                            and r1 is not None and r2 is not None
+                            and r1 != r2):
+                        allocation.register_map[second.value.id] = r1
+                        kinds = {
+                            v.kind for v in check_allocation(design)
+                        }
+                        assert "register-overlap" in kinds
+                        return
+        pytest.fail("no conflicting lifetime pair found")
+
+
+class TestBindingContract:
+    def test_unbound_fu(self):
+        design = _sqrt_design()
+        fu = next(iter(design.binding.components))
+        design.binding.components.pop(fu)
+        kinds = {v.kind for v in check_binding(design)}
+        assert "unbound-fu" in kinds
+
+    def test_width_underflow(self):
+        design = _sqrt_design()
+        fu = next(iter(design.binding.widths))
+        design.binding.widths[fu] = 1
+        kinds = {v.kind for v in check_binding(design)}
+        assert "width-underflow" in kinds
+
+    def test_missing_binding(self):
+        design = _sqrt_design()
+        design.binding = None
+        kinds = {v.kind for v in check_binding(design)}
+        assert kinds == {"missing-binding"}
+
+
+class TestControllerContract:
+    def test_dangling_target(self):
+        design = _sqrt_design()
+        design.fsm.states[0].transition = Transition(999)
+        kinds = {v.kind for v in check_controller(design)}
+        assert "dangling-target" in kinds
+
+    def test_branch_without_condition(self):
+        design = _sqrt_design()
+        state = design.fsm.states[0]
+        old = state.transition
+        state.transition = Transition(old.if_true, 0, None)
+        kinds = {v.kind for v in check_controller(design)}
+        assert "branch-without-condition" in kinds
+
+    def test_unreachable_state(self):
+        design = _sqrt_design()
+        fsm = design.fsm
+        orphan = ControlState(len(fsm.states), fsm.states[0].plan, 0)
+        fsm.states.append(orphan)
+        kinds = {v.kind for v in check_controller(design)}
+        assert "unreachable-state" in kinds
+
+    def test_dead_state(self):
+        design = _sqrt_design()
+        fsm = design.fsm
+        # An unconditional self-loop can never reach the halt exit.
+        fsm.states[fsm.entry].transition = Transition(fsm.entry)
+        kinds = {v.kind for v in check_controller(design)}
+        assert "dead-state" in kinds
+
+    def test_step_out_of_range(self):
+        design = _sqrt_design()
+        design.fsm.states[0].step = 999
+        kinds = {v.kind for v in check_controller(design)}
+        assert "step-out-of-range" in kinds
+
+    def test_missing_fsm(self):
+        design = _sqrt_design()
+        design.fsm = None
+        kinds = {v.kind for v in check_controller(design)}
+        assert kinds == {"missing-fsm"}
+
+
+class TestNetlistContract:
+    def test_clean_netlist(self):
+        assert check_netlist(_sqrt_design(fu=1)) == []
+
+    def test_dangling_port(self):
+        design = _sqrt_design(fu=1)
+        netlist = build_netlist(design)
+        netlist.components.pop(next(iter(netlist.components)))
+        kinds = {v.kind for v in check_netlist(design, netlist)}
+        assert "dangling-port" in kinds
+
+    def test_degenerate_mux(self):
+        design = _sqrt_design(fu=1)
+        netlist = build_netlist(design)
+        muxes = netlist.components_of_kind("mux")
+        assert muxes, "1-FU sqrt must share inputs through muxes"
+        victim = muxes[0]
+        netlist.nets = [
+            net for net in netlist.nets
+            if not any(
+                sink.component is victim and sink.port.startswith("i")
+                for sink in net.sinks
+            )
+        ]
+        kinds = {v.kind for v in check_netlist(design, netlist)}
+        assert "degenerate-mux" in kinds
+
+
+class TestEngineHook:
+    def test_verify_option_passes_on_clean_design(self):
+        design = synthesize(
+            SQRT_SOURCE, options=SynthesisOptions(verify=True)
+        )
+        assert any(line.startswith("verify[") for line in design.log)
+
+    def test_verify_option_raises_on_broken_scheduler(self, monkeypatch):
+        """A scheduler that lies (and a silenced validator) must be
+        caught by the contract hook, not slip through to RTL."""
+        from repro.scheduling.base import Schedule
+
+        class LyingScheduler(ListScheduler):
+            def schedule(self):
+                result = super().schedule()
+                for op_id in result.start:
+                    result.start[op_id] = 0
+                return result
+
+        monkeypatch.setitem(SCHEDULERS, "lying", LyingScheduler)
+        monkeypatch.setattr(Schedule, "validate", lambda self: None)
+        with pytest.raises(VerificationError) as excinfo:
+            synthesize(
+                SQRT_SOURCE,
+                options=SynthesisOptions(scheduler="lying",
+                                         verify=True),
+            )
+        kinds = {v.kind for v in excinfo.value.violations}
+        assert "precedence" in kinds
+
+    def test_verify_flag_in_cache_key(self):
+        plain = SynthesisOptions()
+        verifying = SynthesisOptions(verify=True)
+        assert plain.cache_key() != verifying.cache_key()
