@@ -3,7 +3,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test test-slow fuzz-smoke fuzz verify-examples
+.PHONY: test test-slow fuzz-smoke fuzz verify-examples profile bench
 
 # Tier-1 suite (what CI runs).
 test:
@@ -25,6 +25,14 @@ JOBS ?= 4
 OPS ?= 14
 fuzz:
 	$(PYTHON) -m repro fuzz --seeds $(SEEDS) --jobs $(JOBS) --ops $(OPS)
+
+# Per-stage timing of the paper's sqrt example (span tracing on).
+profile:
+	$(PYTHON) -m repro profile examples/sqrt.hls --fu 2
+
+# Full perf harness; writes BENCH_dse.json (incl. stage breakdowns).
+bench:
+	$(PYTHON) benchmarks/perf/run_bench.py
 
 # Stage contracts + full differential matrix on the example sources.
 verify-examples:

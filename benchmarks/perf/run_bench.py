@@ -31,7 +31,8 @@ import sys
 import time
 from pathlib import Path
 
-from repro.core import clear_synthesis_cache
+from repro import obs
+from repro.core import clear_synthesis_cache, synthesize
 from repro.core.engine import SynthesisOptions, synthesize_cdfg
 from repro.estimation import estimate_area, estimate_timing
 from repro.explore import explore_fu_range, search_for_latency
@@ -239,6 +240,37 @@ def _bench_list(name: str, problem_factory, repeats: int) -> dict:
     }
 
 
+def _stage_breakdown(name: str, source: str, fu_limit: int = 2) -> dict:
+    """Per-stage wall time of one traced synthesis run.
+
+    Makes the perf trajectory attributable: instead of one opaque
+    number per sweep, ``BENCH_dse.json`` records where each workload's
+    synthesis time actually goes, stage by stage.
+    """
+    clear_synthesis_cache()
+    obs.tracer().clear()
+    with obs.tracing(True):
+        synthesize(source, options=SynthesisOptions(
+            constraints=ResourceConstraints({"fu": fu_limit})
+        ))
+    records = obs.tracer().records()
+    total_us = sum(r.duration_us for r in records if r.parent is None)
+    stages = {
+        stage: {
+            "calls": entry["calls"],
+            "ms": entry["total_us"] / 1000.0,
+            "share": (entry["total_us"] / total_us) if total_us else 0.0,
+        }
+        for stage, entry in obs.stage_totals(records).items()
+    }
+    obs.tracer().clear()
+    return {
+        "workload": name,
+        "total_ms": total_us / 1000.0,
+        "stages": stages,
+    }
+
+
 def _single_block_problem(cdfg, model, constraints=None,
                           time_limit=None) -> SchedulingProblem:
     blocks = [block for block in cdfg.blocks() if block.ops]
@@ -277,6 +309,10 @@ def run_benchmarks(budget: str = "full") -> dict:
                 SQRT_SOURCE, target_cycles=10,
                 max_units=knobs["search_max_units"], repeats=repeats,
             ),
+        },
+        "stage_breakdown": {
+            "sqrt": _stage_breakdown("sqrt", SQRT_SOURCE),
+            "diffeq": _stage_breakdown("diffeq", DIFFEQ_SOURCE),
         },
         "schedulers": {
             "force_directed_fig5": _bench_force_directed(
@@ -331,6 +367,12 @@ def main(argv: list[str] | None = None) -> int:
                              entry.get("identical_schedules"))
             print(f"{section}/{name}: {entry['speedup']:.2f}x "
                   f"(results identical: {flag})")
+    for name, entry in report["stage_breakdown"].items():
+        hottest = max(entry["stages"].items(),
+                      key=lambda item: item[1]["ms"])
+        print(f"stage_breakdown/{name}: {entry['total_ms']:.1f}ms "
+              f"total, hottest stage {hottest[0]} "
+              f"({hottest[1]['ms']:.1f}ms)")
     print(f"wrote {args.output}")
     return 0
 

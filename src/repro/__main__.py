@@ -11,15 +11,23 @@ Commands:
 * ``verify FILE``   — synthesize, run every stage contract, and
   optionally the full scheduler × allocator differential matrix.
 * ``fuzz``          — differentially fuzz random DFGs over many seeds;
-  shrink failures and write repro scripts to ``artifacts/``.
+  shrink failures and write repro scripts to ``artifacts/``; replay a
+  single seed from a CI log with ``--seed``.
+* ``profile FILE``  — synthesize with tracing on and print the
+  per-stage time/percentage table.
+* ``trace FILE``    — synthesize with tracing on and write a Chrome
+  ``trace_event`` JSON (open in ``chrome://tracing`` or Perfetto).
 
 Examples::
 
     python -m repro synth design.bsl --fu 2 --verify -o design.v
     python -m repro simulate design.bsl X=0.5 --fu 2
-    python -m repro explore design.bsl --limits 1,2,3,4
+    python -m repro explore design.bsl --limits 1,2,3,4 --report
     python -m repro verify design.bsl --differential
     python -m repro fuzz --seeds 50 --jobs 4 --ops 14
+    python -m repro fuzz --seed 17
+    python -m repro profile examples/sqrt.hls --fu 2
+    python -m repro trace examples/sqrt.hls --out trace.json
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from . import obs
 from .core import SynthesisOptions, synthesize
 from .errors import HLSError
 from .explore import explore_fu_range
@@ -133,8 +142,42 @@ def cmd_explore(args: argparse.Namespace) -> int:
     source = _read_source(args.file)
     limits = [int(x) for x in args.limits.split(",")]
     result = explore_fu_range(source, limits, options=_options(args),
-                              n_jobs=args.jobs)
+                              n_jobs=args.jobs, report=args.report)
     print(result.table())
+    return 0
+
+
+def _traced_run(args: argparse.Namespace):
+    """Synthesize ``args.file`` with tracing on; returns (design,
+    spans)."""
+    source = _read_source(args.file)
+    obs.tracer().clear()
+    with obs.tracing(True):
+        design = synthesize(source, args.procedure, _options(args))
+    return design, obs.tracer().records()
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    design, records = _traced_run(args)
+    options = _options(args)
+    title = (
+        f"pipeline profile of '{design.cdfg.name}' "
+        f"(scheduler={options.scheduler}, "
+        f"allocator={options.allocator}):"
+    )
+    print(obs.profile_table(records, title=title))
+    if args.out:
+        obs.write_chrome_trace(args.out, records,
+                               process_name=f"repro {design.cdfg.name}")
+        print(f"trace written to {args.out}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    design, records = _traced_run(args)
+    obs.write_chrome_trace(args.out, records,
+                           process_name=f"repro {design.cdfg.name}")
+    print(f"{len(records)} spans written to {args.out}")
     return 0
 
 
@@ -158,7 +201,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     from .verify import fuzz_seeds
 
     report = fuzz_seeds(
-        args.seeds,
+        [args.seed] if args.seed is not None else args.seeds,
         ops=args.ops,
         inputs=args.inputs,
         jobs=args.jobs,
@@ -206,6 +249,10 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs", type=int, default=1,
         help="worker processes for the sweep (default 1 = serial)",
     )
+    explore.add_argument(
+        "--report", action="store_true",
+        help="append sweep telemetry (wall time, counter deltas)",
+    )
     explore.set_defaults(handler=cmd_explore)
 
     verify = subparsers.add_parser(
@@ -224,6 +271,11 @@ def main(argv: list[str] | None = None) -> int:
     fuzz.add_argument(
         "--seeds", type=int, default=25,
         help="number of seeds to run (default 25)",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=None,
+        help="replay exactly this one seed (e.g. a failure from a CI "
+        "log) instead of sweeping --seeds",
     )
     fuzz.add_argument(
         "--jobs", type=int, default=1,
@@ -246,6 +298,26 @@ def main(argv: list[str] | None = None) -> int:
         help="keep raw failing recipes instead of shrinking",
     )
     fuzz.set_defaults(handler=cmd_fuzz)
+
+    profile = subparsers.add_parser(
+        "profile", help="trace a synthesis and print per-stage timings"
+    )
+    _add_common(profile)
+    profile.add_argument(
+        "--out", default=None,
+        help="also write the Chrome trace JSON to this file",
+    )
+    profile.set_defaults(handler=cmd_profile)
+
+    trace = subparsers.add_parser(
+        "trace", help="trace a synthesis to Chrome trace-event JSON"
+    )
+    _add_common(trace)
+    trace.add_argument(
+        "--out", default="trace.json",
+        help="output path for the trace JSON (default trace.json)",
+    )
+    trace.set_defaults(handler=cmd_trace)
 
     args = parser.parse_args(argv)
     try:

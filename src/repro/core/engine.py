@@ -10,6 +10,7 @@ harness design-space exploration drives.
 from __future__ import annotations
 
 import hashlib
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Callable, Hashable, Mapping
@@ -27,6 +28,7 @@ from ..datapath.plan import plan_block
 from ..errors import HLSError
 from ..ir.cdfg import CDFG, IfRegion, LoopRegion
 from ..lang import compile_source
+from ..obs import maybe_tracing, metrics, trace_span
 from ..scheduling import (
     ASAPScheduler,
     BranchAndBoundScheduler,
@@ -78,6 +80,9 @@ class SynthesisOptions:
         verify: run the :mod:`repro.verify` stage contracts after each
             pipeline stage and raise
             :class:`~repro.errors.VerificationError` on any violation.
+        trace: enable :mod:`repro.obs` span tracing for this run
+            (equivalent to env ``REPRO_TRACE=1`` scoped to the call).
+            Pure observability — never changes what is synthesized.
     """
 
     scheduler: str = "list"
@@ -89,6 +94,7 @@ class SynthesisOptions:
     tree_height: bool = False
     library: ComponentLibrary | None = None
     verify: bool = False
+    trace: bool = False
 
     def with_constraints(
         self,
@@ -119,6 +125,9 @@ class SynthesisOptions:
             if self.constraints is None
             else tuple(sorted(self.constraints.limits.items()))
         )
+        # ``trace`` is deliberately absent: tracing observes a run
+        # without changing its result, so traced and untraced runs
+        # share cache entries.
         return (
             self.scheduler,
             self.allocator,
@@ -151,16 +160,35 @@ class SynthesisCache:
     def __init__(self, max_entries: int = 256) -> None:
         self.max_entries = max_entries
         self._entries: OrderedDict[tuple, SynthesizedDesign] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
+        # Counters live in the global metrics registry (one family per
+        # process — every instance shares them, and in practice the
+        # process-global cache is the only instance).
+        registry = metrics()
+        self._hits = registry.counter("cache.hits")
+        self._misses = registry.counter("cache.misses")
+        self._evictions = registry.counter("cache.evictions")
+        self._occupancy = registry.gauge("cache.entries")
+        registry.gauge("cache.max_entries").set(max_entries)
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
 
     def get(self, key: tuple) -> SynthesizedDesign | None:
         design = self._entries.get(key)
         if design is None:
-            self.misses += 1
+            self._misses.inc()
             return None
         self._entries.move_to_end(key)
-        self.hits += 1
+        self._hits.inc()
         return design
 
     def put(self, key: tuple, design: SynthesizedDesign) -> None:
@@ -168,20 +196,27 @@ class SynthesisCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            self._evictions.inc()
+        self._occupancy.set(len(self._entries))
 
     def clear(self) -> None:
         self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        self._hits.reset()
+        self._misses.reset()
+        self._evictions.reset()
+        self._occupancy.set(0)
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def stats(self) -> dict[str, int]:
+        """Occupancy and counters, read back from the metrics registry."""
         return {
             "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
+            "max_entries": self.max_entries,
+            "hits": self._hits.value,
+            "misses": self._misses.value,
+            "evictions": self._evictions.value,
         }
 
 
@@ -209,7 +244,9 @@ def _verify_stages(design: SynthesizedDesign, stages: tuple[str, ...],
     from ..errors import VerificationError
     from ..verify import verify_design
 
-    report = verify_design(design, stages=stages)
+    with trace_span("verify", stages=",".join(stages)) as span:
+        report = verify_design(design, stages=stages)
+        span.set(violations=len(report.violations))
     log.append(
         f"verify[{','.join(stages)}]: "
         f"{'ok' if report.ok else f'{len(report.violations)} violations'}"
@@ -249,6 +286,14 @@ def synthesize_cdfg(cdfg: CDFG,
             while the CDFG and resource model stay the same.
     """
     options = options or SynthesisOptions()
+    with maybe_tracing(options.trace):
+        return _synthesize_cdfg(cdfg, options, problem_cache)
+
+
+def _synthesize_cdfg(cdfg: CDFG, options: SynthesisOptions,
+                     problem_cache: dict[int, SchedulingProblem] | None,
+                     ) -> SynthesizedDesign:
+    """The pipeline proper, with per-stage spans and metrics."""
     model = options.model or UniversalFUModel()
     constraints = options.constraints or ResourceConstraints.unlimited()
 
@@ -288,18 +333,38 @@ def synthesize_cdfg(cdfg: CDFG,
             problem = base_problem.with_constraints(constraints)
         else:
             problem = SchedulingProblem.from_block(block, model, constraints)
-        schedule = scheduler_factory(problem).schedule()
-        schedule.validate()
-        allocation = allocator_factory(schedule).allocate()
-        allocation.validate()
-        plan = plan_block(
-            block, schedule, allocation,
-            live_out_values=conditions.get(block.id, set()),
-        )
+        with trace_span("schedule", block=block.name,
+                        scheduler=options.scheduler) as span:
+            started = time.perf_counter()
+            schedule = scheduler_factory(problem).schedule()
+            elapsed_ms = (time.perf_counter() - started) * 1e3
+            schedule.validate()
+            span.set(steps=schedule.length)
+        metrics().counter(
+            "scheduler.invocations", scheduler=options.scheduler
+        ).inc()
+        metrics().histogram(
+            "scheduler.latency_ms", scheduler=options.scheduler
+        ).observe(elapsed_ms)
+        with trace_span("allocate", block=block.name,
+                        allocator=options.allocator) as span:
+            allocation = allocator_factory(schedule).allocate()
+            allocation.validate()
+            span.set(fus=allocation.fu_count(),
+                     registers=allocation.register_count)
+        metrics().counter(
+            "allocator.invocations", allocator=options.allocator
+        ).inc()
+        with trace_span("datapath", block=block.name):
+            plan = plan_block(
+                block, schedule, allocation,
+                live_out_values=conditions.get(block.id, set()),
+            )
         design.schedules[block.id] = schedule
         design.allocations[block.id] = allocation
         design.plans[block.id] = plan
-        binding = binder.bind(allocation)
+        with trace_span("bind", block=block.name):
+            binding = binder.bind(allocation)
         bindings.append(binding)
         usage = ", ".join(
             f"{cls}={count}"
@@ -318,7 +383,8 @@ def synthesize_cdfg(cdfg: CDFG,
     if options.verify:
         _verify_stages(design, ("scheduling", "allocation"), log)
 
-    design.binding = binder.merge(bindings)
+    with trace_span("bind", phase="merge"):
+        design.binding = binder.merge(bindings)
     for fu in sorted(design.binding.components,
                      key=lambda f: (f.cls, f.index)):
         component = design.binding.components[fu]
@@ -328,7 +394,9 @@ def synthesize_cdfg(cdfg: CDFG,
         )
     if options.verify:
         _verify_stages(design, ("binding",), log)
-    design.fsm = synthesize_fsm(cdfg, design.plans)
+    with trace_span("controller") as span:
+        design.fsm = synthesize_fsm(cdfg, design.plans)
+        span.set(states=design.fsm.state_count)
     log.append(f"control: FSM with {design.fsm.state_count} states")
     if options.verify:
         _verify_stages(design, ("controller", "netlist"), log)
@@ -355,14 +423,20 @@ def synthesize(source: str, procedure: str | None = None,
         options = SynthesisOptions(**option_kwargs)
     elif option_kwargs:
         raise HLSError("pass either options or keyword options, not both")
-    key: tuple | None = None
-    if use_cache:
-        key = (source_digest(source), procedure, options.cache_key())
-        cached = _SYNTHESIS_CACHE.get(key)
-        if cached is not None:
-            return cached
-    cdfg = compile_source(source, procedure)
-    design = synthesize_cdfg(cdfg, options)
-    if key is not None:
-        _SYNTHESIS_CACHE.put(key, design)
-    return design
+    with maybe_tracing(options.trace):
+        with trace_span("synthesize", scheduler=options.scheduler,
+                        allocator=options.allocator) as span:
+            key: tuple | None = None
+            if use_cache:
+                key = (source_digest(source), procedure,
+                       options.cache_key())
+                cached = _SYNTHESIS_CACHE.get(key)
+                if cached is not None:
+                    span.set(cached=True)
+                    return cached
+            cdfg = compile_source(source, procedure)
+            span.set(design=cdfg.name)
+            design = synthesize_cdfg(cdfg, options)
+            if key is not None:
+                _SYNTHESIS_CACHE.put(key, design)
+            return design

@@ -32,6 +32,7 @@ Exploration is built for "a reasonable amount of time":
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
@@ -45,6 +46,7 @@ from ..core.engine import (
 from ..estimation import estimate_area, estimate_timing
 from ..ir.cdfg import CDFG
 from ..lang import compile_source
+from ..obs import metrics, telemetry_summary, trace_span
 from ..scheduling import ResourceConstraints
 from ..sim.equivalence import default_vectors
 from ..sim.rtl_sim import RTLSimulator
@@ -136,6 +138,9 @@ class ExplorationResult:
     """All explored points plus the Pareto front (area vs latency)."""
 
     points: list[DesignPoint] = field(default_factory=list)
+    #: Sweep telemetry (wall time + metric counter deltas), populated
+    #: when the sweep was run with ``report=True``.
+    telemetry: dict | None = None
 
     def __post_init__(self) -> None:
         self.points = _VersionedPointList(self.points)
@@ -188,6 +193,8 @@ class ExplorationResult:
             marker = "*" if id(point) in pareto else " "
             lines.append(f" {marker} {point.row()}")
         lines.append(" (* = Pareto-optimal)")
+        if self.telemetry is not None:
+            lines.append(telemetry_summary(self.telemetry))
         return "\n".join(lines)
 
 
@@ -267,6 +274,12 @@ class _PointBuilder:
         return self._working
 
     def build(self, limit: int) -> DesignPoint:
+        with trace_span("dse.point", resource=self.resource_class,
+                        limit=limit):
+            metrics().counter("dse.points.evaluated").inc()
+            return self._build(limit)
+
+    def _build(self, limit: int) -> DesignPoint:
         if self.vectors is None and isinstance(self.source_or_factory, str):
             # Vector generation is deterministic in the CDFG's inputs,
             # so one batch serves the whole sweep.
@@ -313,7 +326,9 @@ class _PointBuilder:
         if signature is not None:
             cached = self._measure_memo.get(signature)
             if cached is not None:
+                metrics().counter("dse.measurements.memoized").inc()
                 return cached
+        metrics().counter("dse.measurements.run").inc()
         cycles = measure_cycles(design, self.vectors)
         timing = estimate_timing(design, cycles)
         area = estimate_area(design).total
@@ -403,6 +418,7 @@ def explore_fu_range(
     vectors: Sequence[dict] | None = None,
     n_jobs: int | None = 1,
     use_cache: bool = True,
+    report: bool = False,
 ) -> ExplorationResult:
     """Sweep a functional-unit limit and collect the trade-off curve.
 
@@ -419,10 +435,30 @@ def explore_fu_range(
             sweep, in ``fu_limits`` order.
         use_cache: reuse designs from the process-global synthesis
             cache for string sources.
+        report: collect sweep telemetry (wall time + the metric
+            counters this sweep moved, worker registries included)
+            into ``result.telemetry``; ``result.table()`` then ends
+            with the summary.
     """
     builder = _PointBuilder(
         source_or_factory, resource_class, options, vectors, use_cache
     )
+    limits = list(fu_limits)
     result = ExplorationResult()
-    result.points.extend(_map_points(builder, list(fu_limits), n_jobs))
+    before = metrics().counters() if report else None
+    started = time.perf_counter()
+    with trace_span("dse.sweep", resource=resource_class,
+                    points=len(limits)):
+        result.points.extend(_map_points(builder, limits, n_jobs))
+    if report:
+        after = metrics().counters()
+        deltas = {
+            key: value - before.get(key, 0)
+            for key, value in after.items()
+            if value - before.get(key, 0) != 0
+        }
+        result.telemetry = {
+            "wall_s": time.perf_counter() - started,
+            "counters": deltas,
+        }
     return result

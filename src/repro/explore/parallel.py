@@ -28,6 +28,14 @@ from ..core.engine import synthesize_cdfg
 from ..estimation import estimate_area, estimate_timing
 from ..ir.cdfg import CDFG
 from ..lang import compile_source
+from ..obs import (
+    metrics,
+    reset_metrics,
+    trace_span,
+    tracer,
+    tracing,
+    tracing_enabled,
+)
 from ..transforms import clone_cdfg, optimize
 from .dse import DesignPoint, _PointBuilder, measure_cycles
 
@@ -35,9 +43,29 @@ from .dse import DesignPoint, _PointBuilder, measure_cycles
 _WORKER_TEMPLATES: dict[str, CDFG] = {}
 
 
-def _build_point_task(payload: dict) -> DesignPoint:
+def _build_point_task(payload: dict) -> tuple[DesignPoint, list, dict]:
     """Worker-side build of one design point (module-level: must be
-    importable by pickle in the worker process)."""
+    importable by pickle in the worker process).
+
+    Returns ``(point, spans, metrics_snapshot)``: worker processes are
+    reused across points, so each task resets its process-local
+    tracer/registry first and ships exactly its own telemetry home —
+    the parent merges spans under its open ``dse.sweep`` span and
+    folds the counters into its registry, keeping parallel counter
+    totals equal to a serial sweep's.
+    """
+    reset_metrics()
+    tracer().clear()
+    with tracing(payload.get("trace", False) or tracing_enabled()):
+        with trace_span("dse.point",
+                        resource=payload["resource_class"],
+                        limit=payload["limit"]):
+            metrics().counter("dse.points.evaluated").inc()
+            point = _build_point(payload)
+    return point, tracer().records(), metrics().snapshot()
+
+
+def _build_point(payload: dict) -> DesignPoint:
     source = payload["source"]
     options = payload["options"].with_constraints(
         {payload["resource_class"]: payload["limit"]}
@@ -58,6 +86,7 @@ def _build_point_task(payload: dict) -> DesignPoint:
     else:
         cdfg = payload["factory"]()
     design = synthesize_cdfg(cdfg, options)
+    metrics().counter("dse.measurements.run").inc()
     cycles = measure_cycles(design, payload["vectors"])
     timing = estimate_timing(design, cycles)
     return DesignPoint(
@@ -105,6 +134,7 @@ class ParallelExplorer:
                 "resource_class": builder.resource_class,
                 "limit": limit,
                 "vectors": builder.vectors,
+                "trace": tracing_enabled() or builder.base.trace,
             }
             for limit in limits
         ]
@@ -115,8 +145,17 @@ class ParallelExplorer:
         try:
             workers = min(self.max_workers, len(limits))
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(_build_point_task, payloads))
+                results = list(pool.map(_build_point_task, payloads))
         except Exception:
             # Pool or pickling-of-results trouble: redo serially; a
             # genuine synthesis error re-raises here with full context.
             return [builder.build(limit) for limit in limits]
+        points = []
+        for point, spans, snapshot in results:
+            # Worker telemetry lands in the parent in input order, so
+            # the merged registry and trace are deterministic.
+            metrics().merge(snapshot)
+            if spans and tracing_enabled():
+                tracer().merge(spans, parent=tracer().current_index())
+            points.append(point)
+        return points

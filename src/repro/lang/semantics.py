@@ -614,8 +614,13 @@ def compile_source(source: str, procedure: str | None = None) -> CDFG:
         source: BSL program text.
         procedure: entry procedure name; defaults to the last procedure.
     """
-    program = parse(source)
-    return Lowerer(program).lower(procedure)
+    from ..obs import trace_span
+
+    with trace_span("compile", procedure=procedure or "") as span:
+        program = parse(source)
+        cdfg = Lowerer(program).lower(procedure)
+        span.set(design=cdfg.name)
+    return cdfg
 
 
 def compile_program(program: ast.Program,

@@ -1,0 +1,77 @@
+"""Observability for the synthesis pipeline: tracing, metrics, profiles.
+
+Three layers, all zero-dependency:
+
+* **tracing** (:func:`trace_span`) — nested, monotonic-clock spans
+  around every pipeline stage, transform pass, verify contract and
+  DSE evaluation.  Off by default; enable with
+  ``SynthesisOptions(trace=True)``, :func:`enable_tracing`, or env
+  ``REPRO_TRACE=1``.  Export with :func:`chrome_trace` /
+  :func:`write_chrome_trace` (``chrome://tracing`` / Perfetto).
+* **metrics** (:func:`metrics`) — always-on counters, gauges and
+  fixed-bucket histograms: cache hits/misses/evictions, per-scheduler
+  invocations and latencies, fuzz seeds/violations, DSE points.
+  Worker processes :meth:`~MetricsRegistry.snapshot` their registry
+  and the parent :meth:`~MetricsRegistry.merge`\\ s it back.
+* **reporting** (:func:`profile_table`, :func:`telemetry_summary`) —
+  the ``repro profile`` per-stage table and sweep telemetry text.
+"""
+
+from .export import chrome_trace, write_chrome_trace
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metrics,
+    reset_metrics,
+)
+from .report import (
+    CORE_STAGES,
+    PIPELINE_STAGES,
+    profile_table,
+    stage_totals,
+    telemetry_summary,
+)
+from .tracer import (
+    NULL_SPAN,
+    SpanRecord,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    maybe_tracing,
+    reset_tracing,
+    trace_span,
+    tracer,
+    tracing,
+    tracing_enabled,
+)
+
+__all__ = [
+    "CORE_STAGES",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "PIPELINE_STAGES",
+    "SpanRecord",
+    "Tracer",
+    "chrome_trace",
+    "disable_tracing",
+    "enable_tracing",
+    "maybe_tracing",
+    "metrics",
+    "profile_table",
+    "reset_metrics",
+    "reset_tracing",
+    "stage_totals",
+    "telemetry_summary",
+    "trace_span",
+    "tracer",
+    "tracing",
+    "tracing_enabled",
+    "write_chrome_trace",
+]

@@ -1,0 +1,63 @@
+"""Trace exporters.
+
+:func:`chrome_trace` converts recorded spans into the Chrome
+``trace_event`` JSON format (the "JSON Array Format" with complete
+``"ph": "X"`` events), loadable in ``chrome://tracing`` and Perfetto.
+Each span becomes one complete event; worker spans keep their own
+``pid``, so cross-process traces render as separate process tracks
+(worker clocks are not synchronized with the parent's — durations are
+exact, offsets are per-process).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from .tracer import SpanRecord
+
+
+def chrome_trace(records: Iterable[SpanRecord],
+                 process_name: str = "repro") -> dict:
+    """Spans → a Chrome ``trace_event`` document (a plain dict)."""
+    records = list(records)
+    events: list[dict] = []
+    for pid in sorted({record.pid for record in records}):
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        })
+    for record in records:
+        event = {
+            "name": record.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": record.start_us,
+            "dur": record.duration_us,
+            "pid": record.pid,
+            "tid": 0,
+        }
+        if record.attrs:
+            event["args"] = {
+                key: _jsonable(value)
+                for key, value in record.attrs.items()
+            }
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def write_chrome_trace(path: str, records: Iterable[SpanRecord],
+                       process_name: str = "repro") -> None:
+    """Write :func:`chrome_trace` output as JSON to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(records, process_name), handle, indent=2)
+        handle.write("\n")

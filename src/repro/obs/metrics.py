@@ -1,0 +1,229 @@
+"""A zero-dependency metrics registry: counters, gauges, histograms.
+
+Everything the pipeline counts — cache hits/misses/evictions,
+per-scheduler invocations and latencies, fuzzer seeds and violations,
+DSE points explored vs pruned — lives in one process-global
+:class:`MetricsRegistry` (:func:`metrics`).  Unlike tracing, metric
+updates are *always on*: an increment is one dict lookup plus an
+integer add, far below measurement noise for per-stage events, and it
+means ``SynthesisCache.stats()`` and sweep telemetry work without
+turning anything on first.
+
+Cross-process aggregation is snapshot-based: a worker calls
+``metrics().snapshot()`` at the end of its unit of work and ships the
+plain-dict result home; the parent calls ``metrics().merge(snap)``.
+Merging is deterministic for a fixed merge order: counters and
+histograms are additive, gauges take the maximum (the only
+order-independent choice that still answers "how big did it get?").
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+#: Fixed default boundaries (milliseconds) for latency histograms —
+#: roughly logarithmic from 100µs to 10s.  Fixed boundaries are what
+#: make histograms mergeable across processes.
+DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1_000.0, 10_000.0,
+)
+
+
+def _key(name: str, labels: Mapping[str, str]) -> str:
+    """Render ``name{a=x,b=y}`` — the registry's canonical metric id."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count (resettable for test isolation)."""
+
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value (last write wins within a process)."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+@dataclass
+class Histogram:
+    """A fixed-boundary histogram of observations.
+
+    ``counts[i]`` counts observations ``<= boundaries[i]``; the last
+    slot is the overflow bucket.  Boundaries are fixed at creation so
+    worker histograms merge by element-wise addition.
+    """
+
+    boundaries: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.boundaries) + 1)
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.boundaries, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.boundaries) + 1)
+        self.total = 0.0
+        self.count = 0
+
+
+class MetricsRegistry:
+    """Named, labelled metrics with snapshot/merge for process pools."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- get-or-create --------------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = _key(name, labels)
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = _key(name, labels)
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] | None = None,
+                  **labels: str) -> Histogram:
+        key = _key(name, labels)
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram(
+                boundaries=tuple(buckets) if buckets is not None
+                else DEFAULT_LATENCY_BUCKETS_MS
+            )
+        return metric
+
+    # -- reading --------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        """All counter values by canonical id (sorted for stability)."""
+        return {key: self._counters[key].value
+                for key in sorted(self._counters)}
+
+    def gauges(self) -> dict[str, float]:
+        return {key: self._gauges[key].value
+                for key in sorted(self._gauges)}
+
+    def histograms(self) -> dict[str, Histogram]:
+        return {key: self._histograms[key]
+                for key in sorted(self._histograms)}
+
+    def snapshot(self) -> dict:
+        """A plain-dict, picklable copy of every metric."""
+        return {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "histograms": {
+                key: {
+                    "boundaries": list(hist.boundaries),
+                    "counts": list(hist.counts),
+                    "total": hist.total,
+                    "count": hist.count,
+                }
+                for key, hist in self.histograms().items()
+            },
+        }
+
+    def merge(self, snapshot: Mapping) -> None:
+        """Fold a worker's :meth:`snapshot` into this registry.
+
+        Counters and histogram buckets add; gauges take the maximum.
+        Merging the same snapshots in the same order always produces
+        the same registry state.
+        """
+        for key, value in snapshot.get("counters", {}).items():
+            self._counter_by_key(key).inc(value)
+        for key, value in snapshot.get("gauges", {}).items():
+            gauge = self._gauge_by_key(key)
+            gauge.set(max(gauge.value, value))
+        for key, data in snapshot.get("histograms", {}).items():
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = Histogram(
+                    boundaries=tuple(data["boundaries"])
+                )
+            if tuple(data["boundaries"]) != hist.boundaries:
+                raise ValueError(
+                    f"histogram {key!r} boundaries differ; cannot merge"
+                )
+            for i, count in enumerate(data["counts"]):
+                hist.counts[i] += count
+            hist.total += data["total"]
+            hist.count += data["count"]
+
+    def _counter_by_key(self, key: str) -> Counter:
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter()
+        return metric
+
+    def _gauge_by_key(self, key: str) -> Gauge:
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge()
+        return metric
+
+    def reset(self) -> None:
+        """Zero every metric (registered objects stay alive, so
+        references held by long-lived owners keep working)."""
+        for metric in self._counters.values():
+            metric.reset()
+        for metric in self._gauges.values():
+            metric.reset()
+        for metric in self._histograms.values():
+            metric.reset()
+
+
+#: The process-global registry every instrumentation site updates.
+_REGISTRY = MetricsRegistry()
+
+
+def metrics() -> MetricsRegistry:
+    """The process-global :class:`MetricsRegistry`."""
+    return _REGISTRY
+
+
+def reset_metrics() -> None:
+    """Zero every metric in the global registry (test isolation)."""
+    _REGISTRY.reset()

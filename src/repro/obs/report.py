@@ -1,0 +1,113 @@
+"""Human-readable reporting over recorded spans and metrics.
+
+:func:`profile_table` turns one traced synthesis run into the
+per-stage timing table ``repro profile`` prints; :func:`stage_totals`
+is the aggregation behind it (also used by the perf harness to embed
+stage breakdowns into ``BENCH_dse.json``);
+:func:`telemetry_summary` renders the counter deltas a DSE sweep
+collected when called with ``report=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from .tracer import SpanRecord
+
+#: The pipeline stages the profile table reports, in flow order.
+#: ``datapath`` (register/interconnect planning) and ``verify`` are
+#: part of the flow but not of the paper's canonical six; they only
+#: appear in the table when spans for them were recorded.
+PIPELINE_STAGES: tuple[str, ...] = (
+    "compile",
+    "transforms",
+    "schedule",
+    "allocate",
+    "datapath",
+    "bind",
+    "controller",
+    "verify",
+)
+
+#: The paper's §2 pipeline — every traced synthesis must produce at
+#: least one span for each of these.
+CORE_STAGES: tuple[str, ...] = (
+    "compile", "transforms", "schedule", "allocate", "bind",
+    "controller",
+)
+
+
+def stage_totals(records: Iterable[SpanRecord]) -> dict[str, dict]:
+    """Aggregate spans by pipeline stage name.
+
+    Returns ``{stage: {"calls": n, "total_us": t}}`` for every stage
+    in :data:`PIPELINE_STAGES` that has at least one span.  Nested
+    occurrences of the *same* stage name (e.g. a traced sweep running
+    many synthesis runs) all count — callers profile one run at a
+    time when they want exclusive percentages.
+    """
+    totals: dict[str, dict] = {}
+    for record in records:
+        if record.name not in PIPELINE_STAGES:
+            continue
+        entry = totals.setdefault(
+            record.name, {"calls": 0, "total_us": 0.0}
+        )
+        entry["calls"] += 1
+        entry["total_us"] += record.duration_us
+    return totals
+
+
+def _root_duration(records: list[SpanRecord]) -> float:
+    roots = [r for r in records if r.parent is None]
+    if roots:
+        return sum(r.duration_us for r in roots)
+    return sum(r.duration_us for r in records)
+
+
+def profile_table(records: Iterable[SpanRecord],
+                  title: str | None = None) -> str:
+    """The ``repro profile`` table: per-stage time and share.
+
+    Shares are of the root span's wall time (the whole run), so the
+    ``other`` row absorbs whatever the stage spans don't cover
+    (I/O, logging, span bookkeeping).  Column layout is stable —
+    golden tests mask the duration numbers, not the structure.
+    """
+    records = list(records)
+    totals = stage_totals(records)
+    root_us = _root_duration(records)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"  {'stage':<12} {'calls':>5} {'time(ms)':>10} "
+                 f"{'share':>8}")
+    covered_us = 0.0
+    for stage in PIPELINE_STAGES:
+        entry = totals.get(stage)
+        if entry is None:
+            continue
+        covered_us += entry["total_us"]
+        lines.append(_row(stage, str(entry["calls"]),
+                          entry["total_us"], root_us))
+    other_us = max(0.0, root_us - covered_us)
+    lines.append(_row("other", "-", other_us, root_us))
+    lines.append(_row("total", "-", root_us, root_us))
+    return "\n".join(lines)
+
+
+def _row(stage: str, calls: str, dur_us: float, root_us: float) -> str:
+    share = (100.0 * dur_us / root_us) if root_us else 0.0
+    return (f"  {stage:<12} {calls:>5} {dur_us / 1000.0:>10.2f} "
+            f"{share:>7.1f}%")
+
+
+def telemetry_summary(telemetry: Mapping) -> str:
+    """Render a sweep's telemetry dict (wall time + counter deltas)."""
+    lines = ["sweep telemetry:"]
+    wall_s = telemetry.get("wall_s")
+    if wall_s is not None:
+        lines.append(f"  {'wall_time_s':<36} {wall_s:>10.3f}")
+    for key, value in sorted(telemetry.get("counters", {}).items()):
+        lines.append(f"  {key:<36} {value:>10d}")
+    return "\n".join(lines)

@@ -67,4 +67,12 @@ def standard_pipeline(unroll: bool = False,
 def optimize(cdfg, unroll: bool = False,
              tree_height: bool = False) -> PassReport:
     """Run the standard pipeline on ``cdfg`` in place."""
-    return standard_pipeline(unroll=unroll, tree_height=tree_height).run(cdfg)
+    from ..obs import trace_span
+
+    with trace_span("transforms", design=cdfg.name) as span:
+        report = standard_pipeline(
+            unroll=unroll, tree_height=tree_height
+        ).run(cdfg)
+        span.set(iterations=report.iterations,
+                 applied=len(report.applied))
+    return report

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..ir.cdfg import CDFG
+from ..obs import metrics, trace_span
 
 
 class Pass:
@@ -69,9 +70,15 @@ class PassManager:
         for _ in range(self._max_iterations):
             changed = False
             for pass_ in self._passes:
-                if pass_.run(cdfg):
+                with trace_span(f"pass.{pass_.name}") as span:
+                    fired = pass_.run(cdfg)
+                    span.set(fired=fired)
+                if fired:
                     changed = True
                     report.applied.append(pass_.name)
+                    metrics().counter(
+                        "transforms.applied", transform=pass_.name
+                    ).inc()
                     if self._validate:
                         cdfg.validate()
             report.iterations += 1

@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING
 from ..allocation.lifetimes import compute_lifetimes
 from ..ir.opcodes import OpKind
 from ..ir.types import bit_width
+from ..obs import metrics, trace_span
 from .violations import STAGE_ORDER, VerificationReport, Violation
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -509,6 +510,16 @@ def verify_design(design: "SynthesizedDesign",
     report = VerificationReport(
         design_name=design.cdfg.name, stages_checked=tuple(stages)
     )
+    registry = metrics()
     for stage in stages:
-        report.extend(CONTRACTS[stage](design))
+        with trace_span(f"contract.{stage}",
+                        design=design.cdfg.name) as span:
+            violations = CONTRACTS[stage](design)
+            span.set(violations=len(violations))
+        registry.counter("verify.contracts", stage=stage).inc()
+        if violations:
+            registry.counter(
+                "verify.violations", stage=stage
+            ).inc(len(violations))
+        report.extend(violations)
     return report

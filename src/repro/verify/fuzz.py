@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..core.engine import ALLOCATORS, SCHEDULERS
+from ..obs import metrics, trace_span
 from ..workloads.random_dfg import (
     DFGRecipe,
     RandomDFGSpec,
@@ -163,9 +164,14 @@ def fuzz_seeds(
         for seed in seed_list
     ]
     report = FuzzReport(seeds=seed_list)
-    for seed, ok, summary in _run_seeds(payloads, jobs):
+    registry = metrics()
+    with trace_span("fuzz", seeds=len(seed_list), jobs=jobs):
+        results = _run_seeds(payloads, jobs)
+    for seed, ok, summary in results:
+        registry.counter("fuzz.seeds.checked").inc()
         if ok:
             continue
+        registry.counter("fuzz.seeds.failing").inc()
         recipe = dfg_recipe(_spec(seed, ops, inputs))
         failure = FuzzFailure(seed, recipe, summary)
         report.failures.append(failure)

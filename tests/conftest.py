@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro import obs
 from repro.core import clear_synthesis_cache
 from repro.scheduling import (
     ResourceConstraints,
@@ -39,6 +40,21 @@ def _fresh_synthesis_cache():
     clear_synthesis_cache()
     yield
     clear_synthesis_cache()
+
+
+@pytest.fixture(autouse=True)
+def _fresh_observability():
+    """Fresh tracer + zeroed metrics registry per test.
+
+    Also restores the env-derived tracing flag, so a test that
+    enables tracing and fails mid-way cannot leak spans (or an
+    enabled flag) into the next test.
+    """
+    obs.reset_tracing()
+    obs.reset_metrics()
+    yield
+    obs.reset_tracing()
+    obs.reset_metrics()
 
 
 @pytest.fixture

@@ -9,9 +9,15 @@ a loaded machine.
 
 import importlib.util
 import sys
+import time
 from pathlib import Path
 
 import pytest
+
+from repro import obs
+from repro.core import SynthesisOptions, synthesize
+from repro.scheduling import ResourceConstraints
+from repro.workloads import SQRT_SOURCE
 
 RUN_BENCH = (
     Path(__file__).resolve().parents[1]
@@ -47,7 +53,70 @@ def test_smoke_budget_runs_and_results_match():
 
 
 @pytest.mark.perf_smoke
+def test_smoke_report_embeds_stage_breakdown():
+    run_bench = _load_run_bench()
+    report = run_bench.run_benchmarks("smoke")
+
+    breakdown = report["stage_breakdown"]
+    assert set(breakdown) == {"sqrt", "diffeq"}
+    for workload, entry in breakdown.items():
+        assert entry["total_ms"] > 0
+        stages = entry["stages"]
+        assert set(obs.CORE_STAGES) <= set(stages), workload
+        for stage, row in stages.items():
+            assert row["calls"] >= 1
+            assert row["ms"] >= 0
+            assert 0 <= row["share"] <= 100
+
+
+@pytest.mark.perf_smoke
 def test_unknown_budget_rejected():
     run_bench = _load_run_bench()
     with pytest.raises(ValueError):
         run_bench.run_benchmarks("enormous")
+
+
+@pytest.mark.perf_smoke
+def test_disabled_tracing_overhead_budget():
+    """Instrumentation left in the hot paths must be ~free when off.
+
+    A direct traced-vs-untraced wall-clock comparison of a ~5 ms
+    synthesis run cannot resolve a 2 % budget on a shared machine, so
+    the assertion is constructed instead: (spans one traced run
+    records) × (measured per-call cost of the *disabled*
+    ``trace_span``) must stay under 2 % of an untraced run.  The
+    disabled path is a module-global flag test plus returning a shared
+    no-op object — nanoseconds — so the margin is orders of magnitude,
+    and the test only fails if someone makes the disabled path do real
+    work.
+    """
+    options = SynthesisOptions(
+        constraints=ResourceConstraints({"fu": 2}), trace=True,
+    )
+    synthesize(SQRT_SOURCE, options=options)
+    spans_per_run = len(obs.tracer().records())
+    assert spans_per_run >= len(obs.CORE_STAGES)
+    obs.reset_tracing()
+
+    assert not obs.tracing_enabled()
+    calls = 100_000
+    started = time.perf_counter()
+    for _ in range(calls):
+        with obs.trace_span("noop", key="value"):
+            pass
+    per_call_s = (time.perf_counter() - started) / calls
+    assert obs.tracer().records() == []
+
+    untraced = SynthesisOptions(
+        constraints=ResourceConstraints({"fu": 2})
+    )
+    started = time.perf_counter()
+    synthesize(SQRT_SOURCE, options=untraced)
+    run_s = time.perf_counter() - started
+
+    overhead_s = spans_per_run * per_call_s
+    assert overhead_s < 0.02 * run_s, (
+        f"{spans_per_run} spans x {per_call_s * 1e9:.0f} ns "
+        f"= {overhead_s * 1e6:.1f} us, over 2% of "
+        f"{run_s * 1e3:.2f} ms"
+    )

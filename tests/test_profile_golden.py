@@ -1,0 +1,61 @@
+"""Golden test for the ``repro profile`` table.
+
+Durations flake, layout must not: every float is masked together
+with its left padding, replacing the whole fixed-width field with an
+equal-width ``#.##`` token.  Because the table right-aligns numbers
+into constant-width columns, the masked text is byte-identical no
+matter what was measured — while stage names, call counts, column
+headers and the title stay pinned exactly.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.workloads import SQRT_SOURCE
+
+GOLDEN = Path(__file__).resolve().parent / "golden"
+
+
+def mask_floats(text: str) -> str:
+    """Mask ``<padding><float>`` fields, preserving total width."""
+    return re.sub(
+        r" *\d+\.\d+",
+        lambda m: " " * (len(m.group()) - 4) + "#.##",
+        text,
+    )
+
+
+@pytest.fixture
+def sqrt_file(tmp_path):
+    path = tmp_path / "sqrt.bsl"
+    path.write_text(SQRT_SOURCE)
+    return str(path)
+
+
+class TestProfileGolden:
+    def test_profile_table_matches_golden(self, sqrt_file, capsys):
+        assert main(["profile", sqrt_file, "--fu", "2"]) == 0
+        out = capsys.readouterr().out
+        golden = (GOLDEN / "cli_profile_sqrt.txt").read_text()
+        assert mask_floats(out) == golden
+
+    def test_masking_is_width_preserving_and_value_independent(self):
+        narrow = "  schedule         2       1.13    20.5%"
+        wide = "  schedule         2      31.13     6.5%"
+        assert len(mask_floats(narrow)) == len(narrow)
+        assert mask_floats(narrow) == mask_floats(wide) == (
+            "  schedule         2       #.##    #.##%"
+        )
+
+    def test_profile_writes_optional_chrome_trace(self, sqrt_file,
+                                                  tmp_path, capsys):
+        out_path = tmp_path / "profile-trace.json"
+        assert main([
+            "profile", sqrt_file, "--fu", "2",
+            "--out", str(out_path),
+        ]) == 0
+        assert out_path.exists()
+        assert "traceEvents" in out_path.read_text()
