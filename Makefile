@@ -3,7 +3,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test test-slow fuzz-smoke fuzz verify-examples profile bench
+.PHONY: test test-slow fuzz-smoke fuzz lint verify-examples profile bench
 
 # Tier-1 suite (what CI runs).
 test:
@@ -25,6 +25,15 @@ JOBS ?= 4
 OPS ?= 14
 fuzz:
 	$(PYTHON) -m repro fuzz --seeds $(SEEDS) --jobs $(JOBS) --ops $(OPS)
+
+# Whole-pipeline linter (docs/static-analysis.md).  Fails only on
+# error-severity findings (exit 2): warnings are legitimate on honest
+# sources (e.g. diffeq's folded-away temporaries).  Also asserts that
+# the seeded demo still trips the linter.
+lint:
+	$(PYTHON) -m repro lint examples/sqrt.hls
+	$(PYTHON) -m repro lint --workloads; test $$? -lt 2
+	! $(PYTHON) -m repro lint examples/lint_demo.hls > /dev/null
 
 # Per-stage timing of the paper's sqrt example (span tracing on).
 profile:

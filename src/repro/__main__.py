@@ -13,6 +13,9 @@ Commands:
 * ``fuzz``          — differentially fuzz random DFGs over many seeds;
   shrink failures and write repro scripts to ``artifacts/``; replay a
   single seed from a CI log with ``--seed``.
+* ``lint FILE``     — run the whole-pipeline linter (source, schedule,
+  allocation, netlist, controller rules); exit 2 on errors, 1 on
+  warnings, 0 when clean.
 * ``profile FILE``  — synthesize with tracing on and print the
   per-stage time/percentage table.
 * ``trace FILE``    — synthesize with tracing on and write a Chrome
@@ -26,6 +29,8 @@ Examples::
     python -m repro verify design.bsl --differential
     python -m repro fuzz --seeds 50 --jobs 4 --ops 14
     python -m repro fuzz --seed 17
+    python -m repro lint examples/lint_demo.hls --format json
+    python -m repro lint --workloads
     python -m repro profile examples/sqrt.hls --fu 2
     python -m repro trace examples/sqrt.hls --out trace.json
 """
@@ -197,6 +202,38 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.lint import LintOptions, lint_source
+    from .workloads import DIFFEQ_SOURCE, SQRT_SOURCE, fir_source
+
+    options = LintOptions(
+        procedure=args.procedure,
+        scheduler=args.scheduler,
+        allocator=args.allocator,
+        model=args.model,
+        optimize=not args.no_optimize,
+    )
+
+    sources: list[str] = []
+    if args.file is not None:
+        sources.append(_read_source(args.file))
+    if args.workloads:
+        sources.extend([SQRT_SOURCE, DIFFEQ_SOURCE, fir_source(4)])
+    if not sources:
+        raise HLSError("nothing to lint: give a FILE or --workloads")
+
+    reports = [lint_source(source, options) for source in sources]
+    if args.format == "json":
+        payload = [report.to_dict() for report in reports]
+        print(json.dumps(payload[0] if len(payload) == 1 else payload,
+                         indent=2))
+    else:
+        print("\n\n".join(report.render() for report in reports))
+    return max(report.exit_code for report in reports)
+
+
 def cmd_fuzz(args: argparse.Namespace) -> int:
     from .verify import fuzz_seeds
 
@@ -298,6 +335,43 @@ def main(argv: list[str] | None = None) -> int:
         help="keep raw failing recipes instead of shrinking",
     )
     fuzz.set_defaults(handler=cmd_fuzz)
+
+    lint = subparsers.add_parser(
+        "lint", help="run the whole-pipeline linter"
+    )
+    lint.add_argument("file", nargs="?", default=None,
+                      help="BSL source file")
+    lint.add_argument(
+        "--procedure", default=None,
+        help="entry procedure (default: last defined)",
+    )
+    lint.add_argument(
+        "--scheduler", default="list",
+        help="scheduler used for the design-level rules (default list)",
+    )
+    lint.add_argument(
+        "--allocator", default="left-edge",
+        help="allocator used for the design-level rules "
+        "(default left-edge)",
+    )
+    lint.add_argument(
+        "--model", choices=("typed", "universal"), default="typed",
+        help="resource model for the design-level rules "
+        "(default typed: distinct single-cycle FU classes)",
+    )
+    lint.add_argument(
+        "--no-optimize", action="store_true",
+        help="lint the design without the transform pipeline",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text)",
+    )
+    lint.add_argument(
+        "--workloads", action="store_true",
+        help="also lint the built-in workloads (sqrt, diffeq, fir)",
+    )
+    lint.set_defaults(handler=cmd_lint)
 
     profile = subparsers.add_parser(
         "profile", help="trace a synthesis and print per-stage timings"

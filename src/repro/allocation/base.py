@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..analysis.liveness import live_out_variables
 from ..errors import AllocationError
 from ..scheduling.base import Schedule
 from .lifetimes import ValueLifetime, compute_lifetimes
@@ -147,7 +148,8 @@ class Allocation:
                         f"simultaneously"
                     )
 
-        lifetimes = compute_lifetimes(schedule)
+        lifetimes = compute_lifetimes(schedule,
+                                      live_out_variables(schedule))
         for lifetime in lifetimes:
             if lifetime.value.id not in self.register_map:
                 raise AllocationError(

@@ -65,6 +65,12 @@ class InterconnectEstimate:
     transfers: list[tuple[int, Source, Destination]] = field(
         default_factory=list
     )
+    #: (destination, source) → widest value (bits) ever moved along
+    #: that edge.  Purely additive accounting used by the structural
+    #: netlist; the mux cost model above does not read it.
+    widths: dict[tuple[Destination, Source], int] = field(
+        default_factory=dict
+    )
 
     @property
     def mux_count(self) -> int:
@@ -87,9 +93,14 @@ def estimate_interconnect(allocation: Allocation) -> InterconnectEstimate:
     problem = schedule.problem
     estimate = InterconnectEstimate()
 
-    def note(step: int, source: Source, destination: Destination) -> None:
+    def note(step: int, source: Source, destination: Destination,
+             width: int = 1) -> None:
         estimate.port_sources.setdefault(destination, set()).add(source)
         estimate.transfers.append((step, source, destination))
+        edge = (destination, source)
+        estimate.widths[edge] = max(estimate.widths.get(edge, 0), width)
+
+    from ..ir.types import bit_width
 
     for op in problem.ops:
         fu = allocation.fu_map.get(op.id)
@@ -97,7 +108,8 @@ def estimate_interconnect(allocation: Allocation) -> InterconnectEstimate:
             for index, operand in enumerate(op.operands):
                 source = value_source(allocation, operand)
                 destination = ("fuport", fu.cls, fu.index, index)
-                note(schedule.start[op.id], source, destination)
+                note(schedule.start[op.id], source, destination,
+                     bit_width(operand.type))
         result = op.result
         if result is not None and result.id in allocation.register_map:
             if op.kind is OpKind.VAR_READ:
@@ -109,7 +121,8 @@ def estimate_interconnect(allocation: Allocation) -> InterconnectEstimate:
                 source = ("const", repr(op.attrs["value"]))
             else:
                 source = ("logic", op.id)
-            note(schedule.end(op.id), source, ("regin", register))
+            note(schedule.end(op.id), source, ("regin", register),
+                 bit_width(result.type))
     return estimate
 
 

@@ -17,6 +17,7 @@ keeps the datapath's variable registers stable across blocks.
 
 from __future__ import annotations
 
+from ..analysis.liveness import live_out_variables
 from .base import Allocation, Allocator, FUInstance, busy_end
 from .lifetimes import compute_lifetimes
 
@@ -44,7 +45,8 @@ class LeftEdgeRegisterAllocator(Allocator):
     # ------------------------------------------------------------------
 
     def _allocate_registers(self, allocation: Allocation) -> None:
-        lifetimes = compute_lifetimes(self.schedule)
+        lifetimes = compute_lifetimes(self.schedule,
+                                      live_out_variables(self.schedule))
         # Left edge order: earliest definition first, stable by id.
         lifetimes.sort(key=lambda lt: (lt.def_step, lt.last_use,
                                        lt.value.id))

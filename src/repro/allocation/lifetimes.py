@@ -75,11 +75,23 @@ class ValueLifetime:
         )
 
 
-def compute_lifetimes(schedule: Schedule) -> list[ValueLifetime]:
+def compute_lifetimes(schedule: Schedule,
+                      live_out: frozenset[str] | None = None,
+                      ) -> list[ValueLifetime]:
     """Lifetimes of every register-needing value in the scheduled region.
 
     Returns lifetimes sorted by (def_step, value id); values whose uses
     are all chained in the defining step are excluded.
+
+    Args:
+        schedule: a validated schedule of the block.
+        live_out: variables live at the block's exit, from
+            :func:`repro.analysis.liveness.live_out_variables`.  When
+            given, a value written to a variable that is *not* live out
+            does not have to survive to the end of the block (the write
+            lands in a register nothing downstream reads).  ``None``
+            keeps the conservative pre-analysis behaviour: every
+            written variable is assumed live.
     """
     problem = schedule.problem
     block_length = schedule.length
@@ -102,6 +114,9 @@ def compute_lifetimes(schedule: Schedule) -> list[ValueLifetime]:
             if user.id not in in_region:
                 continue
             if user.kind is OpKind.VAR_WRITE:
+                if live_out is not None \
+                        and user.attrs["var"] not in live_out:
+                    continue  # dead store: nothing reads the register
                 # The value leaves the block in the variable's register.
                 last_use = max(last_use, block_length)
                 carrier = carrier or user.attrs["var"]

@@ -1,0 +1,207 @@
+"""Control-flow-graph view of a CDFG's structured region tree.
+
+The IR keeps control flow structured (sequences, branches, loops —
+:mod:`repro.ir.cdfg`), which is what scheduling wants.  Dataflow
+analysis wants the classic flattened form instead: basic blocks as
+nodes, control transfers as edges, plus synthetic ``ENTRY``/``EXIT``
+nodes so boundary conditions have somewhere to live.  This module
+derives that view without mutating the region tree.
+
+Branch edges carry an optional *annotation* ``(cond value id,
+polarity)`` — the edge is taken when the condition evaluates to the
+polarity.  The constant-condition lint uses annotations to prune edges
+proven dead and re-run reachability (see
+:meth:`ControlFlowGraph.reachable`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.cdfg import (
+    CDFG,
+    BlockRegion,
+    IfRegion,
+    LoopRegion,
+    Region,
+    SeqRegion,
+)
+from ..ir.values import BasicBlock
+
+#: Synthetic node ids (real block ids are positive).
+ENTRY = -1
+EXIT = -2
+
+#: Edge annotation: (condition value id, polarity the edge is taken on).
+EdgeCond = tuple[int, bool]
+
+#: A region exit: the block control leaves from, plus the annotation of
+#: the outgoing edge (None = unconditional fall-through).
+_Exit = tuple[int, EdgeCond | None]
+
+
+@dataclass
+class ControlFlowGraph:
+    """Flattened control flow of one CDFG."""
+
+    cdfg: CDFG
+    blocks: dict[int, BasicBlock] = field(default_factory=dict)
+    succs: dict[int, list[int]] = field(default_factory=dict)
+    preds: dict[int, list[int]] = field(default_factory=dict)
+    edge_conds: dict[tuple[int, int], EdgeCond] = field(default_factory=dict)
+
+    @property
+    def nodes(self) -> list[int]:
+        """All node ids: ENTRY, every block in execution order, EXIT."""
+        return [ENTRY, *self.blocks.keys(), EXIT]
+
+    def successors(self, node: int) -> list[int]:
+        return self.succs.get(node, [])
+
+    def predecessors(self, node: int) -> list[int]:
+        return self.preds.get(node, [])
+
+    def add_edge(self, src: int, dst: int,
+                 cond: EdgeCond | None = None) -> None:
+        if dst in self.succs.setdefault(src, []):
+            # A parallel edge (e.g. both arms of an if fall through to
+            # the same block): reachable either way, so any pruning
+            # annotation must be dropped.
+            if self.edge_conds.get((src, dst)) != cond:
+                self.edge_conds.pop((src, dst), None)
+            return
+        self.succs[src].append(dst)
+        self.preds.setdefault(dst, []).append(src)
+        if cond is not None:
+            self.edge_conds[(src, dst)] = cond
+
+    def reachable(self,
+                  known_conds: dict[int, bool] | None = None) -> set[int]:
+        """Nodes reachable from ENTRY.
+
+        Args:
+            known_conds: condition value id → proven constant value.
+                Annotated edges contradicting a proven condition are
+                skipped, so blocks only reachable through them count as
+                unreachable.
+        """
+        known = known_conds or {}
+        seen = {ENTRY}
+        frontier = [ENTRY]
+        while frontier:
+            node = frontier.pop()
+            for succ in self.successors(node):
+                annotation = self.edge_conds.get((node, succ))
+                if annotation is not None:
+                    cond_id, polarity = annotation
+                    if cond_id in known and known[cond_id] != polarity:
+                        continue  # edge proven dead
+                if succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+        return seen
+
+
+def build_cfg(cdfg: CDFG) -> ControlFlowGraph:
+    """Derive the flattened CFG of ``cdfg``'s region tree."""
+    cfg = ControlFlowGraph(cdfg)
+    for block in cdfg.blocks():
+        cfg.blocks[block.id] = block
+        cfg.succs.setdefault(block.id, [])
+        cfg.preds.setdefault(block.id, [])
+    cfg.succs.setdefault(ENTRY, [])
+    cfg.preds.setdefault(EXIT, [])
+
+    def connect(exits: list[_Exit], target: int) -> None:
+        for block_id, annotation in exits:
+            cfg.add_edge(block_id, target, annotation)
+
+    def build(region: Region) -> tuple[int | None, list[_Exit]]:
+        """Wire ``region`` internally; return (entry node, exits).
+
+        An empty region returns ``(None, [])`` — the caller treats it
+        as a pass-through.
+        """
+        if isinstance(region, BlockRegion):
+            block_id = region.block.id
+            return block_id, [(block_id, None)]
+
+        if isinstance(region, SeqRegion):
+            entry: int | None = None
+            pending: list[_Exit] = []
+            for item in region.items:
+                item_entry, item_exits = build(item)
+                if item_entry is None:
+                    continue
+                if entry is None:
+                    entry = item_entry
+                else:
+                    connect(pending, item_entry)
+                pending = item_exits
+            return entry, pending
+
+        if isinstance(region, IfRegion):
+            cond_block = region.cond_block.id
+            cond_id = region.cond.id
+            exits: list[_Exit] = []
+            then_entry, then_exits = build(region.then_region)
+            if then_entry is None:
+                exits.append((cond_block, (cond_id, True)))
+            else:
+                cfg.add_edge(cond_block, then_entry, (cond_id, True))
+                exits.extend(then_exits)
+            if region.else_region is None:
+                exits.append((cond_block, (cond_id, False)))
+            else:
+                else_entry, else_exits = build(region.else_region)
+                if else_entry is None:
+                    exits.append((cond_block, (cond_id, False)))
+                else:
+                    cfg.add_edge(cond_block, else_entry, (cond_id, False))
+                    exits.extend(else_exits)
+            return cond_block, exits
+
+        if isinstance(region, LoopRegion):
+            return _build_loop(region)
+
+        raise TypeError(f"unknown region {region!r}")  # pragma: no cover
+
+    def _build_loop(region: LoopRegion) -> tuple[int | None, list[_Exit]]:
+        cond_id = region.cond.id
+        stay = (cond_id, not region.exit_on_true)
+        leave = (cond_id, region.exit_on_true)
+
+        if region.test_in_body:
+            # Post-test loop: the test block is the body's last block;
+            # its fall-throughs become the back edge and the loop exit.
+            body_entry, body_exits = build(region.body)
+            if body_entry is None:  # pragma: no cover - validated earlier
+                return None, []
+            exits: list[_Exit] = []
+            for block_id, annotation in body_exits:
+                # A pre-annotated exit (a branch inside the body falling
+                # out) cannot carry two conditions; keep it unannotated
+                # so reachability stays conservative.
+                back = stay if annotation is None else None
+                out = leave if annotation is None else None
+                cfg.add_edge(block_id, body_entry, back)
+                exits.append((block_id, out))
+            return body_entry, exits
+
+        # Pre-test loop: test runs first; body loops back to the test.
+        test_block = region.test_block.id
+        body_entry, body_exits = build(region.body)
+        if body_entry is None:
+            cfg.add_edge(test_block, test_block, stay)
+        else:
+            cfg.add_edge(test_block, body_entry, stay)
+            connect(body_exits, test_block)
+        return test_block, [(test_block, leave)]
+
+    entry, exits = build(cdfg.body)
+    if entry is None:
+        cfg.add_edge(ENTRY, EXIT)
+    else:
+        cfg.add_edge(ENTRY, entry)
+        connect(exits, EXIT)
+    return cfg

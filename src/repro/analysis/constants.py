@@ -1,0 +1,205 @@
+"""Constant lattice analysis over the CDFG.
+
+Per variable, the classic three-level lattice:
+
+* **TOP** — no path has assigned the variable yet (optimistic);
+* a literal — every path assigns that one value;
+* **BOTTOM** — paths disagree, or the value is not statically known.
+
+The transfer function symbolically executes a block with
+:func:`repro.sim.semantics.evaluate` — the same semantics the
+simulators and the constant-folding transform use, so the analysis can
+never "know" a value the hardware would disagree with.
+
+:func:`constant_of` is the block-local primitive the constant-folding
+transform consumes (the literal of a CONST-produced value);
+:func:`evaluated_conditions` is what the constant-condition and
+unreachable-block lints consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..ir.cdfg import CDFG, IfRegion, LoopRegion
+from ..ir.opcodes import OpKind
+from ..ir.values import BasicBlock, Value
+from .cfg import ControlFlowGraph, build_cfg
+from .dataflow import DataflowAnalysis, solve
+
+
+def constant_of(value: Value) -> Any | None:
+    """The literal of a CONST-produced value, or None.
+
+    The block-local constant primitive: transforms fold on it, and the
+    lattice transfer seeds its environment from it.
+    """
+    if value.producer.kind is OpKind.CONST:
+        return value.producer.attrs["value"]
+    return None
+
+
+class _Top:
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "TOP"
+
+
+class _Bottom:
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "BOTTOM"
+
+
+#: Lattice extremes.  Facts map variable names to TOP / a literal /
+#: BOTTOM; a variable missing from a fact is TOP.
+TOP = _Top()
+BOTTOM = _Bottom()
+
+
+def _meet(a: Any, b: Any) -> Any:
+    if a is TOP:
+        return b
+    if b is TOP:
+        return a
+    if a is BOTTOM or b is BOTTOM:
+        return BOTTOM
+    return a if a == b else BOTTOM
+
+
+@dataclass
+class ConstantsResult:
+    """Per-block variable environments (entry side) plus the evaluated
+    value of every op whose inputs were statically known."""
+
+    env_in: dict[int, dict[str, Any]]
+    values: dict[int, Any]  # value id → literal (only when known)
+
+
+class _Constants(DataflowAnalysis):
+    direction = "forward"
+
+    def __init__(self, cdfg: CDFG) -> None:
+        self._inputs = {port.name for port in cdfg.inputs}
+
+    # Facts are canonicalized tuples of (var, literal) pairs — BOTTOM
+    # vars are dropped on canonicalization, TOP vars never enter.
+
+    def boundary(self):
+        return ()  # inputs and uninitialized vars are unknown (BOTTOM)
+
+    def initial(self):
+        return None  # None = TOP fact: node not reached yet
+
+    def join(self, facts: list):
+        reached = [dict(fact) for fact in facts if fact is not None]
+        if not reached:
+            return None
+        merged: dict[str, Any] = {}
+        every = set(reached[0])
+        for env in reached[1:]:
+            every &= set(env)
+        for var in every:
+            combined = reached[0][var]
+            for env in reached[1:]:
+                combined = _meet(combined, env[var])
+            if combined is not BOTTOM and combined is not TOP:
+                merged[var] = combined
+        return tuple(sorted(merged.items(), key=lambda item: item[0]))
+
+    def transfer(self, block: BasicBlock, fact):
+        if fact is None:
+            return None
+        env = dict(fact)
+        local = self._evaluate_block(block, env)
+        for op in block.ops:
+            if op.kind is OpKind.VAR_WRITE:
+                literal = local.get(op.operands[0].id, BOTTOM)
+                var = op.attrs["var"]
+                if literal is BOTTOM:
+                    env.pop(var, None)
+                else:
+                    env[var] = literal
+        return tuple(sorted(env.items(), key=lambda item: item[0]))
+
+    def _evaluate_block(self, block: BasicBlock,
+                        env: dict[str, Any]) -> dict[int, Any]:
+        """Value id → literal for ops computable from ``env``."""
+        from ..sim.semantics import evaluate
+
+        local: dict[int, Any] = {}
+        for op in block.ops:
+            if op.result is None:
+                continue
+            if op.kind is OpKind.CONST:
+                local[op.result.id] = op.attrs["value"]
+            elif op.kind is OpKind.VAR_READ:
+                var = op.attrs["var"]
+                if var in env and var not in self._inputs:
+                    local[op.result.id] = env[var]
+            elif op.kind in _EVALUATABLE:
+                operands = [
+                    local.get(operand.id, BOTTOM) for operand in op.operands
+                ]
+                if any(value is BOTTOM for value in operands):
+                    continue
+                try:
+                    local[op.result.id] = evaluate(
+                        op.kind,
+                        operands,
+                        [operand.type for operand in op.operands],
+                        op.result.type,
+                        op.attrs,
+                    )
+                except Exception:
+                    continue  # division by zero etc. stays a runtime event
+        return local
+
+
+#: Pure kinds :func:`repro.sim.semantics.evaluate` can execute at
+#: compile time — shared with the constant-folding transform.
+EVALUATABLE_KINDS = frozenset(
+    {
+        OpKind.ADD, OpKind.SUB, OpKind.MUL, OpKind.DIV, OpKind.MOD,
+        OpKind.INC, OpKind.DEC, OpKind.NEG, OpKind.SHL, OpKind.SHR,
+        OpKind.AND, OpKind.OR, OpKind.XOR, OpKind.NOT,
+        OpKind.EQ, OpKind.NE, OpKind.LT, OpKind.LE, OpKind.GT, OpKind.GE,
+        OpKind.MUX,
+    }
+)
+_EVALUATABLE = EVALUATABLE_KINDS
+
+
+def constant_lattice(
+    cdfg: CDFG, cfg: ControlFlowGraph | None = None
+) -> ConstantsResult:
+    """Solve the constant lattice for every block of ``cdfg``."""
+    cfg = cfg or build_cfg(cdfg)
+    analysis = _Constants(cdfg)
+    result = solve(cfg, analysis)
+    env_in: dict[int, dict[str, Any]] = {}
+    values: dict[int, Any] = {}
+    for block_id, block in cfg.blocks.items():
+        fact = result.entry_facts.get(block_id)
+        env = dict(fact) if fact else {}
+        env_in[block_id] = env
+        # Re-evaluate once against the *fixpoint* environment — values
+        # collected mid-iteration would reflect optimistic early facts.
+        values.update(analysis._evaluate_block(block, env))
+    return ConstantsResult(env_in, values)
+
+
+def evaluated_conditions(
+    cdfg: CDFG,
+    cfg: ControlFlowGraph | None = None,
+    constants: ConstantsResult | None = None,
+) -> dict[int, bool]:
+    """Region conditions proven constant: cond value id → truth value."""
+    constants = constants or constant_lattice(cdfg, cfg)
+    known: dict[int, bool] = {}
+    for region in cdfg.body.walk():
+        if not isinstance(region, (IfRegion, LoopRegion)):
+            continue
+        literal = constants.values.get(region.cond.id)
+        if literal is not None:
+            known[region.cond.id] = bool(literal)
+    return known

@@ -1,0 +1,139 @@
+"""Generic worklist dataflow solver over the flattened CFG.
+
+One solver serves every concrete analysis: a :class:`DataflowAnalysis`
+supplies the direction, the boundary fact, the lattice join and the
+per-block transfer function; :func:`solve` iterates node facts to a
+fixpoint with a deterministic worklist.
+
+Facts are ordinary immutable Python values compared with ``==`` —
+``frozenset`` for the set-based analyses, tuples of pairs for the
+constant lattice.  The solver itself is lattice-agnostic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Generic, TypeVar
+
+from ..ir.values import BasicBlock
+from .cfg import ENTRY, EXIT, ControlFlowGraph
+
+Fact = TypeVar("Fact")
+
+
+class DataflowAnalysis(Generic[Fact]):
+    """One dataflow problem: direction, lattice and transfer."""
+
+    #: "forward" propagates along control edges, "backward" against.
+    direction: str = "forward"
+
+    def boundary(self) -> Fact:
+        """Fact at the flow source (ENTRY forward, EXIT backward)."""
+        raise NotImplementedError
+
+    def initial(self) -> Fact:
+        """Optimistic starting fact for every other node."""
+        raise NotImplementedError
+
+    def join(self, facts: list[Fact]) -> Fact:
+        """Combine facts arriving over several edges."""
+        raise NotImplementedError
+
+    def transfer(self, block: BasicBlock, fact: Fact) -> Fact:
+        """Propagate ``fact`` through ``block``."""
+        raise NotImplementedError
+
+
+@dataclass
+class DataflowResult(Generic[Fact]):
+    """Fixpoint facts per CFG node.
+
+    ``entry_facts[n]`` is the fact at the node's flow entry side and
+    ``exit_facts[n]`` at its flow exit side — *flow* direction, so for
+    a backward analysis ``entry_facts`` holds what is usually called
+    the OUT set (facts at the block's control exit).
+    """
+
+    entry_facts: dict[int, Fact]
+    exit_facts: dict[int, Fact]
+
+
+def solve(cfg: ControlFlowGraph,
+          analysis: DataflowAnalysis[Fact]) -> DataflowResult[Fact]:
+    """Iterate ``analysis`` over ``cfg`` to a fixpoint."""
+    forward = analysis.direction == "forward"
+    flow_preds = cfg.preds if forward else cfg.succs
+    flow_succs = cfg.succs if forward else cfg.preds
+    source = ENTRY if forward else EXIT
+
+    order = cfg.nodes if forward else list(reversed(cfg.nodes))
+    entry_facts: dict[int, Fact] = {}
+    exit_facts: dict[int, Fact] = {
+        node: analysis.initial() for node in cfg.nodes
+    }
+    exit_facts[source] = analysis.boundary()
+
+    worklist: deque[int] = deque(order)
+    queued = set(order)
+    while worklist:
+        node = worklist.popleft()
+        queued.discard(node)
+
+        incoming = [exit_facts[p] for p in flow_preds.get(node, [])]
+        fact_in = analysis.join(incoming) if incoming else analysis.initial()
+        entry_facts[node] = fact_in
+
+        if node == source:
+            fact_out = analysis.boundary()
+        else:
+            block = cfg.blocks.get(node)
+            fact_out = (
+                analysis.transfer(block, fact_in)
+                if block is not None
+                else fact_in  # the non-source synthetic node passes through
+            )
+        if fact_out != exit_facts[node]:
+            exit_facts[node] = fact_out
+            for succ in flow_succs.get(node, []):
+                if succ not in queued:
+                    queued.add(succ)
+                    worklist.append(succ)
+    return DataflowResult(entry_facts, exit_facts)
+
+
+class SetUnionAnalysis(DataflowAnalysis[frozenset]):
+    """Convenience base for may-analyses over ``frozenset`` facts."""
+
+    def initial(self) -> frozenset:
+        return frozenset()
+
+    def join(self, facts: list[frozenset]) -> frozenset:
+        combined: frozenset = frozenset()
+        for fact in facts:
+            combined |= fact
+        return combined
+
+
+#: Sentinel for "no information yet" in must-analyses (top element).
+UNIVERSE: Any = object()
+
+
+class SetIntersectAnalysis(DataflowAnalysis):
+    """Convenience base for must-analyses (available expressions).
+
+    The optimistic initial fact is :data:`UNIVERSE` (everything holds),
+    which intersection treats as the identity.
+    """
+
+    def initial(self):
+        return UNIVERSE
+
+    def join(self, facts: list):
+        real = [fact for fact in facts if fact is not UNIVERSE]
+        if not real:
+            return UNIVERSE
+        combined = real[0]
+        for fact in real[1:]:
+            combined &= fact
+        return combined

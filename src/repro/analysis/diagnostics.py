@@ -1,0 +1,122 @@
+"""Structured diagnostics emitted by the linter and the frontend.
+
+A :class:`Diagnostic` is one finding: a stable rule id
+(``src.dead-store``, ``net.comb-loop``, ...), a severity, a
+human-readable message, and — when the finding maps back to the
+source text — a :class:`~repro.errors.SourceLocation`.
+
+:class:`DiagnosticSink` collects them.  The frontend accepts a sink so
+recoverable findings (implicit truncation, for instance) become
+warnings instead of silently lost detail, and the lint driver feeds
+every rule family into one sink per run.  Each emitted diagnostic also
+increments the ``lint.diagnostics`` counter in the observability
+registry, labelled by rule and severity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from ..errors import SourceLocation
+from ..obs.metrics import metrics
+
+#: Severity names, mildest first.  Exit codes and sort order derive
+#: from the index.
+SEVERITIES = ("info", "warning", "error")
+
+
+def severity_rank(severity: str) -> int:
+    return SEVERITIES.index(severity)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding."""
+
+    rule: str
+    severity: str
+    message: str
+    location: SourceLocation | None = None
+    #: Pipeline stage the finding belongs to ("source", "schedule",
+    #: "allocation", "netlist", "controller").
+    where: str = "source"
+    #: Machine-readable subject (variable name, net name, state id...).
+    subject: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity: {self.severity!r}")
+
+    def render(self) -> str:
+        place = f"{self.location}: " if self.location is not None else ""
+        return f"{place}{self.severity}: {self.message} [{self.rule}]"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "line": self.location.line if self.location else None,
+            "column": self.location.column if self.location else None,
+            "where": self.where,
+            "subject": self.subject,
+        }
+
+    @property
+    def sort_key(self) -> tuple:
+        return (
+            self.location.line if self.location else 1 << 30,
+            self.location.column if self.location else 1 << 30,
+            -severity_rank(self.severity),
+            self.rule,
+            self.message,
+        )
+
+
+class DiagnosticSink:
+    """Ordered collector of diagnostics."""
+
+    def __init__(self) -> None:
+        self._diagnostics: list[Diagnostic] = []
+
+    def emit(self, diagnostic: Diagnostic) -> None:
+        self._diagnostics.append(diagnostic)
+        metrics().counter(
+            "lint.diagnostics",
+            rule=diagnostic.rule,
+            severity=diagnostic.severity,
+        ).inc()
+
+    def warning(self, rule: str, message: str, **kwargs: Any) -> None:
+        self.emit(Diagnostic(rule, "warning", message, **kwargs))
+
+    def error(self, rule: str, message: str, **kwargs: Any) -> None:
+        self.emit(Diagnostic(rule, "error", message, **kwargs))
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self._diagnostics)
+
+    def __len__(self) -> int:
+        return len(self._diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self._diagnostics)
+
+    @property
+    def diagnostics(self) -> list[Diagnostic]:
+        return list(self._diagnostics)
+
+    def count(self, severity: str) -> int:
+        return sum(
+            1 for diag in self._diagnostics if diag.severity == severity
+        )
+
+    @property
+    def worst(self) -> str | None:
+        if not self._diagnostics:
+            return None
+        return max(
+            (diag.severity for diag in self._diagnostics),
+            key=severity_rank,
+        )

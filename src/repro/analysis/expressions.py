@@ -1,0 +1,142 @@
+"""Expression identity and available-expression analysis.
+
+:func:`expression_key` is the canonical *block-local* identity of a
+pure computation — the exact key CSE deduplicates on (commutative
+operands sorted, attributes and result type included), factored here so
+the transform and the analyses share one definition.
+
+:func:`available_expressions` lifts identity across blocks: leaves are
+variable names and constants instead of value ids, an expression is
+*generated* when a block computes it and *killed* when any contributing
+variable is rewritten, and the must-analysis (intersection join) yields
+the expressions guaranteed to have been computed on every path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.cdfg import CDFG
+from ..ir.opcodes import COMMUTATIVE, OpKind
+from ..ir.values import BasicBlock, Operation, Value
+from .cfg import ControlFlowGraph, build_cfg
+from .dataflow import UNIVERSE, SetIntersectAnalysis, solve
+
+#: Kinds participating in expression identity — pure computations whose
+#: result depends only on operand values (no LOAD: memory may change).
+EXPRESSION_KINDS = frozenset(
+    {
+        OpKind.CONST,
+        OpKind.ADD, OpKind.SUB, OpKind.MUL, OpKind.DIV, OpKind.MOD,
+        OpKind.INC, OpKind.DEC, OpKind.NEG, OpKind.SHL, OpKind.SHR,
+        OpKind.AND, OpKind.OR, OpKind.XOR, OpKind.NOT,
+        OpKind.EQ, OpKind.NE, OpKind.LT, OpKind.LE, OpKind.GT, OpKind.GE,
+        OpKind.MUX,
+    }
+)
+
+
+def expression_key(op: Operation) -> tuple | None:
+    """Block-local identity of a pure op, or None for impure kinds.
+
+    Two ops in the same block with equal keys compute the same value;
+    this is exactly the CSE merge criterion.
+    """
+    if op.kind not in EXPRESSION_KINDS or op.result is None:
+        return None
+    operand_ids = [value.id for value in op.operands]
+    if op.kind in COMMUTATIVE:
+        operand_ids.sort()
+    attr_key = tuple(sorted(op.attrs.items()))
+    return (op.kind, tuple(operand_ids), attr_key, op.result.type)
+
+
+def expression_tree(value: Value) -> tuple | None:
+    """Cross-block identity of a value: a tree over variable/const
+    leaves, or None when the value depends on something impure."""
+    producer = value.producer
+    if producer.kind is OpKind.VAR_READ:
+        return ("var", producer.attrs["var"])
+    if producer.kind is OpKind.CONST:
+        return ("const", repr(producer.attrs["value"]), str(value.type))
+    if producer.kind not in EXPRESSION_KINDS:
+        return None
+    leaves = []
+    for operand in producer.operands:
+        leaf = expression_tree(operand)
+        if leaf is None:
+            return None
+        leaves.append(leaf)
+    if producer.kind in COMMUTATIVE:
+        leaves.sort()
+    attr_key = tuple(sorted(producer.attrs.items()))
+    return (str(producer.kind), tuple(leaves), attr_key, str(value.type))
+
+
+def _tree_variables(tree: tuple) -> frozenset[str]:
+    if tree[0] == "var":
+        return frozenset({tree[1]})
+    if tree[0] == "const":
+        return frozenset()
+    found: frozenset[str] = frozenset()
+    for leaf in tree[1]:
+        found |= _tree_variables(leaf)
+    return found
+
+
+@dataclass
+class AvailableResult:
+    """Available expression trees per block id (at block entry)."""
+
+    available_in: dict[int, frozenset]
+    available_out: dict[int, frozenset]
+
+
+class _Available(SetIntersectAnalysis):
+    direction = "forward"
+
+    def boundary(self) -> frozenset:
+        return frozenset()  # nothing is computed before the procedure
+
+    def transfer(self, block: BasicBlock, fact):
+        available = set() if fact is UNIVERSE else set(fact)
+        written = {
+            op.attrs["var"]
+            for op in block.ops
+            if op.kind is OpKind.VAR_WRITE
+        }
+        for op in block.ops:
+            if op.result is None or op.kind in (OpKind.CONST,
+                                                OpKind.VAR_READ):
+                continue
+            tree = expression_tree(op.result)
+            if tree is not None and not (_tree_variables(tree) & written):
+                # Survives the block: none of its variables change here
+                # after it is computed (block-local renaming means all
+                # writes take effect at the block end).
+                available.add(tree)
+        return frozenset(
+            tree
+            for tree in available
+            if not (_tree_variables(tree) & written)
+        )
+
+
+def available_expressions(
+    cdfg: CDFG, cfg: ControlFlowGraph | None = None
+) -> AvailableResult:
+    """Solve must-available expressions for every block of ``cdfg``."""
+    cfg = cfg or build_cfg(cdfg)
+    result = solve(cfg, _Available())
+    available_in: dict[int, frozenset] = {}
+    available_out: dict[int, frozenset] = {}
+    for block_id in cfg.blocks:
+        fact_in = result.entry_facts.get(block_id, frozenset())
+        fact_out = result.exit_facts.get(block_id, frozenset())
+        available_in[block_id] = (
+            frozenset() if fact_in is UNIVERSE else fact_in
+        )
+        available_out[block_id] = (
+            frozenset() if fact_out is UNIVERSE else fact_out
+        )
+    return AvailableResult(available_in, available_out)

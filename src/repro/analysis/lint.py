@@ -1,0 +1,458 @@
+"""The whole-pipeline linter: every rule family, one driver.
+
+Three rule families, each consuming the shared analyses:
+
+* **source rules** (``src.*``, ``lang.*``) — run on the *unoptimized*
+  CDFG, so findings point at what the user wrote, not at what the
+  optimizer left behind: read-before-write (reaching definitions),
+  unreachable blocks and constant conditions (constant lattice +
+  condition-pruned CFG reachability), dead stores (liveness), unused
+  variables;
+* **design rules** (``sched.*``, ``alloc.*``) — run on a synthesized
+  design: scheduled use-before-def (the dependence-edge twin of
+  ``Schedule.validate``), register sharing with overlapping lifetimes,
+  and values wider than the variable register that carries them;
+* **netlist/controller rules** (``net.*``, ``fsm.*``) — run on the
+  structural netlist and the FSM: combinational loops (SCC over the
+  combinational subgraph), multiply-driven ports, structural width
+  mismatches, floating inputs, unreachable states.
+
+:func:`lint_source` is the end-to-end driver the ``repro lint`` CLI
+verb calls: compile with a diagnostic sink, lint the CDFG, synthesize a
+separate copy (the engine optimizes in place), lint the design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import networkx as nx
+
+from ..allocation.lifetimes import compute_lifetimes
+from ..controller.fsm import FSM
+from ..datapath.netlist import DatapathNetlist, build_netlist
+from ..errors import HLSError
+from ..ir.cdfg import CDFG, IfRegion, LoopRegion
+from ..ir.opcodes import OpKind
+from ..ir.types import bit_width, is_scalar
+from .cfg import build_cfg
+from .constants import constant_lattice, evaluated_conditions
+from .diagnostics import Diagnostic, DiagnosticSink
+from .liveness import live_out_variables, variable_liveness
+from .reaching import UNINIT, def_use_chains
+
+
+# ----------------------------------------------------------------------
+# Options and report
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LintOptions:
+    """Knobs of one lint run (mirrors the synthesis knobs that affect
+    what gets checked)."""
+
+    procedure: str | None = None
+    scheduler: str = "list"
+    allocator: str = "left-edge"
+    #: Resource model for the design-level rules.  "typed" (distinct
+    #: adder/multiplier/… classes, the realistic datapath) is the
+    #: default: under the single-class universal model, index-monotone
+    #: FU sharing can never close a combinational cycle, so net.* rules
+    #: would have nothing to find.
+    model: str = "typed"
+    optimize: bool = True
+
+
+@dataclass
+class LintReport:
+    """All diagnostics of one lint run, ordered by source position."""
+
+    name: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def count(self, severity: str) -> int:
+        return sum(
+            1 for diag in self.diagnostics if diag.severity == severity
+        )
+
+    @property
+    def exit_code(self) -> int:
+        """2 with errors present, 1 with warnings only, 0 when clean."""
+        if self.count("error"):
+            return 2
+        if self.count("warning"):
+            return 1
+        return 0
+
+    def render(self) -> str:
+        lines = [f"lint report for '{self.name}':"]
+        if not self.diagnostics:
+            lines.append("  clean — no findings")
+        for diag in self.diagnostics:
+            lines.append(f"  {diag.render()}")
+        lines.append(
+            f"{self.count('error')} error(s), "
+            f"{self.count('warning')} warning(s)"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "design": self.name,
+            "errors": self.count("error"),
+            "warnings": self.count("warning"),
+            "diagnostics": [diag.to_dict() for diag in self.diagnostics],
+        }
+
+
+# ----------------------------------------------------------------------
+# Source / CDFG rules
+# ----------------------------------------------------------------------
+
+
+def lint_cdfg(cdfg: CDFG, sink: DiagnosticSink) -> None:
+    """Run the source-level rule family on (ideally unoptimized) IR."""
+    cfg = build_cfg(cdfg)
+    source_map = cdfg.source_map
+
+    # src.read-before-write -------------------------------------------
+    chains = def_use_chains(cdfg, cfg)
+    for block in cfg.blocks.values():
+        for op in block.ops:
+            if op.kind is not OpKind.VAR_READ:
+                continue
+            if chains.boundary_reads.get(op.id) != UNINIT:
+                continue
+            var = op.attrs["var"]
+            certain = not chains.defs_of.get(op.id)
+            diag = Diagnostic(
+                "src.read-before-write",
+                "error" if certain else "warning",
+                (
+                    f"variable {var!r} is read before it is written"
+                    if certain
+                    else f"variable {var!r} may be read before it is "
+                    f"written"
+                ),
+                location=source_map.get(op.id),
+                subject=var,
+            )
+            sink.emit(diag)
+
+    # src.const-condition / src.unreachable-block ---------------------
+    constants = constant_lattice(cdfg, cfg)
+    known = evaluated_conditions(cdfg, cfg, constants)
+    for region in cdfg.body.walk():
+        if not isinstance(region, (IfRegion, LoopRegion)):
+            continue
+        literal = known.get(region.cond.id)
+        if literal is None:
+            continue
+        what = "loop" if isinstance(region, LoopRegion) else "branch"
+        sink.warning(
+            "src.const-condition",
+            f"{what} condition is always {literal}",
+            location=source_map.get(region.cond.producer.id),
+        )
+    reachable = cfg.reachable(known)
+    for block_id, block in cfg.blocks.items():
+        if block_id in reachable:
+            continue
+        location = next(
+            (
+                source_map[op.id]
+                for op in block.ops
+                if op.id in source_map
+            ),
+            None,
+        )
+        sink.warning(
+            "src.unreachable-block",
+            f"block {block.name} is unreachable "
+            f"(a controlling condition is constant)",
+            location=location,
+            subject=block.name,
+        )
+
+    # src.dead-store ---------------------------------------------------
+    liveness = variable_liveness(cdfg, cfg)
+    for block_id, block in cfg.blocks.items():
+        if block_id not in reachable:
+            continue  # already reported as unreachable
+        live_out = liveness.live_out[block_id]
+        for op in block.ops:
+            if op.kind is not OpKind.VAR_WRITE:
+                continue
+            var = op.attrs["var"]
+            if var in live_out:
+                continue
+            sink.warning(
+                "src.dead-store",
+                f"value assigned to {var!r} is never read",
+                location=source_map.get(op.id),
+                subject=var,
+            )
+
+    # src.unused-var ---------------------------------------------------
+    ports = {port.name for port in cdfg.inputs}
+    ports |= {port.name for port in cdfg.outputs}
+    referenced = {
+        op.attrs["var"]
+        for op in cdfg.operations()
+        if op.kind in (OpKind.VAR_READ, OpKind.VAR_WRITE)
+    }
+    for var in sorted(cdfg.variables):
+        if var in ports or var in referenced:
+            continue
+        sink.warning(
+            "src.unused-var",
+            f"variable {var!r} is declared but never used",
+            subject=var,
+        )
+
+
+# ----------------------------------------------------------------------
+# Schedule / allocation rules
+# ----------------------------------------------------------------------
+
+
+def lint_design(design, sink: DiagnosticSink) -> None:
+    """Run schedule, allocation, netlist and controller rules."""
+    cdfg = design.cdfg
+    source_map = cdfg.source_map
+
+    # sched.use-before-def --------------------------------------------
+    for schedule in design.schedules.values():
+        problem = schedule.problem
+        for u, v in problem.graph.edges:
+            if u not in schedule.start or v not in schedule.start:
+                continue  # Schedule.validate already rejects this
+            earliest = schedule.start[u] + problem.edge_offset(u, v)
+            if schedule.start[v] < earliest:
+                sink.error(
+                    "sched.use-before-def",
+                    f"{problem.label}: op{v} is scheduled at step "
+                    f"{schedule.start[v]}, before its operand op{u} is "
+                    f"ready (step {earliest})",
+                    where="schedule",
+                    subject=f"op{v}",
+                )
+
+    # alloc.register-overlap / net.width-mismatch (carried values) ----
+    for allocation in design.allocations.values():
+        schedule = allocation.schedule
+        label = schedule.problem.label
+        lifetimes = compute_lifetimes(schedule,
+                                      live_out_variables(schedule))
+        by_register: dict[int, list] = {}
+        for lifetime in lifetimes:
+            register = allocation.register_map.get(lifetime.value.id)
+            if register is not None:
+                by_register.setdefault(register, []).append(lifetime)
+        for register, held in sorted(by_register.items()):
+            held.sort(key=lambda lt: (lt.def_step, lt.value.id))
+            for first, second in zip(held, held[1:]):
+                if first.conflicts_with(second):
+                    sink.error(
+                        "alloc.register-overlap",
+                        f"{label}: register r{register} holds "
+                        f"{first.value!r} and {second.value!r} with "
+                        f"overlapping lifetimes",
+                        where="allocation",
+                        subject=f"r{register}",
+                    )
+
+        for lifetime in lifetimes:
+            carrier = lifetime.carrier
+            if carrier is None or carrier not in cdfg.variables:
+                continue
+            declared_type = cdfg.variables[carrier]
+            if not (is_scalar(declared_type)
+                    and is_scalar(lifetime.value.type)):
+                continue
+            declared = bit_width(declared_type)
+            actual = bit_width(lifetime.value.type)
+            if actual <= declared:
+                continue
+            writer = next(
+                (
+                    user
+                    for user, _ in lifetime.value.uses
+                    if user.kind is OpKind.VAR_WRITE
+                    and user.attrs["var"] == carrier
+                ),
+                None,
+            )
+            sink.warning(
+                "net.width-mismatch",
+                f"{label}: {actual}-bit value "
+                f"({lifetime.value.type}) is stored into the "
+                f"{declared}-bit register of {carrier!r} — upper bits "
+                f"are dropped",
+                location=source_map.get(
+                    writer.id if writer is not None else -1
+                ),
+                where="netlist",
+                subject=carrier,
+            )
+
+    # Netlist rules ----------------------------------------------------
+    if design.binding is not None:
+        lint_netlist(build_netlist(design), sink)
+
+    # fsm.unreachable-state -------------------------------------------
+    if design.fsm is not None:
+        lint_fsm(design.fsm, sink)
+
+
+# ----------------------------------------------------------------------
+# Netlist rules
+# ----------------------------------------------------------------------
+
+#: Component kinds whose output is a combinational function of their
+#: inputs.  Registers, memories and constants break timing paths.
+_COMBINATIONAL = ("fu", "mux")
+
+
+def lint_netlist(netlist: DatapathNetlist, sink: DiagnosticSink) -> None:
+    """Run the structural rule family on a datapath netlist."""
+    # net.comb-loop ----------------------------------------------------
+    graph = nx.DiGraph()
+    for component in netlist.components.values():
+        if component.kind in _COMBINATIONAL:
+            graph.add_node(component.name)
+    for net in netlist.nets:
+        for pin in net.sinks:
+            if (
+                net.driver.component.kind in _COMBINATIONAL
+                and pin.component.kind in _COMBINATIONAL
+            ):
+                graph.add_edge(
+                    net.driver.component.name, pin.component.name
+                )
+    for scc in nx.strongly_connected_components(graph):
+        single = next(iter(scc))
+        if len(scc) == 1 and not graph.has_edge(single, single):
+            continue
+        members = ", ".join(sorted(scc))
+        sink.error(
+            "net.comb-loop",
+            f"combinational loop through {members} — the datapath has "
+            f"an unregistered cycle",
+            where="netlist",
+            subject=sorted(scc)[0],
+        )
+
+    # net.multi-driver -------------------------------------------------
+    drivers_of: dict[str, set[str]] = {}
+    for net in netlist.nets:
+        for pin in net.sinks:
+            drivers_of.setdefault(str(pin), set()).add(str(net.driver))
+    for pin_name, drivers in sorted(drivers_of.items()):
+        if len(drivers) > 1:
+            sink.error(
+                "net.multi-driver",
+                f"port {pin_name} is driven by {len(drivers)} nets "
+                f"({', '.join(sorted(drivers))})",
+                where="netlist",
+                subject=pin_name,
+            )
+
+    # net.width-mismatch (structural) ---------------------------------
+    for net in netlist.nets:
+        for pin in net.sinks:
+            if pin.component.width < net.width:
+                sink.warning(
+                    "net.width-mismatch",
+                    f"{net.width}-bit net from {net.driver} feeds "
+                    f"{pin} which is only {pin.component.width} bits "
+                    f"wide",
+                    where="netlist",
+                    subject=str(pin),
+                )
+
+    # net.floating-port ------------------------------------------------
+    has_inputs = {pin.component.name for net in netlist.nets
+                  for pin in net.sinks}
+    drives = {net.driver.component.name for net in netlist.nets}
+    for component in sorted(netlist.components.values(),
+                            key=lambda c: c.name):
+        if component.kind not in _COMBINATIONAL:
+            continue
+        if component.name in drives and component.name not in has_inputs:
+            sink.warning(
+                "net.floating-port",
+                f"{component.kind} {component.name} drives the datapath "
+                f"but has no input connections",
+                where="netlist",
+                subject=component.name,
+            )
+
+
+def lint_fsm(fsm: FSM, sink: DiagnosticSink) -> None:
+    """Run the controller rule family."""
+    reachable = fsm.reachable()
+    for state in fsm.states:
+        if state.id in reachable:
+            continue
+        sink.warning(
+            "fsm.unreachable-state",
+            f"controller state S{state.id} "
+            f"({state.block_name}#{state.step}) is unreachable from "
+            f"the entry state",
+            where="controller",
+            subject=f"S{state.id}",
+        )
+
+
+# ----------------------------------------------------------------------
+# End-to-end driver
+# ----------------------------------------------------------------------
+
+
+def _resource_model(name: str):
+    from ..scheduling import TypedFUModel, UniversalFUModel
+
+    if name == "universal":
+        return UniversalFUModel()
+    if name == "typed":
+        return TypedFUModel(single_cycle=True)
+    raise HLSError(f"unknown resource model {name!r}")
+
+
+def lint_source(source: str,
+                options: LintOptions | None = None) -> LintReport:
+    """Lint behavioral source end to end.
+
+    Compiles once *with* the diagnostic sink for the frontend and
+    source rules, then compiles a second, pristine copy for synthesis —
+    the engine optimizes its CDFG in place, and the source rules must
+    see the program as written.
+    """
+    from ..core import SynthesisOptions, synthesize_cdfg
+    from ..lang import compile_source
+
+    options = options or LintOptions()
+    sink = DiagnosticSink()
+
+    cdfg = compile_source(source, options.procedure, sink=sink)
+    lint_cdfg(cdfg, sink)
+
+    design_cdfg = compile_source(source, options.procedure)
+    design = synthesize_cdfg(
+        design_cdfg,
+        SynthesisOptions(
+            scheduler=options.scheduler,
+            allocator=options.allocator,
+            model=_resource_model(options.model),
+            optimize_ir=options.optimize,
+        ),
+    )
+    lint_design(design, sink)
+
+    return LintReport(
+        cdfg.name,
+        sorted(sink, key=lambda diag: diag.sort_key),
+    )

@@ -1,0 +1,100 @@
+"""Variable liveness over the CDFG.
+
+The IR's arc-per-value form makes the block-local transfer trivial:
+``VAR_READ`` ops are exactly the upward-exposed uses and ``VAR_WRITE``
+ops are exactly the downward-exposed definitions (the frontend renames
+everything in between), so ``live_in = reads ∪ (live_out − writes)``.
+
+Consumers:
+
+* the dead-store lint (a ``VAR_WRITE`` whose variable is not live out
+  of its block);
+* register lifetime analysis (:mod:`repro.allocation.lifetimes`): a
+  value written to a variable only needs to survive the block when the
+  variable is live out of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.cdfg import CDFG
+from ..ir.opcodes import OpKind
+from ..ir.values import BasicBlock
+from .cfg import ControlFlowGraph, build_cfg
+from .dataflow import SetUnionAnalysis, solve
+
+
+def block_uses_defs(block: BasicBlock) -> tuple[frozenset[str],
+                                                frozenset[str]]:
+    """(upward-exposed reads, written variables) of one block."""
+    uses = frozenset(
+        op.attrs["var"] for op in block.ops if op.kind is OpKind.VAR_READ
+    )
+    defs = frozenset(
+        op.attrs["var"] for op in block.ops if op.kind is OpKind.VAR_WRITE
+    )
+    return uses, defs
+
+
+@dataclass
+class LivenessResult:
+    """Live variable sets per block id."""
+
+    live_in: dict[int, frozenset[str]]
+    live_out: dict[int, frozenset[str]]
+
+
+class _Liveness(SetUnionAnalysis):
+    direction = "backward"
+
+    def __init__(self, outputs: frozenset[str]) -> None:
+        self._outputs = outputs
+
+    def boundary(self) -> frozenset:
+        return self._outputs
+
+    def transfer(self, block: BasicBlock, live_out: frozenset) -> frozenset:
+        uses, defs = block_uses_defs(block)
+        return uses | (live_out - defs)
+
+
+def variable_liveness(cdfg: CDFG,
+                      cfg: ControlFlowGraph | None = None) -> LivenessResult:
+    """Solve liveness for every block of ``cdfg``.
+
+    Output ports are live at procedure exit.
+    """
+    cfg = cfg or build_cfg(cdfg)
+    outputs = frozenset(port.name for port in cdfg.outputs)
+    result = solve(cfg, _Liveness(outputs))
+    live_in: dict[int, frozenset[str]] = {}
+    live_out: dict[int, frozenset[str]] = {}
+    for block_id in cfg.blocks:
+        # Backward analysis: the flow-entry fact of a node is its
+        # control-exit fact.
+        live_out[block_id] = result.entry_facts.get(block_id, frozenset())
+        live_in[block_id] = result.exit_facts.get(block_id, frozenset())
+    return LivenessResult(live_in, live_out)
+
+
+def live_out_variables(schedule) -> frozenset[str] | None:
+    """Variables live out of the block(s) a schedule covers.
+
+    Returns None when the scheduled ops belong to blocks outside their
+    CDFG's region tree (hand-built test fixtures), in which case the
+    caller must assume every written variable is live — the
+    conservative pre-analysis behaviour.
+    """
+    blocks = {op.block for op in schedule.problem.ops}
+    if not blocks:
+        return None
+    cdfg = next(iter(blocks)).cdfg
+    attached = {block.id for block in cdfg.blocks()}
+    if any(block.id not in attached for block in blocks):
+        return None
+    liveness = variable_liveness(cdfg)
+    live: frozenset[str] = frozenset()
+    for block in blocks:
+        live |= liveness.live_out[block.id]
+    return live

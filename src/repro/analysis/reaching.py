@@ -1,0 +1,158 @@
+"""Reaching definitions and def-use chains over the CDFG.
+
+A *definition* is one block's ``VAR_WRITE`` of a variable (the IR emits
+at most one per variable per block).  Two pseudo-definitions model the
+procedure boundary: every input port is defined at ENTRY, and every
+other variable carries an *uninitialized* definition at ENTRY — if that
+pseudo-definition is the only one reaching a read, the read sees
+garbage (the read-before-write lint).
+
+Def-use chains link each upward-exposed ``VAR_READ`` to the set of
+definitions that may reach it, and each ``VAR_WRITE`` to the reads it
+may feed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.cdfg import CDFG
+from ..ir.opcodes import OpKind
+from ..ir.values import BasicBlock, Operation
+from .cfg import ENTRY, ControlFlowGraph, build_cfg
+from .dataflow import SetUnionAnalysis, solve
+
+#: A definition: (variable name, defining block id).  Pseudo-definitions
+#: use the synthetic ENTRY node as their block.
+Definition = tuple[str, int]
+
+#: Marker variable-name prefix distinguishing the two ENTRY pseudo-defs.
+UNINIT = "<uninit>"
+INPUT = "<input>"
+
+
+def definition_is_uninitialized(definition: Definition) -> bool:
+    return definition[1] == ENTRY and definition[0].startswith(UNINIT)
+
+
+@dataclass
+class ReachingResult:
+    """Reaching definition sets per block id."""
+
+    reach_in: dict[int, frozenset[Definition]]
+    reach_out: dict[int, frozenset[Definition]]
+
+    def reaching(self, block_id: int, var: str) -> set[Definition]:
+        """Definitions of ``var`` reaching the entry of ``block_id``.
+
+        ENTRY pseudo-definitions are reported with the marker prefix
+        stripped off their variable name, e.g. ``("<uninit>", ...)``
+        becomes a definition of the plain variable at ENTRY.
+        """
+        found = set()
+        for name, block in self.reach_in.get(block_id, frozenset()):
+            if name == var or name in (f"{UNINIT}{var}", f"{INPUT}{var}"):
+                found.add((name, block))
+        return found
+
+
+class _Reaching(SetUnionAnalysis):
+    direction = "forward"
+
+    def __init__(self, cdfg: CDFG) -> None:
+        inputs = {port.name for port in cdfg.inputs}
+        boundary = set()
+        for name in cdfg.variables:
+            if name in inputs:
+                boundary.add((f"{INPUT}{name}", ENTRY))
+            else:
+                boundary.add((f"{UNINIT}{name}", ENTRY))
+        self._boundary = frozenset(boundary)
+
+    def boundary(self) -> frozenset:
+        return self._boundary
+
+    def transfer(self, block: BasicBlock, reach_in: frozenset) -> frozenset:
+        written = {
+            op.attrs["var"]
+            for op in block.ops
+            if op.kind is OpKind.VAR_WRITE
+        }
+        if not written:
+            return reach_in
+        survivors = frozenset(
+            (name, origin)
+            for name, origin in reach_in
+            if name not in written
+            and name.removeprefix(UNINIT).removeprefix(INPUT) not in written
+        )
+        generated = frozenset((name, block.id) for name in written)
+        return survivors | generated
+
+
+def reaching_definitions(
+    cdfg: CDFG, cfg: ControlFlowGraph | None = None
+) -> ReachingResult:
+    """Solve reaching definitions for every block of ``cdfg``."""
+    cfg = cfg or build_cfg(cdfg)
+    result = solve(cfg, _Reaching(cdfg))
+    reach_in: dict[int, frozenset[Definition]] = {}
+    reach_out: dict[int, frozenset[Definition]] = {}
+    for block_id in cfg.blocks:
+        reach_in[block_id] = result.entry_facts.get(block_id, frozenset())
+        reach_out[block_id] = result.exit_facts.get(block_id, frozenset())
+    return ReachingResult(reach_in, reach_out)
+
+
+@dataclass
+class DefUseChains:
+    """Bidirectional def/use links derived from reaching definitions.
+
+    ``uses_of`` maps a ``VAR_WRITE`` op id to the ``VAR_READ`` op ids it
+    may feed; ``defs_of`` maps a ``VAR_READ`` op id to the ``VAR_WRITE``
+    op ids that may reach it.  Reads reachable by an ENTRY pseudo-def
+    additionally appear in ``boundary_reads`` (variable arrives from an
+    input port or is read uninitialized).
+    """
+
+    defs_of: dict[int, frozenset[int]] = field(default_factory=dict)
+    uses_of: dict[int, frozenset[int]] = field(default_factory=dict)
+    boundary_reads: dict[int, str] = field(default_factory=dict)
+
+
+def def_use_chains(cdfg: CDFG,
+                   cfg: ControlFlowGraph | None = None) -> DefUseChains:
+    """Link every upward-exposed read to its reaching writes."""
+    cfg = cfg or build_cfg(cdfg)
+    reaching = reaching_definitions(cdfg, cfg)
+
+    write_op: dict[tuple[str, int], Operation] = {}
+    for block in cfg.blocks.values():
+        for op in block.ops:
+            if op.kind is OpKind.VAR_WRITE:
+                write_op[(op.attrs["var"], block.id)] = op
+
+    chains = DefUseChains()
+    uses: dict[int, set[int]] = {}
+    for block in cfg.blocks.values():
+        for op in block.ops:
+            if op.kind is not OpKind.VAR_READ:
+                continue
+            var = op.attrs["var"]
+            defs: set[int] = set()
+            for name, origin in reaching.reaching(block.id, var):
+                if origin == ENTRY:
+                    marker = (
+                        INPUT if name.startswith(INPUT) else UNINIT
+                    )
+                    chains.boundary_reads[op.id] = marker
+                    continue
+                writer = write_op.get((name, origin))
+                if writer is not None:
+                    defs.add(writer.id)
+                    uses.setdefault(writer.id, set()).add(op.id)
+            chains.defs_of[op.id] = frozenset(defs)
+    chains.uses_of = {
+        writer: frozenset(readers) for writer, readers in uses.items()
+    }
+    return chains

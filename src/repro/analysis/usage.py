@@ -1,0 +1,92 @@
+"""Flow-insensitive usage facts shared by transforms and lints.
+
+These are the whole-procedure summaries the classic transforms consume:
+
+* :func:`variable_usage` — which variables are read / written anywhere
+  (dead-store elimination keeps writes to read-or-output variables);
+* :func:`region_condition_values` — value ids referenced as region
+  conditions (live even when no op uses them);
+* :func:`transitively_dead_ops` — the fixpoint set of pure operations
+  whose results feed nothing, computed without mutating the IR (dead
+  operation elimination removes exactly this set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.cdfg import CDFG, IfRegion, LoopRegion
+from ..ir.opcodes import OpKind
+
+#: Kinds that must never be treated as dead operations: they have
+#: side effects (or anchor scheduling) rather than producing a value.
+SIDE_EFFECT_KINDS = frozenset(
+    {OpKind.VAR_WRITE, OpKind.STORE, OpKind.NOP}
+)
+
+
+@dataclass(frozen=True)
+class VariableUsage:
+    """Whole-procedure read/write summary."""
+
+    read: frozenset[str]
+    written: frozenset[str]
+    outputs: frozenset[str]
+
+    @property
+    def live(self) -> frozenset[str]:
+        """Variables whose writes must be kept: outputs plus anything
+        read anywhere (the conservative dead-store criterion)."""
+        return self.read | self.outputs
+
+
+def variable_usage(cdfg: CDFG) -> VariableUsage:
+    """Collect the flow-insensitive variable summary of ``cdfg``."""
+    read = set()
+    written = set()
+    for op in cdfg.operations():
+        if op.kind is OpKind.VAR_READ:
+            read.add(op.attrs["var"])
+        elif op.kind is OpKind.VAR_WRITE:
+            written.add(op.attrs["var"])
+    outputs = frozenset(port.name for port in cdfg.outputs)
+    return VariableUsage(frozenset(read), frozenset(written), outputs)
+
+
+def region_condition_values(cdfg: CDFG) -> set[int]:
+    """Value ids used as region conditions (live even if no op uses
+    them)."""
+    conds: set[int] = set()
+    for region in cdfg.body.walk():
+        if isinstance(region, (IfRegion, LoopRegion)):
+            conds.add(region.cond.id)
+    return conds
+
+
+def transitively_dead_ops(cdfg: CDFG,
+                          extra_live: set[int] | None = None) -> set[int]:
+    """Op ids of pure operations whose results transitively feed
+    nothing.
+
+    An op is dead when its result's every use is itself a dead op; the
+    set is the fixpoint of that rule.  ``extra_live`` value ids (region
+    conditions by default) pin their producers live.
+    """
+    live_values = (
+        region_condition_values(cdfg) if extra_live is None else extra_live
+    )
+    dead: set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for op in cdfg.operations():
+            if op.id in dead or op.kind in SIDE_EFFECT_KINDS:
+                continue
+            if op.result is None:
+                continue
+            if op.result.id in live_values:
+                continue
+            if all(user.id in dead for user, _ in op.result.uses):
+                dead.add(op.id)
+                changed = True
+    return dead

@@ -100,6 +100,23 @@ class FSM:
                     f"condition"
                 )
 
+    def reachable(self) -> set[int]:
+        """State ids reachable from the entry by following transitions."""
+        if self.entry is None:
+            return set()
+        seen: set[int] = set()
+        frontier = [self.entry]
+        while frontier:
+            state_id = frontier.pop()
+            if state_id in seen:
+                continue
+            seen.add(state_id)
+            transition = self.states[state_id].transition
+            for target in (transition.if_true, transition.if_false):
+                if target is not None and target not in seen:
+                    frontier.append(target)
+        return seen
+
     def signature(self) -> tuple:
         """Hashable identity of the machine's structure (states and
         transitions), for stage-level differential comparison.

@@ -49,10 +49,15 @@ class Pin:
 
 @dataclass
 class Net:
-    """One net: a single driver pin fanning out to sink pins."""
+    """One net: a single driver pin fanning out to sink pins.
+
+    ``width`` is the number of bits the net carries (the widest value
+    ever transferred along it).
+    """
 
     driver: Pin
     sinks: list[Pin] = field(default_factory=list)
+    width: int = 1
 
     @property
     def fanout(self) -> int:
@@ -165,12 +170,16 @@ def build_netlist(design: "SynthesizedDesign") -> DatapathNetlist:
     datapath executes every block); multiplexers appear wherever a
     destination port has more than one source.  Registers are modelled
     at *allocation* granularity (`r<k>` = allocation register k), the
-    level the paper's interconnect discussion works at.
+    level the paper's interconnect discussion works at; each register
+    is as wide as the widest value ever assigned to it.  Chained free
+    logic (``logic<op>`` components) gets its operand input nets too,
+    so every combinational path through the datapath is a real path in
+    the netlist.
     """
+    from ..ir.types import bit_width
+
     netlist = DatapathNetlist()
     for name, array_type in design.cdfg.memories.items():
-        from ..ir.types import bit_width
-
         netlist.add_component(
             NetComponent("memory", f"mem_{name}",
                          bit_width(array_type.element))
@@ -182,8 +191,46 @@ def build_netlist(design: "SynthesizedDesign") -> DatapathNetlist:
                              design.binding.widths[fu])
             )
 
-    # Merge per-block port→sources maps.
+    # FU widths from every allocation's op mapping.  The binding only
+    # covers instances that execute real component kinds; an FU whose
+    # ops are all pass-through moves (bare VAR_WRITE) never gets bound
+    # but still appears as a datapath destination, so its width comes
+    # from the values routed through it.
+    fu_widths: dict[tuple[str, int], int] = {}
+    for allocation in design.allocations.values():
+        problem = allocation.schedule.problem
+        for op_id, fu in allocation.fu_map.items():
+            op = problem.op(op_id)
+            widths = [bit_width(v.type) for v in op.operands]
+            if op.result is not None:
+                widths.append(bit_width(op.result.type))
+            key = (fu.cls, fu.index)
+            fu_widths[key] = max(
+                fu_widths.get(key, 1), max(widths, default=1)
+            )
+
+    # Physical register widths: the widest value each allocation
+    # register ever holds, across every block.
+    register_widths: dict[int, int] = {}
+    for allocation in design.allocations.values():
+        for op in allocation.schedule.problem.ops:
+            if op.result is None:
+                continue
+            register = allocation.register_map.get(op.result.id)
+            if register is None:
+                continue
+            register_widths[register] = max(
+                register_widths.get(register, 1),
+                bit_width(op.result.type),
+            )
+    for index, width in sorted(register_widths.items()):
+        netlist.add_component(NetComponent("register", f"r{index}", width))
+
+    # Merge per-block port→sources maps (and transfer widths), and
+    # remember which allocation can resolve each chained-logic op.
     port_sources: dict[tuple, list] = {}
+    edge_widths: dict[tuple, int] = {}
+    logic_home: dict[int, "object"] = {}  # op id → Allocation
     for allocation in design.allocations.values():
         estimate = estimate_interconnect(allocation)
         for port, sources in estimate.port_sources.items():
@@ -191,6 +238,10 @@ def build_netlist(design: "SynthesizedDesign") -> DatapathNetlist:
             for source in sorted(sources, key=str):
                 if source not in known:
                     known.append(source)
+                if source[0] == "logic":
+                    logic_home[source[1]] = allocation
+        for edge, width in estimate.widths.items():
+            edge_widths[edge] = max(edge_widths.get(edge, 0), width)
 
     def register_name(index: int) -> str:
         # Interconnect sources name allocation registers; the physical
@@ -202,7 +253,8 @@ def build_netlist(design: "SynthesizedDesign") -> DatapathNetlist:
         if port[0] == "fuport":
             _, cls, index, operand = port
             dest = netlist.add_component(
-                NetComponent("fu", f"{cls}{index}", 1)
+                NetComponent("fu", f"{cls}{index}",
+                             fu_widths.get((cls, index), 1))
             )
             dest_pin = Pin(dest, f"in{operand}")
         else:  # ("regin", index)
@@ -220,12 +272,65 @@ def build_netlist(design: "SynthesizedDesign") -> DatapathNetlist:
                 )
             )
             for position, source in enumerate(sources):
-                driver = _source_component(netlist, source, dest.width)
+                width = edge_widths.get((port, source), dest.width)
+                driver = _source_component(netlist, source, width)
                 netlist.nets.append(
-                    Net(Pin(driver, "q"), [Pin(mux, f"i{position}")])
+                    Net(Pin(driver, "q"), [Pin(mux, f"i{position}")],
+                        width)
                 )
-            netlist.nets.append(Net(Pin(mux, "y"), [dest_pin]))
+            netlist.nets.append(Net(Pin(mux, "y"), [dest_pin], dest.width))
         else:
-            driver = _source_component(netlist, sources[0], dest.width)
-            netlist.nets.append(Net(Pin(driver, "q"), [dest_pin]))
+            width = edge_widths.get((port, sources[0]), dest.width)
+            driver = _source_component(netlist, sources[0], width)
+            netlist.nets.append(Net(Pin(driver, "q"), [dest_pin], width))
+
+    _wire_logic_inputs(netlist, design, logic_home)
     return netlist
+
+
+def _wire_logic_inputs(netlist: DatapathNetlist,
+                       design: "SynthesizedDesign",
+                       logic_home: dict) -> None:
+    """Add operand input nets for every chained-logic component.
+
+    ``estimate_interconnect`` never enumerates the inputs of free
+    (zero-cost) chained ops — they do not contribute multiplexing cost.
+    Structurally, though, the path *through* such an op exists, and the
+    combinational-loop check needs it; this pass walks each logic
+    source and wires its operands back to their drivers, following
+    chains of free ops transitively.
+    """
+    from ..allocation.interconnect import value_source
+    from ..ir.types import bit_width
+
+    op_by_id: dict[int, tuple] = {}
+    for allocation in design.allocations.values():
+        for op in allocation.schedule.problem.ops:
+            op_by_id[op.id] = (op, allocation)
+
+    pending = sorted(logic_home)
+    wired: set[int] = set()
+    while pending:
+        op_id = pending.pop()
+        if op_id in wired:
+            continue
+        wired.add(op_id)
+        entry = op_by_id.get(op_id)
+        if entry is None:
+            continue
+        op, allocation = entry
+        result_width = (
+            bit_width(op.result.type) if op.result is not None else 1
+        )
+        logic = netlist.add_component(
+            NetComponent("fu", f"logic{op_id}", result_width)
+        )
+        for index, operand in enumerate(op.operands):
+            source = value_source(allocation, operand)
+            width = bit_width(operand.type)
+            driver = _source_component(netlist, source, width)
+            netlist.nets.append(
+                Net(Pin(driver, "q"), [Pin(logic, f"in{index}")], width)
+            )
+            if source[0] == "logic" and source[1] not in wired:
+                pending.append(source[1])

@@ -28,6 +28,7 @@ from typing import Union
 
 from ..allocation.base import Allocation, FUInstance
 from ..allocation.lifetimes import ValueLifetime, compute_lifetimes
+from ..analysis.liveness import live_out_variables
 from ..errors import AllocationError
 from ..ir.opcodes import OpKind
 from ..ir.types import bit_width
@@ -113,7 +114,8 @@ def plan_block(block: BasicBlock, schedule: Schedule,
     for op in block.ops:
         plan.starts[schedule.start[op.id]].append(op)
 
-    lifetimes = compute_lifetimes(schedule)
+    live_out_vars = live_out_variables(schedule)
+    lifetimes = compute_lifetimes(schedule, live_out_vars)
     by_value: dict[int, ValueLifetime] = {
         lt.value.id: lt for lt in lifetimes
     }
@@ -182,6 +184,11 @@ def plan_block(block: BasicBlock, schedule: Schedule,
                 f"{block.name}"
             )
         if write_step > avail and value.id not in plan.storage_of:
+            if live_out_vars is not None and var not in live_out_vars:
+                # A dead store whose deferral slot has no backing
+                # register: nothing downstream reads the variable, so
+                # the write-back is simply dropped.
+                continue
             raise AllocationError(
                 f"deferred write of {var!r} needs {value!r} stored, "
                 f"but it has no register"

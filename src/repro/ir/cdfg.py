@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from ..errors import IRError
+from ..errors import IRError, SourceLocation
 from .types import ArrayType, Type, is_scalar
 from .values import BasicBlock, Operation, Value
 
@@ -151,6 +151,10 @@ class CDFG:
         self.variables: dict[str, Type] = {}
         self.memories: dict[str, ArrayType] = {}
         self.body: Region = SeqRegion([])
+        #: op id → source location, populated by the frontend.  Kept
+        #: out of ``Operation.attrs`` on purpose: attrs participate in
+        #: CSE keys and stage signatures, locations must not.
+        self.source_map: dict[int, "SourceLocation"] = {}
         self._op_ids = 0
         self._value_ids = 0
         self._block_ids = 0

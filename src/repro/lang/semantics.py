@@ -63,14 +63,27 @@ def _common_arith_type(a: Type, b: Type) -> Type:
 
 
 class Lowerer:
-    """Lowers one procedure of a program to a :class:`CDFG`."""
+    """Lowers one procedure of a program to a :class:`CDFG`.
 
-    def __init__(self, program: ast.Program) -> None:
+    Args:
+        program: the parsed program.
+        sink: optional :class:`~repro.analysis.diagnostics.DiagnosticSink`.
+            When given, recoverable findings (an assignment that
+            implicitly truncates, for instance) are reported as
+            warnings instead of being silently accepted; hard semantic
+            errors still raise.  Lowering also records each op's source
+            location into ``cdfg.source_map`` so downstream lint rules
+            can point back at the source text.
+    """
+
+    def __init__(self, program: ast.Program, sink=None) -> None:
         self._program = program
+        self._sink = sink
         self._cdfg: CDFG | None = None
         self._block: BasicBlock | None = None
         self._defs: dict[str, Value] = {}
         self._reads: dict[str, Value] = {}
+        self._def_locations: dict[str, SourceLocation] = {}
         self._call_stack: list[str] = []
         self._inline_counter = 0
 
@@ -123,6 +136,7 @@ class Lowerer:
             self._block = self.cdfg.new_block()
             self._defs = {}
             self._reads = {}
+            self._def_locations = {}
         return self._block
 
     def _close_block(self) -> BasicBlock | None:
@@ -134,11 +148,20 @@ class Lowerer:
         if block is None:
             return None
         for var in sorted(self._defs):
-            block.write(var, self._defs[var])
+            op = block.write(var, self._defs[var])
+            location = self._def_locations.get(var)
+            if location is not None:
+                self.cdfg.source_map[op.id] = location
         self._block = None
         self._defs = {}
         self._reads = {}
+        self._def_locations = {}
         return block
+
+    def _locate(self, value_or_op, location: SourceLocation) -> None:
+        """Record the source location of an op (or a value's producer)."""
+        op = getattr(value_or_op, "producer", value_or_op)
+        self.cdfg.source_map.setdefault(op.id, location)
 
     # ------------------------------------------------------------------
     # Statements
@@ -190,20 +213,46 @@ class Lowerer:
                     f"cannot assign to input {var!r}", stmt.location
                 )
             value = self._eval(stmt.value, var_type)
+            self._check_truncation(var, var_type, value, stmt.location)
             if value.name is None:
                 value.name = var
             self._defs[var] = value
+            self._def_locations[var] = stmt.location
         elif isinstance(stmt.target, ast.IndexRef):
             memory = self._memory_type(stmt.target.name, stmt.location)
             index = self._eval(
                 stmt.target.index, IntType(memory.address_width, signed=False)
             )
             value = self._eval(stmt.value, memory.element)
-            self._current_block().emit(
+            op = self._current_block().emit(
                 OpKind.STORE, [index, value], memory=stmt.target.name
             )
+            self._locate(op, stmt.location)
         else:  # pragma: no cover
             raise SemanticError("invalid assignment target", stmt.location)
+
+    def _check_truncation(self, var: str, var_type: Type, value: Value,
+                          location: SourceLocation) -> None:
+        """Warn when an assignment narrows the computed value.
+
+        The expression was evaluated at its natural (widened) type; the
+        variable register only holds ``var_type`` bits, so extra bits
+        are silently dropped at the write-back.
+        """
+        if self._sink is None or value.type == var_type:
+            return
+        from ..ir.types import bit_width
+
+        if not (is_scalar(value.type) and is_scalar(var_type)):
+            return
+        if bit_width(value.type) > bit_width(var_type):
+            self._sink.warning(
+                "lang.implicit-trunc",
+                f"assignment to {var!r} truncates {value.type} "
+                f"to {var_type}",
+                location=location,
+                subject=var,
+            )
 
     def _lower_if(self, stmt: ast.If, items: list[Region]) -> None:
         cond = self._eval_condition(stmt.cond)
@@ -265,6 +314,7 @@ class Lowerer:
         start_value = self._eval(stmt.start, var_type)
         start_value.name = stmt.var
         self._defs[stmt.var] = start_value
+        self._def_locations[stmt.var] = stmt.location
         self._flush_into(items)
 
         # Pre-test loop: while var <= stop (or >= for downto).
@@ -349,6 +399,7 @@ class Lowerer:
                 value = self._eval(arg, param.type)
                 value.name = mangled
                 self._defs[mangled] = value
+                self._def_locations[mangled] = stmt.location
             else:
                 if not isinstance(arg, ast.VarRef):
                     raise SemanticError(
@@ -416,6 +467,7 @@ class Lowerer:
         if name in self._reads:
             return self._reads[name]
         value = self._current_block().read(name, type_)
+        self._locate(value, location)
         self._reads[name] = value
         return value
 
@@ -431,7 +483,9 @@ class Lowerer:
                 raise SemanticError("literal cannot have array type",
                                     expr.location)
             expr.type = type_
-            return block.const(expr.value, type_)
+            value = block.const(expr.value, type_)
+            self._locate(value, expr.location)
+            return value
         if isinstance(expr, ast.RealLiteral):
             type_ = (
                 expected
@@ -439,7 +493,9 @@ class Lowerer:
                 else _DEFAULT_FIXED
             )
             expr.type = type_
-            return block.const(type_.quantize(expr.value), type_)
+            value = block.const(type_.quantize(expr.value), type_)
+            self._locate(value, expr.location)
+            return value
         if isinstance(expr, ast.VarRef):
             value = self._read_var(expr.name, expr.location)
             expr.type = value.type
@@ -453,6 +509,7 @@ class Lowerer:
                 OpKind.LOAD, [index], memory.element, memory=expr.name
             )
             expr.type = memory.element
+            self._locate(op, expr.location)
             assert op.result is not None
             return op.result
         if isinstance(expr, ast.Unary):
@@ -483,6 +540,7 @@ class Lowerer:
             )
         else:  # pragma: no cover
             raise SemanticError(f"unknown unary op {expr.op!r}", expr.location)
+        self._locate(op, expr.location)
         expr.type = op.result.type
         assert op.result is not None
         return op.result
@@ -513,6 +571,7 @@ class Lowerer:
             op = block.emit(_ARITH_OPS[expr.op], [left, right], result_type)
         else:  # pragma: no cover
             raise SemanticError(f"unknown operator {expr.op!r}", expr.location)
+        self._locate(op, expr.location)
         assert op.result is not None
         expr.type = op.result.type
         return op.result
@@ -607,23 +666,26 @@ def _rename_stmt(stmt: ast.Stmt, rename: dict[str, str]) -> ast.Stmt:
     raise SemanticError(f"cannot rename {stmt!r}", stmt.location)
 
 
-def compile_source(source: str, procedure: str | None = None) -> CDFG:
+def compile_source(source: str, procedure: str | None = None,
+                   sink=None) -> CDFG:
     """Parse and lower behavioral source text into a validated CDFG.
 
     Args:
         source: BSL program text.
         procedure: entry procedure name; defaults to the last procedure.
+        sink: optional diagnostic sink for recoverable frontend
+            findings (see :class:`Lowerer`).
     """
     from ..obs import trace_span
 
     with trace_span("compile", procedure=procedure or "") as span:
         program = parse(source)
-        cdfg = Lowerer(program).lower(procedure)
+        cdfg = Lowerer(program, sink=sink).lower(procedure)
         span.set(design=cdfg.name)
     return cdfg
 
 
 def compile_program(program: ast.Program,
-                    procedure: str | None = None) -> CDFG:
+                    procedure: str | None = None, sink=None) -> CDFG:
     """Lower an already-parsed program into a validated CDFG."""
-    return Lowerer(program).lower(procedure)
+    return Lowerer(program, sink=sink).lower(procedure)

@@ -11,28 +11,17 @@
 
 from __future__ import annotations
 
+from ..analysis.constants import EVALUATABLE_KINDS, constant_of
 from ..ir.cdfg import CDFG
 from ..ir.opcodes import OpKind
 from ..ir.values import BasicBlock, Operation, Value
 from ..sim.semantics import evaluate
 from .base import Pass
 
-_PURE_FOLDABLE = frozenset(
-    {
-        OpKind.ADD, OpKind.SUB, OpKind.MUL, OpKind.DIV, OpKind.MOD,
-        OpKind.INC, OpKind.DEC, OpKind.NEG, OpKind.SHL, OpKind.SHR,
-        OpKind.AND, OpKind.OR, OpKind.XOR, OpKind.NOT,
-        OpKind.EQ, OpKind.NE, OpKind.LT, OpKind.LE, OpKind.GT, OpKind.GE,
-        OpKind.MUX,
-    }
-)
-
-
-def _const_of(value: Value):
-    """The literal of a CONST-produced value, or None."""
-    if value.producer.kind is OpKind.CONST:
-        return value.producer.attrs["value"]
-    return None
+#: Aliases kept for existing importers; the analysis package owns the
+#: foldable-kind set and the block-local constant query now.
+_PURE_FOLDABLE = EVALUATABLE_KINDS
+_const_of = constant_of
 
 
 class ConstantFolding(Pass):

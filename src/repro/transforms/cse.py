@@ -5,25 +5,21 @@ merged; commutative operations are canonicalized by sorting operand
 ids, so ``a+b`` and ``b+a`` merge.  Memory and variable operations are
 excluded — ``LOAD`` results may change between stores, and the frontend
 already de-duplicates ``VAR_READ``s within a block.
+
+The merge criterion is :func:`repro.analysis.expressions.expression_key`
+— one definition shared with the available-expression analysis.
 """
 
 from __future__ import annotations
 
+from ..analysis.expressions import EXPRESSION_KINDS, expression_key
 from ..ir.cdfg import CDFG
-from ..ir.opcodes import COMMUTATIVE, OpKind
 from ..ir.values import BasicBlock
 from .base import Pass
 
-_CSE_KINDS = frozenset(
-    {
-        OpKind.CONST,
-        OpKind.ADD, OpKind.SUB, OpKind.MUL, OpKind.DIV, OpKind.MOD,
-        OpKind.INC, OpKind.DEC, OpKind.NEG, OpKind.SHL, OpKind.SHR,
-        OpKind.AND, OpKind.OR, OpKind.XOR, OpKind.NOT,
-        OpKind.EQ, OpKind.NE, OpKind.LT, OpKind.LE, OpKind.GT, OpKind.GE,
-        OpKind.MUX,
-    }
-)
+#: Alias kept for existing importers; the analysis package owns the
+#: definition of "pure expression" now.
+_CSE_KINDS = EXPRESSION_KINDS
 
 
 class CommonSubexpressionElimination(Pass):
@@ -42,13 +38,9 @@ class CommonSubexpressionElimination(Pass):
         changed = False
         seen: dict[tuple, object] = {}
         for op in list(block.ops):
-            if op.kind not in _CSE_KINDS or op.result is None:
+            key = expression_key(op)
+            if key is None:
                 continue
-            operand_ids = [v.id for v in op.operands]
-            if op.kind in COMMUTATIVE:
-                operand_ids.sort()
-            attr_key = tuple(sorted(op.attrs.items()))
-            key = (op.kind, tuple(operand_ids), attr_key, op.result.type)
             existing = seen.get(key)
             if existing is None:
                 seen[key] = op.result

@@ -7,17 +7,22 @@ Two flavours, both from the paper's §2 list:
 * *dead store elimination* — a ``VAR_WRITE`` to a variable that is
   never read anywhere in the procedure and is not an output port is
   deleted (conservative whole-procedure liveness).
+
+Both queries come from :mod:`repro.analysis.usage` — the transform
+only performs the mutations; the analysis package owns the "what is
+dead" computation (and the lint rules reuse it unchanged).
 """
 
 from __future__ import annotations
 
-from ..ir.cdfg import CDFG
-from ..ir.opcodes import OpKind, op_info
-from .base import Pass
-
-_SIDE_EFFECT_KINDS = frozenset(
-    {OpKind.VAR_WRITE, OpKind.STORE, OpKind.NOP}
+from ..analysis.usage import (
+    SIDE_EFFECT_KINDS,
+    transitively_dead_ops,
+    variable_usage,
 )
+from ..ir.cdfg import CDFG
+from ..ir.opcodes import OpKind
+from .base import Pass
 
 
 class DeadCodeElimination(Pass):
@@ -32,33 +37,32 @@ class DeadCodeElimination(Pass):
         return changed
 
     def _remove_dead_ops(self, cdfg: CDFG) -> bool:
-        """Delete pure ops with unused results, to a fixpoint."""
-        live_conds = self._region_condition_values(cdfg)
-        changed = False
-        while True:
+        """Delete the transitively-dead op set the analysis computes.
+
+        Removal happens in sweeps because :meth:`BasicBlock.remove_op`
+        insists on a use-free result: each sweep peels the currently
+        leaf-dead ops, exposing their operands for the next one.
+        """
+        remaining = set(transitively_dead_ops(cdfg))
+        if not remaining:
+            return False
+        while remaining:
             removed = False
             for block in cdfg.blocks():
                 for op in list(block.ops):
-                    if op.kind in _SIDE_EFFECT_KINDS:
+                    if op.id not in remaining:
                         continue
-                    if op.result is None:
-                        continue
-                    if op.result.uses or op.result.id in live_conds:
+                    if op.result is not None and op.result.uses:
                         continue
                     block.remove_op(op)
+                    remaining.discard(op.id)
                     removed = True
-                    changed = True
-            if not removed:
-                return changed
+            if not removed:  # pragma: no cover - analysis/IR disagree
+                break
+        return True
 
     def _remove_dead_writes(self, cdfg: CDFG) -> bool:
-        output_names = {port.name for port in cdfg.outputs}
-        read_names = {
-            op.attrs["var"]
-            for op in cdfg.operations()
-            if op.kind is OpKind.VAR_READ
-        }
-        live = output_names | read_names
+        live = variable_usage(cdfg).live
         changed = False
         for block in cdfg.blocks():
             for op in list(block.ops):
@@ -67,14 +71,6 @@ class DeadCodeElimination(Pass):
                     changed = True
         return changed
 
-    @staticmethod
-    def _region_condition_values(cdfg: CDFG) -> set[int]:
-        """Value ids used as region conditions (live even if no op uses
-        them)."""
-        from ..ir.cdfg import IfRegion, LoopRegion
 
-        conds: set[int] = set()
-        for region in cdfg.body.walk():
-            if isinstance(region, (IfRegion, LoopRegion)):
-                conds.add(region.cond.id)
-        return conds
+#: Re-exported for backward compatibility with existing importers.
+_SIDE_EFFECT_KINDS = SIDE_EFFECT_KINDS

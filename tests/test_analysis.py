@@ -1,0 +1,309 @@
+"""Tests for the dataflow-analysis framework (repro.analysis)."""
+
+import pytest
+
+from repro.analysis import (
+    BOTTOM,
+    ENTRY,
+    EXIT,
+    TOP,
+    UNIVERSE,
+    available_expressions,
+    build_cfg,
+    constant_lattice,
+    constant_of,
+    def_use_chains,
+    evaluated_conditions,
+    expression_key,
+    live_out_variables,
+    region_condition_values,
+    transitively_dead_ops,
+    variable_liveness,
+    variable_usage,
+)
+from repro.analysis.reaching import (
+    INPUT,
+    UNINIT,
+    definition_is_uninitialized,
+    reaching_definitions,
+)
+from repro.ir import OpKind
+from repro.lang import compile_source
+from repro.workloads import diffeq_cdfg, sqrt_cdfg
+
+STRAIGHT = """
+procedure straight(input a: int<8>; output b: int<8>);
+var t: int<8>;
+begin
+  t := a + 1;
+  b := t * 2;
+end
+"""
+
+BRANCHY = """
+procedure branchy(input a: int<8>; output b: int<8>);
+var t: int<8>;
+begin
+  if a > 0 then
+    t := a + 1;
+  else
+    t := a - 1;
+  b := t;
+end
+"""
+
+LOOPY = """
+procedure loopy(input a: int<8>; output b: int<8>);
+var i, acc: int<8>;
+begin
+  acc := 0;
+  i := 0;
+  while i < a do
+  begin
+    acc := acc + i;
+    i := i + 1;
+  end;
+  b := acc;
+end
+"""
+
+
+def loop_body(cfg):
+    """The LOOPY body block: the one with an upward-exposed read of
+    acc."""
+    for block in cfg.blocks.values():
+        if any(
+            op.kind is OpKind.VAR_READ and op.attrs["var"] == "acc"
+            for op in block.ops
+        ):
+            return block
+    raise AssertionError("no block reads acc")
+
+
+class TestCFG:
+    def test_straight_line_shape(self):
+        cfg = build_cfg(compile_source(STRAIGHT))
+        assert len(cfg.blocks) == 1
+        (block_id,) = cfg.blocks
+        assert cfg.successors(ENTRY) == [block_id]
+        assert cfg.successors(block_id) == [EXIT]
+        assert cfg.predecessors(block_id) == [ENTRY]
+
+    def test_branch_edges_annotated(self):
+        cdfg = compile_source(BRANCHY)
+        cfg = build_cfg(cdfg)
+        annotated = [
+            (src, dst)
+            for (src, dst), _ in cfg.edge_conds.items()
+        ]
+        assert len(annotated) == 2  # then-edge and else-edge
+        polarities = sorted(
+            polarity for _, polarity in cfg.edge_conds.values()
+        )
+        assert polarities == [False, True]
+
+    def test_loop_has_back_edge(self):
+        cfg = build_cfg(compile_source(LOOPY))
+        has_back_edge = any(
+            dst in cfg.blocks and src in cfg.blocks and
+            list(cfg.blocks).index(dst) <= list(cfg.blocks).index(src)
+            for src in cfg.blocks
+            for dst in cfg.successors(src)
+            if dst not in (ENTRY, EXIT)
+        )
+        assert has_back_edge
+
+    def test_reachable_prunes_proven_false_edges(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+begin
+  b := a;
+  if 0 > 1 then b := a + 1;
+end
+""")
+        cfg = build_cfg(cdfg)
+        everything = cfg.reachable()
+        assert set(cfg.blocks) <= everything
+        constants = constant_lattice(cdfg, cfg)
+        known = evaluated_conditions(cdfg, cfg, constants)
+        assert list(known.values()) == [False]
+        pruned = cfg.reachable(known)
+        assert len(set(cfg.blocks) - pruned) == 1  # the then-block
+
+
+class TestLiveness:
+    def test_straight_line(self):
+        cdfg = compile_source(STRAIGHT)
+        cfg = build_cfg(cdfg)
+        result = variable_liveness(cdfg, cfg)
+        (block_id,) = cfg.blocks
+        assert "a" in result.live_in[block_id]
+        # b is the output port: live out of the last block.
+        assert "b" in result.live_out[block_id]
+        assert "t" not in result.live_out[block_id]
+
+    def test_loop_carried_variable_is_live_around_back_edge(self):
+        cdfg = compile_source(LOOPY)
+        cfg = build_cfg(cdfg)
+        result = variable_liveness(cdfg, cfg)
+        body = loop_body(cfg)
+        assert {"i", "acc"} <= result.live_out[body.id]
+
+    def test_live_out_variables_none_for_detached_blocks(self):
+        # Hand-built scheduling fixtures reuse blocks that are not part
+        # of any CDFG region tree; liveness must decline, not guess.
+        from repro.scheduling import (
+            ListScheduler,
+            SchedulingProblem,
+            UniversalFUModel,
+        )
+        from repro.ir.cdfg import CDFG
+        from repro.ir.types import IntType
+
+        cdfg = CDFG("detached")
+        block = cdfg.new_block("floating")
+        a = block.const(1, IntType(8))
+        b = block.const(2, IntType(8))
+        total = block.emit(OpKind.ADD, [a, b], IntType(8))
+        block.write("x", total.result)
+        problem = SchedulingProblem.from_block(block, UniversalFUModel())
+        schedule = ListScheduler(problem).schedule()
+        assert live_out_variables(schedule) is None
+
+
+class TestReaching:
+    def test_uninitialized_read_flagged(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+var t: int<8>;
+begin
+  b := t + a;
+end
+""")
+        cfg = build_cfg(cdfg)
+        chains = def_use_chains(cdfg, cfg)
+        markers = sorted(chains.boundary_reads.values())
+        assert markers == [INPUT, UNINIT]  # a arrives, t is garbage
+
+    def test_write_then_read_links_def_to_use(self):
+        cdfg = compile_source(BRANCHY)
+        cfg = build_cfg(cdfg)
+        chains = def_use_chains(cdfg, cfg)
+        reads_of_t = [
+            op.id
+            for block in cfg.blocks.values()
+            for op in block.ops
+            if op.kind is OpKind.VAR_READ and op.attrs["var"] == "t"
+        ]
+        (read_id,) = reads_of_t
+        assert len(chains.defs_of[read_id]) == 2  # both arms reach
+        assert read_id not in chains.boundary_reads
+
+    def test_pseudo_definition_classifier(self):
+        assert definition_is_uninitialized((f"{UNINIT}x", ENTRY))
+        assert not definition_is_uninitialized((f"{INPUT}x", ENTRY))
+        assert not definition_is_uninitialized(("x", 3))
+
+    def test_reaching_kills_previous_definition(self):
+        cdfg = compile_source(LOOPY)
+        cfg = build_cfg(cdfg)
+        result = reaching_definitions(cdfg, cfg)
+        body = loop_body(cfg)
+        defs = result.reaching(body.id, "acc")
+        # The uninitialized pseudo-def is killed by `acc := 0`.
+        assert all(not definition_is_uninitialized(d) for d in defs)
+        assert len(defs) == 2  # initial write and loop-body write
+
+
+class TestAvailableExpressions:
+    def test_must_intersection_over_branches(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; input c: int<8>; output b: int<8>);
+var t: int<8>;
+begin
+  t := a * a;
+  if c > 0 then
+    t := t + 1;
+  b := t + (a * a);
+end
+""")
+        cfg = build_cfg(cdfg)
+        result = available_expressions(cdfg, cfg)
+        last = max(cfg.blocks)
+        keys = result.available_in[last]
+        assert keys is not UNIVERSE
+        assert any(key[0] == str(OpKind.MUL) for key in keys)
+
+    def test_expression_key_ignores_impure_ops(self):
+        cdfg = compile_source(STRAIGHT)
+        for op in cdfg.operations():
+            if op.kind in (OpKind.VAR_READ, OpKind.VAR_WRITE):
+                assert expression_key(op) is None
+
+
+class TestConstants:
+    def test_lattice_folds_straight_line(self):
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+var t: int<8>;
+begin
+  t := 2 + 3;
+  b := a + t;
+end
+""")
+        cfg = build_cfg(cdfg)
+        constants = constant_lattice(cdfg, cfg)
+        literals = [
+            v for v in constants.values.values()
+            if v is not TOP and v is not BOTTOM
+        ]
+        assert 5 in literals
+
+    def test_loop_carried_counter_is_bottom(self):
+        cdfg = compile_source(LOOPY)
+        cfg = build_cfg(cdfg)
+        constants = constant_lattice(cdfg, cfg)
+        known = evaluated_conditions(cdfg, cfg, constants)
+        assert known == {}  # i < a depends on an input
+
+    def test_constant_of_reads_const_ops(self):
+        cdfg = compile_source(STRAIGHT)
+        consts = [
+            op.result
+            for op in cdfg.operations()
+            if op.kind is OpKind.CONST
+        ]
+        assert consts
+        assert all(constant_of(v) is not None for v in consts)
+
+
+class TestUsage:
+    def test_transitively_dead_ops_match_dce(self):
+        from repro.transforms import DeadCodeElimination
+
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+var dead: int<8>;
+begin
+  dead := (a * a) + 3;
+  b := a + 1;
+end
+""")
+        DeadCodeElimination()._remove_dead_writes(cdfg)
+        predicted = transitively_dead_ops(cdfg)
+        before = {op.id for op in cdfg.operations()}
+        DeadCodeElimination()._remove_dead_ops(cdfg)
+        after = {op.id for op in cdfg.operations()}
+        assert before - after == predicted
+
+    def test_region_condition_values_kept_live(self):
+        cdfg = compile_source(BRANCHY)
+        conds = region_condition_values(cdfg)
+        assert len(conds) == 1
+        assert not transitively_dead_ops(cdfg) & conds
+
+    def test_variable_usage_on_workloads(self):
+        for cdfg in (sqrt_cdfg(), diffeq_cdfg()):
+            usage = variable_usage(cdfg)
+            assert usage.outputs <= usage.live
+            assert usage.read <= usage.live

@@ -1,0 +1,349 @@
+"""Tests for the whole-pipeline linter (repro.analysis.lint)."""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Diagnostic, DiagnosticSink
+from repro.analysis.lint import (
+    LintOptions,
+    lint_cdfg,
+    lint_design,
+    lint_fsm,
+    lint_netlist,
+    lint_source,
+)
+from repro.__main__ import main
+from repro.controller.fsm import FSM, ControlState, Transition
+from repro.core import SynthesisOptions, synthesize_cdfg
+from repro.datapath.netlist import (
+    DatapathNetlist,
+    Net,
+    NetComponent,
+    Pin,
+    build_netlist,
+)
+from repro.lang import compile_source
+from repro.workloads import SQRT_SOURCE
+
+GOLDEN = Path(__file__).resolve().parent / "golden"
+REPO = Path(__file__).resolve().parent.parent
+DEMO = REPO / "examples" / "lint_demo.hls"
+
+
+def rules_of(sink):
+    return {diag.rule for diag in sink}
+
+
+def lint_source_rules(source):
+    sink = DiagnosticSink()
+    cdfg = compile_source(source, sink=sink)
+    lint_cdfg(cdfg, sink)
+    return sink
+
+
+def normalize(text: str) -> str:
+    """Mask process-global op ids in chained-logic component names."""
+    return re.sub(r"logic\d+", "logicN", text)
+
+
+class TestSourceRules:
+    def test_read_before_write_certain(self):
+        sink = lint_source_rules("""
+procedure p(input a: int<8>; output b: int<8>);
+var t: int<8>;
+begin
+  b := t + a;
+end
+""")
+        (diag,) = [d for d in sink if d.rule == "src.read-before-write"]
+        assert diag.severity == "error"
+        assert diag.subject == "t"
+
+    def test_read_before_write_maybe_is_warning(self):
+        sink = lint_source_rules("""
+procedure p(input a: int<8>; output b: int<8>);
+var t: int<8>;
+begin
+  if a > 0 then t := 1;
+  b := t + a;
+end
+""")
+        (diag,) = [d for d in sink if d.rule == "src.read-before-write"]
+        assert diag.severity == "warning"
+        assert "may be read" in diag.message
+
+    def test_dead_store(self):
+        sink = lint_source_rules("""
+procedure p(input a: int<8>; output b: int<8>);
+var w: int<8>;
+begin
+  w := a * a;
+  b := a;
+end
+""")
+        (diag,) = [d for d in sink if d.rule == "src.dead-store"]
+        assert diag.subject == "w"
+
+    def test_unused_variable(self):
+        sink = lint_source_rules("""
+procedure p(input a: int<8>; output b: int<8>);
+var u: int<8>;
+begin
+  b := a;
+end
+""")
+        (diag,) = [d for d in sink if d.rule == "src.unused-var"]
+        assert diag.subject == "u"
+
+    def test_constant_condition_and_unreachable_block(self):
+        sink = lint_source_rules("""
+procedure p(input a: int<8>; output b: int<8>);
+begin
+  b := a;
+  if 0 > 1 then b := a + 1;
+end
+""")
+        rules = rules_of(sink)
+        assert "src.const-condition" in rules
+        assert "src.unreachable-block" in rules
+        (cond,) = [d for d in sink if d.rule == "src.const-condition"]
+        assert "always False" in cond.message
+
+    def test_clean_source_stays_clean(self):
+        sink = lint_source_rules(SQRT_SOURCE)
+        assert not sink
+
+
+class TestDesignRules:
+    @pytest.fixture
+    def sqrt_design(self):
+        cdfg = compile_source(SQRT_SOURCE)
+        return synthesize_cdfg(cdfg, SynthesisOptions())
+
+    def test_honest_design_is_clean(self, sqrt_design):
+        sink = DiagnosticSink()
+        lint_design(sqrt_design, sink)
+        assert not sink
+
+    def test_corrupted_schedule_use_before_def(self, sqrt_design):
+        schedule = max(
+            sqrt_design.schedules.values(),
+            key=lambda s: len(s.start),
+        )
+        problem = schedule.problem
+        u, v = next(iter(problem.graph.edges))
+        original = schedule.start[v]
+        schedule.start[v] = schedule.start[u] - 1
+        try:
+            sink = DiagnosticSink()
+            lint_design(sqrt_design, sink)
+            assert any(
+                d.rule == "sched.use-before-def" and d.severity == "error"
+                for d in sink
+            )
+        finally:
+            schedule.start[v] = original
+
+    def test_corrupted_allocation_register_overlap(self, sqrt_design):
+        from repro.allocation.lifetimes import compute_lifetimes
+        from repro.analysis import live_out_variables
+
+        allocation = max(
+            sqrt_design.allocations.values(),
+            key=lambda a: len(a.register_map),
+        )
+        schedule = allocation.schedule
+        lifetimes = compute_lifetimes(
+            schedule, live_out_variables(schedule)
+        )
+        allocated = [
+            lt for lt in lifetimes
+            if lt.value.id in allocation.register_map
+        ]
+        pair = next(
+            (x, y)
+            for x in allocated
+            for y in allocated
+            if x.conflicts_with(y)
+            and allocation.register_map[x.value.id]
+            != allocation.register_map[y.value.id]
+        )
+        victim = pair[1].value.id
+        original = allocation.register_map[victim]
+        allocation.register_map[victim] = allocation.register_map[
+            pair[0].value.id
+        ]
+        try:
+            sink = DiagnosticSink()
+            lint_design(sqrt_design, sink)
+            assert any(
+                d.rule == "alloc.register-overlap" for d in sink
+            )
+        finally:
+            allocation.register_map[victim] = original
+
+    def test_suite_netlists_pass_structural_rules(self, sqrt_design):
+        sink = DiagnosticSink()
+        lint_netlist(build_netlist(sqrt_design), sink)
+        assert not sink
+
+
+class TestNetlistRules:
+    def test_multi_driver(self):
+        netlist = DatapathNetlist()
+        r0 = netlist.add_component(NetComponent("register", "r0", 8))
+        r1 = netlist.add_component(NetComponent("register", "r1", 8))
+        fu = netlist.add_component(NetComponent("fu", "add0", 8))
+        netlist.nets.append(Net(Pin(r0, "q"), [Pin(fu, "in0")], 8))
+        netlist.nets.append(Net(Pin(r1, "q"), [Pin(fu, "in0")], 8))
+        sink = DiagnosticSink()
+        lint_netlist(netlist, sink)
+        assert any(
+            d.rule == "net.multi-driver" and d.severity == "error"
+            for d in sink
+        )
+
+    def test_structural_width_mismatch(self):
+        netlist = DatapathNetlist()
+        r0 = netlist.add_component(NetComponent("register", "r0", 16))
+        fu = netlist.add_component(NetComponent("fu", "add0", 8))
+        netlist.nets.append(Net(Pin(r0, "q"), [Pin(fu, "in0")], 16))
+        sink = DiagnosticSink()
+        lint_netlist(netlist, sink)
+        assert any(d.rule == "net.width-mismatch" for d in sink)
+
+    def test_floating_port(self):
+        netlist = DatapathNetlist()
+        fu = netlist.add_component(NetComponent("fu", "add0", 8))
+        r0 = netlist.add_component(NetComponent("register", "r0", 8))
+        netlist.nets.append(Net(Pin(fu, "q"), [Pin(r0, "d")], 8))
+        sink = DiagnosticSink()
+        lint_netlist(netlist, sink)
+        assert any(d.rule == "net.floating-port" for d in sink)
+
+    def test_comb_loop_through_fus(self):
+        netlist = DatapathNetlist()
+        add = netlist.add_component(NetComponent("fu", "add0", 8))
+        mul = netlist.add_component(NetComponent("fu", "mul0", 8))
+        netlist.nets.append(Net(Pin(add, "q"), [Pin(mul, "in0")], 8))
+        netlist.nets.append(Net(Pin(mul, "q"), [Pin(add, "in0")], 8))
+        sink = DiagnosticSink()
+        lint_netlist(netlist, sink)
+        (diag,) = [d for d in sink if d.rule == "net.comb-loop"]
+        assert diag.severity == "error"
+        assert "add0" in diag.message and "mul0" in diag.message
+
+    def test_register_breaks_the_loop(self):
+        netlist = DatapathNetlist()
+        add = netlist.add_component(NetComponent("fu", "add0", 8))
+        mul = netlist.add_component(NetComponent("fu", "mul0", 8))
+        r0 = netlist.add_component(NetComponent("register", "r0", 8))
+        netlist.nets.append(Net(Pin(add, "q"), [Pin(mul, "in0")], 8))
+        netlist.nets.append(Net(Pin(mul, "q"), [Pin(r0, "d")], 8))
+        netlist.nets.append(Net(Pin(r0, "q"), [Pin(add, "in0")], 8))
+        sink = DiagnosticSink()
+        lint_netlist(netlist, sink)
+        assert not any(d.rule == "net.comb-loop" for d in sink)
+
+
+class TestFSMRules:
+    def test_unreachable_state(self):
+        fsm = FSM()
+        plan = type("PlanStub", (), {})()
+        plan.block = type("BlockStub", (), {"name": "bb0"})()
+        fsm.states = [
+            ControlState(0, plan, 0, Transition(None)),
+            ControlState(1, plan, 1, Transition(None)),
+        ]
+        fsm.entry = 0
+        sink = DiagnosticSink()
+        lint_fsm(fsm, sink)
+        (diag,) = list(sink)
+        assert diag.rule == "fsm.unreachable-state"
+        assert diag.subject == "S1"
+
+
+class TestLintDriver:
+    def test_demo_reports_every_seeded_defect(self):
+        report = lint_source(DEMO.read_text())
+        rules = {diag.rule for diag in report.diagnostics}
+        assert {
+            "src.read-before-write",
+            "src.dead-store",
+            "src.unreachable-block",
+            "src.const-condition",
+            "src.unused-var",
+            "lang.implicit-trunc",
+            "net.width-mismatch",
+            "net.comb-loop",
+        } <= rules
+        assert report.exit_code == 2
+
+    def test_sqrt_is_clean(self):
+        report = lint_source(SQRT_SOURCE)
+        assert not report.diagnostics
+        assert report.exit_code == 0
+        assert "clean" in report.render()
+
+    def test_universal_model_skips_false_loop(self):
+        report = lint_source(
+            DEMO.read_text(), LintOptions(model="universal")
+        )
+        rules = {diag.rule for diag in report.diagnostics}
+        assert "net.comb-loop" not in rules
+        assert "src.read-before-write" in rules
+
+
+class TestCLIGolden:
+    def test_text_output_matches_golden(self, capsys):
+        assert main(["lint", str(DEMO)]) == 2
+        out = capsys.readouterr().out
+        golden = (GOLDEN / "lint_demo.txt").read_text()
+        assert normalize(out) == normalize(golden)
+
+    def test_json_output_matches_golden(self, capsys):
+        assert main(["lint", str(DEMO), "--format", "json"]) == 2
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        golden = json.loads((GOLDEN / "lint_demo.json").read_text())
+        assert normalize(json.dumps(payload, indent=2)) == normalize(
+            json.dumps(golden, indent=2)
+        )
+
+    def test_sqrt_exits_zero(self, capsys, tmp_path):
+        path = tmp_path / "sqrt.hls"
+        path.write_text(SQRT_SOURCE)
+        assert main(["lint", str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_warnings_exit_one(self, capsys, tmp_path):
+        path = tmp_path / "warn.hls"
+        path.write_text("""
+procedure p(input a: int<8>; output b: int<8>);
+var u: int<8>;
+begin
+  b := a;
+end
+""")
+        assert main(["lint", str(path)]) == 1
+        assert "src.unused-var" in capsys.readouterr().out
+
+    def test_nothing_to_lint_errors(self, capsys):
+        assert main(["lint"]) == 2
+        assert "nothing to lint" in capsys.readouterr().err
+
+    def test_metrics_counter_incremented(self, capsys):
+        from repro.obs import metrics
+
+        assert main(["lint", str(DEMO)]) == 2
+        capsys.readouterr()
+        counts = {
+            key: value
+            for key, value in metrics().counters().items()
+            if key.startswith("lint.diagnostics")
+        }
+        assert counts
+        assert sum(counts.values()) == 8
