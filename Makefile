@@ -3,7 +3,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test test-slow fuzz-smoke fuzz lint verify-examples profile bench
+.PHONY: test test-slow fuzz-smoke fault-smoke fuzz lint verify-examples profile bench
 
 # Tier-1 suite (what CI runs).
 test:
@@ -16,6 +16,11 @@ test-slow:
 # The fixed-seed differential fuzzing pass that ships inside tier-1.
 fuzz-smoke:
 	$(PYTHON) -m pytest -q -m fuzz_smoke
+
+# Fault-injection matrix: crashing/hanging/erroring workers against
+# the repro.exec runtime (docs/resilience.md).
+fault-smoke:
+	$(PYTHON) -m pytest -q -m fault_smoke
 
 # Long-run fuzzing: many seeds, bigger DFGs, parallel workers.
 # Failures shrink automatically and land in artifacts/ as repro

@@ -147,9 +147,10 @@ def cmd_explore(args: argparse.Namespace) -> int:
     source = _read_source(args.file)
     limits = [int(x) for x in args.limits.split(",")]
     result = explore_fu_range(source, limits, options=_options(args),
-                              n_jobs=args.jobs, report=args.report)
+                              n_jobs=args.jobs, report=args.report,
+                              task_timeout_s=args.timeout)
     print(result.table())
-    return 0
+    return 1 if result.failures else 0
 
 
 def _traced_run(args: argparse.Namespace):
@@ -244,6 +245,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         artifacts_dir=args.artifacts,
         shrink=not args.no_shrink,
+        timeout_s=args.timeout,
     )
     print(report.render())
     return 1 if not report.ok else 0
@@ -290,6 +292,11 @@ def main(argv: list[str] | None = None) -> int:
         "--report", action="store_true",
         help="append sweep telemetry (wall time, counter deltas)",
     )
+    explore.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-point wall-clock budget in seconds for parallel "
+        "sweeps (default: env REPRO_TASK_TIMEOUT_S, else none)",
+    )
     explore.set_defaults(handler=cmd_explore)
 
     verify = subparsers.add_parser(
@@ -333,6 +340,11 @@ def main(argv: list[str] | None = None) -> int:
     fuzz.add_argument(
         "--no-shrink", action="store_true",
         help="keep raw failing recipes instead of shrinking",
+    )
+    fuzz.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-seed wall-clock budget in seconds for parallel "
+        "runs (default: env REPRO_TASK_TIMEOUT_S, else none)",
     )
     fuzz.set_defaults(handler=cmd_fuzz)
 

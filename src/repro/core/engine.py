@@ -83,6 +83,12 @@ class SynthesisOptions:
         trace: enable :mod:`repro.obs` span tracing for this run
             (equivalent to env ``REPRO_TRACE=1`` scoped to the call).
             Pure observability — never changes what is synthesized.
+        fault_spec: deterministic fault-injection spec for the
+            :mod:`repro.exec` task runtime (testing knob, equivalent
+            to env ``REPRO_FAULT`` scoped to runs derived from these
+            options; see ``docs/resilience.md`` for the grammar).
+            Only parallel task execution consults it — the pipeline
+            itself never injects faults.
     """
 
     scheduler: str = "list"
@@ -95,6 +101,7 @@ class SynthesisOptions:
     library: ComponentLibrary | None = None
     verify: bool = False
     trace: bool = False
+    fault_spec: str | None = None
 
     def with_constraints(
         self,
@@ -127,7 +134,9 @@ class SynthesisOptions:
         )
         # ``trace`` is deliberately absent: tracing observes a run
         # without changing its result, so traced and untraced runs
-        # share cache entries.
+        # share cache entries.  ``fault_spec`` is absent for the same
+        # reason — faults kill or delay a task, never alter a design
+        # that completes.
         return (
             self.scheduler,
             self.allocator,

@@ -101,5 +101,20 @@ class VerificationError(HLSError):
         self.violations = list(violations)
 
 
+class TaskExecutionError(HLSError):
+    """A parallel task failed permanently in the fault-tolerant runtime.
+
+    Raised by callers that cannot proceed with partial results (e.g.
+    :func:`~repro.explore.search_for_latency`, whose bisection needs
+    every probe).  Carries the structured
+    :class:`~repro.exec.TaskFailure` records so callers can inspect
+    which tasks failed and why.
+    """
+
+    def __init__(self, message: str, failures=()) -> None:
+        super().__init__(message)
+        self.failures = list(failures)
+
+
 class EquivalenceError(HLSError):
     """Behavior/RTL co-simulation found diverging outputs."""

@@ -141,6 +141,16 @@ class ExplorationResult:
     #: Sweep telemetry (wall time + metric counter deltas), populated
     #: when the sweep was run with ``report=True``.
     telemetry: dict | None = None
+    #: Points that could not be built: structured
+    #: :class:`~repro.exec.TaskFailure` records from the parallel
+    #: runtime (empty for serial sweeps, which raise instead).  The
+    #: completed ``points`` are unaffected by entries here.
+    failures: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Did every requested point produce a design?"""
+        return not self.failures
 
     def __post_init__(self) -> None:
         self.points = _VersionedPointList(self.points)
@@ -193,6 +203,8 @@ class ExplorationResult:
             marker = "*" if id(point) in pareto else " "
             lines.append(f" {marker} {point.row()}")
         lines.append(" (* = Pareto-optimal)")
+        for failure in self.failures:
+            lines.append(f" ! {failure.render()}")
         if self.telemetry is not None:
             lines.append(telemetry_summary(self.telemetry))
         return "\n".join(lines)
@@ -339,15 +351,21 @@ class _PointBuilder:
 
 
 def _map_points(builder: _PointBuilder, limits: Sequence[int],
-                n_jobs: int | None) -> list[DesignPoint]:
-    """Build a point per limit, in order — fanning out when asked."""
+                n_jobs: int | None,
+                task_timeout_s: float | None = None,
+                ) -> tuple[list[DesignPoint], list]:
+    """Build a point per limit, in order — fanning out when asked.
+
+    Returns ``(points, failures)``; the serial path raises on error
+    (nothing to salvage) and therefore never reports failures.
+    """
     if n_jobs is not None and n_jobs > 1:
         from .parallel import ParallelExplorer
 
-        return ParallelExplorer(max_workers=n_jobs).build_points(
-            builder, limits
-        )
-    return [builder.build(limit) for limit in limits]
+        explorer = ParallelExplorer(max_workers=n_jobs,
+                                    timeout_s=task_timeout_s)
+        return explorer.build_points(builder, limits)
+    return [builder.build(limit) for limit in limits], []
 
 
 def search_for_latency(
@@ -359,6 +377,7 @@ def search_for_latency(
     vectors: Sequence[dict] | None = None,
     n_jobs: int | None = 1,
     use_cache: bool = True,
+    task_timeout_s: float | None = None,
 ) -> DesignPoint | None:
     """Chippe-style constraint-driven search: the *smallest* unit count
     whose design meets ``target_cycles``.
@@ -371,6 +390,12 @@ def search_for_latency(
     k-section search probing ``n_jobs`` limits per round, which finds
     the same smallest feasible count.  Returns None when even
     ``max_units`` cannot meet the target.
+
+    Unlike :func:`explore_fu_range`, a probe that permanently fails
+    in the parallel runtime raises
+    :class:`~repro.errors.TaskExecutionError`: the bisection needs
+    every probe's cycle count to steer, so there is no partial result
+    to return.
     """
     builder = _PointBuilder(
         source_or_factory, resource_class, options, vectors, use_cache
@@ -387,7 +412,16 @@ def search_for_latency(
                 low + ((i + 1) * (high - low)) // (count + 1)
                 for i in range(count)
             })
-            points = _map_points(builder, probes, n_jobs)
+            points, failures = _map_points(builder, probes, n_jobs,
+                                           task_timeout_s)
+            if failures:
+                from ..errors import TaskExecutionError
+
+                rendered = "; ".join(f.render() for f in failures)
+                raise TaskExecutionError(
+                    f"latency search probe(s) failed: {rendered}",
+                    failures,
+                )
             advanced = low
             feasible = None
             for probe, point in zip(probes, points):
@@ -419,6 +453,7 @@ def explore_fu_range(
     n_jobs: int | None = 1,
     use_cache: bool = True,
     report: bool = False,
+    task_timeout_s: float | None = None,
 ) -> ExplorationResult:
     """Sweep a functional-unit limit and collect the trade-off curve.
 
@@ -439,6 +474,11 @@ def explore_fu_range(
             counters this sweep moved, worker registries included)
             into ``result.telemetry``; ``result.table()`` then ends
             with the summary.
+        task_timeout_s: per-point wall-clock budget for parallel
+            sweeps (default: env ``REPRO_TASK_TIMEOUT_S``, else
+            none).  A point that exceeds it is rebuilt serially; if
+            that fails too it lands in ``result.failures`` instead of
+            sinking the sweep.
     """
     builder = _PointBuilder(
         source_or_factory, resource_class, options, vectors, use_cache
@@ -449,7 +489,10 @@ def explore_fu_range(
     started = time.perf_counter()
     with trace_span("dse.sweep", resource=resource_class,
                     points=len(limits)):
-        result.points.extend(_map_points(builder, limits, n_jobs))
+        points, failures = _map_points(builder, limits, n_jobs,
+                                       task_timeout_s)
+        result.points.extend(points)
+        result.failures.extend(failures)
     if report:
         after = metrics().counters()
         deltas = {

@@ -3,29 +3,39 @@
 §1.2's promise — "produce several designs for the same specification
 in a reasonable amount of time" — is embarrassingly parallel across
 resource limits: each design point is an independent synthesis run.
-:class:`ParallelExplorer` distributes points over a
-:class:`~concurrent.futures.ProcessPoolExecutor`; each worker compiles
-a behavioral source at most once (a per-process template memo keyed by
+:class:`ParallelExplorer` distributes points over a process pool via
+the fault-tolerant :mod:`repro.exec` runtime; each worker compiles a
+behavioral source at most once (a per-process template memo keyed by
 source digest) and deep-clones the CDFG per point, mirroring the
 serial compile-once path, so the resulting points are identical to a
 serial sweep.
 
-The pool is an optimization, never a requirement: one worker, an
-unpicklable work item (e.g. a closure CDFG factory), or any pool
-failure silently degrades to the in-process serial path — where a
-genuine synthesis error then surfaces with its ordinary traceback.
+The pool is an optimization, never a correctness hazard.  Failure
+semantics (see ``docs/resilience.md``):
+
+* points that completed are **always kept** — no failure elsewhere in
+  the sweep ever discards or re-synthesizes them;
+* a crashed or hung worker only costs its own point: the runtime
+  respawns the pool, retries retryable faults with backoff, and
+  rebuilds quarantined points **serially in the parent**;
+* a genuine synthesis error surfaces exactly once, as a structured
+  :class:`~repro.exec.TaskFailure` carrying the original worker
+  traceback — it is never blindly re-executed;
+* an unpicklable work item (e.g. a closure CDFG factory) or an
+  environment without subprocess support degrades to the in-process
+  serial path, exactly as before.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
 from typing import Sequence
 
 from ..core.engine import synthesize_cdfg
 from ..estimation import estimate_area, estimate_timing
+from ..exec import TaskFailure, default_timeout_s, run_tasks
 from ..ir.cdfg import CDFG
 from ..lang import compile_source
 from ..obs import (
@@ -52,7 +62,9 @@ def _build_point_task(payload: dict) -> tuple[DesignPoint, list, dict]:
     tracer/registry first and ships exactly its own telemetry home —
     the parent merges spans under its open ``dse.sweep`` span and
     folds the counters into its registry, keeping parallel counter
-    totals equal to a serial sweep's.
+    totals equal to a serial sweep's.  A task that dies or times out
+    ships nothing, so partial attempts never pollute the merged
+    totals.
     """
     reset_metrics()
     tracer().clear()
@@ -102,26 +114,53 @@ class ParallelExplorer:
     """Fans design points out over a process pool.
 
     Args:
-        max_workers: worker process count; ``None`` means one per CPU.
-            A value of one (or an empty batch) skips the pool entirely.
+        max_workers: worker process count.  ``None`` means one per
+            CPU; ``1`` always takes the in-process serial path (no
+            pool is ever spawned).  Zero and negative counts are a
+            :class:`ValueError` — they used to silently mean
+            one-per-CPU, contradicting this docstring.
+        timeout_s: per-point wall-clock budget once a point starts on
+            a worker.  Defaults to env ``REPRO_TASK_TIMEOUT_S`` when
+            set, else no timeout.
+        max_retries: pool resubmissions per point for retryable
+            faults (worker crash, pool breakage, unpicklable result).
+        backoff_s: base of the exponential retry backoff.
     """
 
-    def __init__(self, max_workers: int | None = None) -> None:
-        if max_workers is None or max_workers < 1:
+    def __init__(self, max_workers: int | None = None, *,
+                 timeout_s: float | None = None,
+                 max_retries: int = 2,
+                 backoff_s: float = 0.05) -> None:
+        if max_workers is None:
             max_workers = os.cpu_count() or 1
+        elif max_workers < 1:
+            raise ValueError(
+                f"max_workers must be >= 1 (or None for one per "
+                f"CPU), got {max_workers}"
+            )
         self.max_workers = max_workers
+        self.timeout_s = (
+            timeout_s if timeout_s is not None else default_timeout_s()
+        )
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
 
-    def build_points(self, builder: _PointBuilder,
-                     limits: Sequence[int]) -> list[DesignPoint]:
-        """One measured :class:`DesignPoint` per limit, in input order.
+    def build_points(
+        self, builder: _PointBuilder, limits: Sequence[int],
+    ) -> tuple[list[DesignPoint], list[TaskFailure]]:
+        """Measured :class:`DesignPoint`\\ s per limit, in input order.
 
-        Results are identical to ``[builder.build(l) for l in limits]``
-        — the serial path is also the fallback when the pool cannot be
-        used or fails.
+        Returns ``(points, failures)``.  Completed points are
+        identical to ``[builder.build(l) for l in limits]``; a limit
+        appears in ``failures`` (and not in ``points``) only when its
+        pool attempts were exhausted *and* the parent-side serial
+        rebuild failed — or when the task raised a genuine synthesis
+        error, which is reported once with its original traceback
+        rather than run a second time.
         """
         limits = list(limits)
         if not limits or self.max_workers <= 1 or len(limits) == 1:
-            return [builder.build(limit) for limit in limits]
+            return [builder.build(limit) for limit in limits], []
 
         source_or_factory = builder.source_or_factory
         is_source = isinstance(source_or_factory, str)
@@ -141,21 +180,44 @@ class ParallelExplorer:
         try:
             pickle.dumps(payloads[0])
         except Exception:
-            return [builder.build(limit) for limit in limits]
-        try:
-            workers = min(self.max_workers, len(limits))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(_build_point_task, payloads))
-        except Exception:
-            # Pool or pickling-of-results trouble: redo serially; a
-            # genuine synthesis error re-raises here with full context.
-            return [builder.build(limit) for limit in limits]
-        points = []
-        for point, spans, snapshot in results:
+            # Unpicklable work item (e.g. a closure factory): the pool
+            # can never run it — degrade to the serial path up front.
+            metrics().counter("exec.tasks.degraded").inc(len(limits))
+            return [builder.build(limit) for limit in limits], []
+
+        batch = run_tasks(
+            _build_point_task,
+            payloads,
+            labels=[str(limit) for limit in limits],
+            max_workers=min(self.max_workers, len(limits)),
+            timeout_s=self.timeout_s,
+            max_retries=self.max_retries,
+            backoff_s=self.backoff_s,
+            # Quarantined points (crash/timeout/unpicklable) are
+            # rebuilt serially in the parent — only them, never the
+            # points that already completed.
+            fallback=lambda payload, index: builder.build(
+                limits[index]
+            ),
+            fault_spec=builder.base.fault_spec,
+        )
+
+        points: list[DesignPoint] = []
+        failures: list[TaskFailure] = []
+        for outcome in batch.outcomes:
+            if outcome.failure is not None:
+                failures.append(outcome.failure)
+                continue
+            if outcome.degraded:
+                # Built by builder.build in this process: telemetry
+                # already landed in the parent registry/tracer.
+                points.append(outcome.value)
+                continue
+            point, spans, snapshot = outcome.value
             # Worker telemetry lands in the parent in input order, so
             # the merged registry and trace are deterministic.
             metrics().merge(snapshot)
             if spans and tracing_enabled():
                 tracer().merge(spans, parent=tracer().current_index())
             points.append(point)
-        return points
+        return points, failures

@@ -23,6 +23,8 @@ from __future__ import annotations
 import math
 
 from ..allocation.lifetimes import compute_lifetimes, minimum_registers
+from ..errors import SchedulingError
+from ..obs import metrics
 from .base import Schedule, Scheduler, SchedulingProblem
 from .list_scheduler import ListScheduler
 
@@ -67,10 +69,14 @@ class SimulatedAnnealingScheduler(Scheduler):
         return schedule.length, pressure
 
     def _legal(self, start: dict[int, int]) -> bool:
+        # Only SchedulingError means "illegal candidate"; anything else
+        # (a TypeError from a corrupted start map, say) is a bug and
+        # must propagate, not be silently treated as a rejected move.
         try:
             Schedule(self.problem, start, scheduler=self.name).validate()
             return True
-        except Exception:
+        except SchedulingError:
+            metrics().counter("scheduler.annealing.illegal_moves").inc()
             return False
 
     def schedule(self) -> Schedule:

@@ -12,9 +12,11 @@
 from __future__ import annotations
 
 from ..analysis.constants import EVALUATABLE_KINDS, constant_of
+from ..errors import SimulationError
 from ..ir.cdfg import CDFG
 from ..ir.opcodes import OpKind
 from ..ir.values import BasicBlock, Operation, Value
+from ..obs import metrics
 from ..sim.semantics import evaluate
 from .base import Pass
 
@@ -54,8 +56,12 @@ class ConstantFolding(Pass):
                 op.result.type,
                 op.attrs,
             )
-        except Exception:
-            return False  # e.g. division by zero stays a runtime event
+        except (SimulationError, OverflowError, ZeroDivisionError):
+            # e.g. division by zero stays a runtime event.  Anything
+            # else (TypeError from malformed attrs, …) is a compiler
+            # bug and must propagate instead of silently not folding.
+            metrics().counter("transforms.constprop.fold_aborted").inc()
+            return False
         replacement = block.const(folded, op.result.type, op.result.name)
         # Keep topological order: move the new CONST before the op.
         const_op = replacement.producer

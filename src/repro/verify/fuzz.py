@@ -10,6 +10,15 @@ Seeds are independent, so they parallelize across processes the same
 way design-space exploration does (``jobs > 1``); shrinking always
 happens in the parent process so injected in-process bugs (tests
 monkeypatching a scheduler) shrink correctly with ``jobs=1``.
+
+Parallel seed checking goes through the fault-tolerant
+:mod:`repro.exec` runtime: each seed is submitted individually, so a
+worker crash (``BrokenProcessPool``) costs exactly the seed that
+crashed — already-completed seeds keep their results and the crashed
+seed is reported on the :class:`FuzzReport` as a
+:class:`~repro.exec.TaskFailure` carrying its seed number.  A
+crashed seed is itself a finding (the pipeline died), so it is never
+silently retried into a serial full rerun.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..core.engine import ALLOCATORS, SCHEDULERS
+from ..exec import TaskFailure, default_timeout_s, run_tasks
 from ..obs import metrics, trace_span
 from ..workloads.random_dfg import (
     DFGRecipe,
@@ -67,18 +77,31 @@ class FuzzReport:
 
     seeds: list[int] = field(default_factory=list)
     failures: list[FuzzFailure] = field(default_factory=list)
+    #: Seeds whose *check itself* could not run to completion (worker
+    #: crash, timeout): :class:`~repro.exec.TaskFailure` records with
+    #: the seed number as label.  Distinct from ``failures`` — those
+    #: are seeds that ran and found a differential bug.
+    task_failures: list[TaskFailure] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return not self.failures
+        return not self.failures and not self.task_failures
 
     def render(self) -> str:
         verdict = "PASS" if self.ok else "FAIL"
-        lines = [
+        header = (
             f"fuzz: {verdict} ({len(self.seeds)} seeds, "
-            f"{len(self.failures)} failing)"
-        ]
+            f"{len(self.failures)} failing"
+        )
+        if self.task_failures:
+            header += f", {len(self.task_failures)} crashed"
+        lines = [header + ")"]
         lines.extend(failure.render() for failure in self.failures)
+        lines.extend(
+            f"  seed {failure.label}: worker {failure.kind}: "
+            f"{failure.message}"
+            for failure in self.task_failures
+        )
         return "\n".join(lines)
 
 
@@ -113,18 +136,34 @@ def _fuzz_worker(payload: tuple) -> tuple[int, bool, str]:
     return seed, ok, summary
 
 
-def _run_seeds(payloads: list[tuple], jobs: int) -> list[tuple]:
-    if jobs <= 1 or len(payloads) <= 1:
-        return [_fuzz_worker(payload) for payload in payloads]
-    try:
-        from concurrent.futures import ProcessPoolExecutor
+def _run_seeds(payloads: list[tuple], jobs: int,
+               timeout_s: float | None = None,
+               ) -> tuple[list[tuple], list[TaskFailure]]:
+    """Check every seed; returns ``(results, task_failures)``.
 
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            return list(pool.map(_fuzz_worker, payloads))
-    except (ImportError, OSError, PermissionError):
-        # No process support in this environment — degrade to serial,
-        # same policy as explore.parallel.
-        return [_fuzz_worker(payload) for payload in payloads]
+    With ``jobs > 1`` each seed is submitted individually to the
+    fault-tolerant runtime, so a ``BrokenProcessPool`` from one seed
+    cannot erase the results of already-completed seeds.  There is
+    deliberately no serial fallback: a seed whose worker crashed or
+    hung is reported as a failure with its seed number (crashing the
+    pipeline is a bug worth a report, and re-running a crasher
+    in-process would take the parent down with it).  Environments
+    without subprocess support still degrade to an in-parent serial
+    run, same policy as before.
+    """
+    if jobs <= 1 or len(payloads) <= 1:
+        return [_fuzz_worker(payload) for payload in payloads], []
+    batch = run_tasks(
+        _fuzz_worker,
+        payloads,
+        labels=[str(payload[0]) for payload in payloads],
+        max_workers=jobs,
+        timeout_s=(timeout_s if timeout_s is not None
+                   else default_timeout_s()),
+        fallback=None,
+    )
+    results = [o.value for o in batch.outcomes if o.ok]
+    return results, batch.failures
 
 
 def fuzz_seeds(
@@ -137,6 +176,7 @@ def fuzz_seeds(
     jobs: int = 1,
     artifacts_dir: str = "artifacts",
     shrink: bool = True,
+    timeout_s: float | None = None,
 ) -> FuzzReport:
     """Fuzz the differential matrix over many seeds.
 
@@ -146,9 +186,13 @@ def fuzz_seeds(
         ops / inputs: generated DFG shape.
         schedulers / allocators: combo matrix (default: all registered).
         jobs: worker processes; seed checking parallelizes, shrinking
-            stays in the parent.
+            stays in the parent.  A crashed or hung worker costs only
+            its own seed — it is reported in
+            ``report.task_failures``, completed seeds are kept.
         artifacts_dir: where repro scripts for shrunk failures go.
         shrink: disable to keep raw failing recipes (faster).
+        timeout_s: per-seed wall-clock budget for parallel runs
+            (default: env ``REPRO_TASK_TIMEOUT_S``, else none).
     """
     seed_list = (
         list(range(1, seeds + 1)) if isinstance(seeds, int)
@@ -166,7 +210,10 @@ def fuzz_seeds(
     report = FuzzReport(seeds=seed_list)
     registry = metrics()
     with trace_span("fuzz", seeds=len(seed_list), jobs=jobs):
-        results = _run_seeds(payloads, jobs)
+        results, task_failures = _run_seeds(payloads, jobs, timeout_s)
+    report.task_failures.extend(task_failures)
+    for failure in task_failures:
+        registry.counter("fuzz.seeds.crashed").inc()
     for seed, ok, summary in results:
         registry.counter("fuzz.seeds.checked").inc()
         if ok:

@@ -1,5 +1,6 @@
 """Tests for the simulated-annealing transformational scheduler."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -82,3 +83,35 @@ class TestAnnealing:
             problem, seed=seed, moves=300
         ).schedule()
         schedule.validate()
+
+
+class TestLegalityCheckScope:
+    """_legal must reject only SchedulingError — a different exception
+    means the annealer itself is broken and has to propagate."""
+
+    def test_illegal_moves_are_counted(self):
+        from repro import obs
+
+        problem = problem_of(
+            fig3_cdfg(), ResourceConstraints({"mul": 1, "add": 1})
+        )
+        SimulatedAnnealingScheduler(problem, seed=7).schedule()
+        counters = obs.metrics().counters()
+        assert counters["scheduler.annealing.illegal_moves"] > 0
+
+    def test_unexpected_exception_propagates(self, monkeypatch):
+        from repro.scheduling.base import Schedule
+
+        original = Schedule.validate
+
+        def corrupted(self):
+            if self.scheduler == "annealing":
+                raise TypeError("corrupted start map")
+            return original(self)
+
+        monkeypatch.setattr(Schedule, "validate", corrupted)
+        problem = problem_of(
+            fig3_cdfg(), ResourceConstraints({"mul": 1, "add": 1})
+        )
+        with pytest.raises(TypeError, match="corrupted start map"):
+            SimulatedAnnealingScheduler(problem, seed=7).schedule()

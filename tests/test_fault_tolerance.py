@@ -1,0 +1,198 @@
+"""End-to-end fault tolerance of parallel exploration and fuzzing.
+
+The acceptance contract of the ``repro.exec`` runtime, exercised
+through the real public entry points with deterministic fault
+injection (``docs/resilience.md``): a failure costs exactly the task
+that failed — completed work is kept, never re-executed, and parallel
+telemetry stays equal to serial telemetry for the tasks that
+completed.
+"""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.core import SynthesisOptions, clear_synthesis_cache
+from repro.errors import TaskExecutionError
+from repro.explore import (
+    ParallelExplorer,
+    explore_fu_range,
+    search_for_latency,
+)
+from repro.explore.dse import _PointBuilder
+from repro.verify import fuzz_seeds
+from repro.workloads import SQRT_SOURCE
+
+pytestmark = pytest.mark.fault_smoke
+
+LIMITS8 = [1, 2, 3, 4, 5, 6, 7, 8]
+
+
+def rows(points):
+    return [
+        (str(p.constraints), p.area, p.cycles, p.clock_ns)
+        for p in points
+    ]
+
+
+def counters():
+    return obs.metrics().counters()
+
+
+class TestExploreFaultTolerance:
+    def test_sweep_survives_crash_and_hang(self, monkeypatch):
+        """The issue's acceptance scenario: an 8-point sweep with one
+        crashing and one hanging point still returns all 8 points,
+        identical to a serial sweep, within the timeout budget."""
+        monkeypatch.setenv("REPRO_FAULT_HANG_S", "30")
+        serial = explore_fu_range(SQRT_SOURCE, LIMITS8, use_cache=False)
+        clear_synthesis_cache()
+        obs.reset_metrics()
+
+        options = SynthesisOptions(fault_spec="crash:2,hang:5")
+        started = time.monotonic()
+        with obs.tracing():
+            result = explore_fu_range(
+                SQRT_SOURCE, LIMITS8, options=options, n_jobs=4,
+                use_cache=False, task_timeout_s=2.0,
+            )
+        elapsed = time.monotonic() - started
+
+        assert result.failures == []
+        assert rows(result.points) == rows(serial.points)
+        # Bounded by the 2s budget + recovery, not the 30s hang.
+        assert elapsed < 25.0
+
+        got = counters()
+        assert got["exec.tasks.crashed"] >= 1
+        assert got["exec.tasks.timeout"] == 1
+        assert got["exec.tasks.degraded"] >= 2  # crash + hang rebuilds
+        assert got["exec.pool.respawns"] >= 1
+        # Every point evaluated exactly once, worker or parent.
+        assert got["dse.points.evaluated"] == len(LIMITS8)
+
+        spans = obs.tracer().records()
+        points = [r for r in spans if r.name == "dse.point"]
+        assert len(points) == len(LIMITS8)
+        assert any(r.name == "exec.serial_fallback" for r in spans)
+
+    def test_completed_points_survive_a_genuine_error(self):
+        """Regression for the serial-fallback bug: one failing point
+        out of 8 must not discard — or re-synthesize — the other 7."""
+        options = SynthesisOptions(fault_spec="error:3")
+        result = explore_fu_range(
+            SQRT_SOURCE, LIMITS8, options=options, n_jobs=4,
+            use_cache=False,
+        )
+        assert len(result.points) == 7
+        assert [str(p.constraints) for p in result.points] == [
+            f"fu={n}" for n in LIMITS8 if n != 3
+        ]
+        (failure,) = result.failures
+        assert failure.kind == "error"
+        assert failure.label == "3"
+        assert "InjectedFault" in failure.message
+        assert not result.ok
+        assert failure.render() in result.table()
+
+        got = counters()
+        # The 7 healthy points synthesized exactly once each; the
+        # failing point was never re-run (errors are final).
+        assert got["dse.measurements.run"] == 7
+        assert got["dse.points.evaluated"] == 7
+        assert got.get("exec.tasks.retried", 0) == 0
+
+    def test_parallel_counters_match_serial_for_healthy_points(self):
+        serial = {}
+        for n_jobs in (1, 4):
+            clear_synthesis_cache()
+            obs.reset_metrics()
+            explore_fu_range(SQRT_SOURCE, LIMITS8, n_jobs=n_jobs,
+                             use_cache=False)
+            serial[n_jobs] = counters()
+        # dse.measurements.run is deliberately absent: the serial
+        # builder memoizes measurements across identical designs,
+        # workers legitimately measure once per point.
+        for key in ("dse.points.evaluated",
+                    "scheduler.invocations{scheduler=list}",
+                    "allocator.invocations{allocator=left-edge}"):
+            assert serial[4][key] == serial[1][key], key
+
+    def test_single_limit_short_circuits_the_pool(self):
+        builder = _PointBuilder(SQRT_SOURCE, "fu", None, None)
+        explorer = ParallelExplorer(max_workers=4)
+        points, failures = explorer.build_points(builder, [2])
+        assert len(points) == 1
+        assert failures == []
+        assert counters().get("exec.tasks.submitted", 0) == 0
+
+    def test_unpicklable_factory_degrades_and_counts(self):
+        from repro.lang import compile_source
+
+        factory = lambda: compile_source(SQRT_SOURCE)  # noqa: E731
+        result = explore_fu_range(factory, [1, 2, 3], n_jobs=4,
+                                  use_cache=False)
+        assert len(result.points) == 3
+        assert result.failures == []
+        assert counters()["exec.tasks.degraded"] == 3
+
+    def test_latency_search_raises_on_probe_failure(self):
+        """Bisection cannot use partial results, so permanent probe
+        failures surface as one structured exception."""
+        options = SynthesisOptions(fault_spec="error:*")
+        with pytest.raises(TaskExecutionError, match="probe") as info:
+            search_for_latency(SQRT_SOURCE, 10, max_units=8,
+                               options=options, n_jobs=2,
+                               use_cache=False)
+        assert info.value.failures
+        assert all(f.kind == "error" for f in info.value.failures)
+
+
+class TestFuzzFaultTolerance:
+    def test_crashed_seed_is_reported_not_retried(self, monkeypatch,
+                                                  tmp_path):
+        """A crashing seed is a finding: reported with its seed
+        number, while completed seeds keep their results."""
+        import repro.verify.fuzz as fuzz_mod
+
+        original = fuzz_mod.run_tasks
+
+        def one_worker(*args, **kwargs):
+            # A 1-wide pool keeps the crash's blast radius
+            # deterministic (BrokenProcessPool fails every in-flight
+            # future, so a co-tenant seed could be penalized too).
+            kwargs["max_workers"] = 1
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(fuzz_mod, "run_tasks", one_worker)
+        monkeypatch.setenv("REPRO_FAULT", "crash:2")
+
+        report = fuzz_seeds([1, 2, 3], ops=8, inputs=3, jobs=2,
+                            shrink=False, artifacts_dir=str(tmp_path))
+        assert not report.ok
+        assert report.failures == []  # healthy seeds found no bugs
+        (crashed,) = report.task_failures
+        assert crashed.label == "2"
+        assert crashed.kind == "crash"
+        rendered = report.render()
+        assert "1 crashed" in rendered
+        assert "seed 2: worker crash" in rendered
+
+        got = counters()
+        assert got["fuzz.seeds.checked"] == 2
+        assert got["fuzz.seeds.crashed"] == 1
+
+    def test_serial_and_parallel_runs_agree(self, tmp_path):
+        serial = fuzz_seeds([1, 2], ops=8, inputs=3, jobs=1,
+                            shrink=False, artifacts_dir=str(tmp_path))
+        serial_checked = counters()["fuzz.seeds.checked"]
+        obs.reset_metrics()
+        parallel = fuzz_seeds([1, 2], ops=8, inputs=3, jobs=2,
+                              shrink=False,
+                              artifacts_dir=str(tmp_path))
+        assert counters()["fuzz.seeds.checked"] == serial_checked == 2
+        assert serial.task_failures == [] == parallel.task_failures
+        assert ([f.seed for f in parallel.failures]
+                == [f.seed for f in serial.failures])
+        assert parallel.ok == serial.ok

@@ -77,6 +77,14 @@ def test_factory_source_falls_back_to_serial():
 def test_single_worker_explorer_never_spawns():
     builder = _PointBuilder(SQRT_SOURCE, "fu", None, None)
     explorer = ParallelExplorer(max_workers=1)
-    points = explorer.build_points(builder, LIMITS)
+    points, failures = explorer.build_points(builder, LIMITS)
+    assert failures == []
     assert rows(points) == rows(explore_fu_range(SQRT_SOURCE,
                                                  LIMITS).points)
+
+
+@pytest.mark.parametrize("bad", [0, -1, -8])
+def test_worker_count_must_be_positive(bad):
+    """Zero/negative used to silently mean one-per-CPU."""
+    with pytest.raises(ValueError, match="max_workers"):
+        ParallelExplorer(max_workers=bad)

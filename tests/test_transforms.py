@@ -134,6 +134,37 @@ end
         ConstantFolding().run(cdfg)
         assert OpKind.DIV in kinds_of(cdfg)
 
+    def test_aborted_fold_is_counted(self):
+        from repro import obs
+
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+begin
+  b := a + 4 / 0;
+end
+""")
+        ConstantFolding().run(cdfg)
+        counters = obs.metrics().counters()
+        assert counters["transforms.constprop.fold_aborted"] == 1
+
+    def test_unexpected_evaluate_exception_propagates(self, monkeypatch):
+        """Only legitimate runtime events (SimulationError, overflow)
+        abort a fold silently; a TypeError is a compiler bug."""
+        import repro.transforms.constprop as constprop
+
+        def broken(*args, **kwargs):
+            raise TypeError("malformed attrs")
+
+        monkeypatch.setattr(constprop, "evaluate", broken)
+        cdfg = compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+begin
+  b := a + (2 + 3);
+end
+""")
+        with pytest.raises(TypeError, match="malformed attrs"):
+            ConstantFolding().run(cdfg)
+
     def test_folds_comparison_condition(self):
         cdfg = compile_source("""
 procedure p(input a: int<8>; output b: int<8>);
