@@ -3,7 +3,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test test-slow fuzz-smoke fault-smoke fuzz lint verify-examples profile bench
+.PHONY: test test-slow fuzz-smoke fault-smoke fuzz lint verify-examples profile bench cache-smoke
 
 # Tier-1 suite (what CI runs).
 test:
@@ -47,6 +47,12 @@ profile:
 # Full perf harness; writes BENCH_dse.json (incl. stage breakdowns).
 bench:
 	$(PYTHON) benchmarks/perf/run_bench.py
+
+# Cross-process smoke of the persistent design store: a cold sweep
+# populates a throwaway store, a warm sweep must hit it and produce
+# identical rows (docs/performance.md).
+cache-smoke:
+	$(PYTHON) benchmarks/perf/cache_smoke.py
 
 # Stage contracts + full differential matrix on the example sources.
 verify-examples:

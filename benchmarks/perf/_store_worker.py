@@ -1,0 +1,60 @@
+"""Child process for the cross-process store benchmarks.
+
+Runs one FU sweep over a built-in workload and prints a single JSON
+line: the in-child elapsed time, the measured point rows, and the
+store hit/miss counters.  The parent (``run_bench.py`` or
+``cache_smoke.py``) launches this twice against the same
+``REPRO_STORE_DIR`` — the first run is cold (everything synthesized
+and persisted), the second is warm (everything loaded) — and compares
+the rows for equivalence.
+
+Timing happens *inside* the child so interpreter start-up (~100ms,
+identical in both runs and an order of magnitude larger than the
+sweep itself) cannot drown the cold/warm difference being measured.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.explore import explore_fu_range
+from repro.obs import metrics
+from repro.workloads.diffeq import DIFFEQ_SOURCE
+from repro.workloads.sqrt import SQRT_SOURCE
+
+WORKLOADS = {"diffeq": DIFFEQ_SOURCE, "sqrt": SQRT_SOURCE}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--workload", choices=sorted(WORKLOADS),
+                        default="diffeq")
+    parser.add_argument("--limits", default="1,2,3,4,5,6,7,8")
+    args = parser.parse_args(argv)
+
+    source = WORKLOADS[args.workload]
+    limits = [int(x) for x in args.limits.split(",")]
+
+    start = time.perf_counter()
+    result = explore_fu_range(source, limits)
+    elapsed = time.perf_counter() - start
+
+    rows = [
+        (str(p.constraints), p.area, p.cycles, p.clock_ns)
+        for p in result.points
+    ]
+    print(json.dumps({
+        "elapsed_s": elapsed,
+        "rows": rows,
+        "store_hits": metrics().counter("store.hits").value,
+        "store_misses": metrics().counter("store.misses").value,
+        "failures": len(result.failures),
+    }))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Smoke-check the persistent design store across processes.
+
+Runs the ``_store_worker`` sweep in child processes against one store
+directory and asserts the two-tier cache actually works end to end:
+
+* the cold phase misses and persists (``store_misses > 0``);
+* the warm phase hits (``store_hits > 0``) and produces **identical**
+  point rows — a warm answer that differs from the cold one would mean
+  the store served a wrong design;
+* the warm phase is not slower in counters: it must not re-miss.
+
+CI uses the phases separately: the test job runs ``--phase cold`` and
+uploads the store directory as a cache, the profile job restores it
+and runs ``--phase warm`` — proving persistence survives not just
+processes but jobs.  ``make cache-smoke`` runs ``--phase all``
+locally against a throwaway directory.
+
+Exit status 0 on success, 1 with a diagnostic on any failed assertion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+WORKER = Path(__file__).resolve().with_name("_store_worker.py")
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_sweep(store_dir: str, workload: str = "diffeq") -> dict:
+    """One child sweep against ``store_dir``; returns its JSON report."""
+    env = dict(os.environ)
+    env["REPRO_STORE_DIR"] = store_dir
+    env.pop("REPRO_STORE", None)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, str(WORKER), "--workload", workload],
+        env=env, capture_output=True, text=True, check=True,
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--phase", choices=("all", "cold", "warm"),
+                        default="all")
+    parser.add_argument("--store-dir", default=None,
+                        help="store directory (default: REPRO_STORE_DIR "
+                        "for cold/warm, a temp dir for all)")
+    parser.add_argument("--state", default=None,
+                        help="JSON file carrying the cold rows between "
+                        "separate cold and warm invocations")
+    args = parser.parse_args(argv)
+
+    store_dir = args.store_dir or os.environ.get("REPRO_STORE_DIR")
+    cleanup = None
+    if store_dir is None:
+        if args.phase != "all":
+            print("cache-smoke: --store-dir or REPRO_STORE_DIR required "
+                  f"for --phase {args.phase}", file=sys.stderr)
+            return 1
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-store-")
+        store_dir = cleanup.name
+
+    state_path = Path(args.state) if args.state else None
+    try:
+        cold = warm = None
+        if args.phase in ("all", "cold"):
+            cold = run_sweep(store_dir)
+            print(f"cold: {cold['elapsed_s'] * 1000:.1f}ms, "
+                  f"hits={cold['store_hits']} "
+                  f"misses={cold['store_misses']}")
+            if cold["store_misses"] == 0:
+                print("cache-smoke: FAIL — cold run never consulted "
+                      "the store", file=sys.stderr)
+                return 1
+            if state_path is not None:
+                state_path.write_text(json.dumps(cold))
+        if args.phase in ("all", "warm"):
+            warm = run_sweep(store_dir)
+            print(f"warm: {warm['elapsed_s'] * 1000:.1f}ms, "
+                  f"hits={warm['store_hits']} "
+                  f"misses={warm['store_misses']}")
+            if warm["store_hits"] == 0:
+                print("cache-smoke: FAIL — warm run had zero store "
+                      "hits", file=sys.stderr)
+                return 1
+            if cold is None and state_path is not None \
+                    and state_path.exists():
+                cold = json.loads(state_path.read_text())
+            if cold is not None and warm["rows"] != cold["rows"]:
+                print("cache-smoke: FAIL — warm rows differ from cold "
+                      "rows", file=sys.stderr)
+                return 1
+        print("cache-smoke: OK")
+        return 0
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

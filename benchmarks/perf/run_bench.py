@@ -27,12 +27,14 @@ import argparse
 import json
 import os
 import platform
+import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
 from repro import obs
-from repro.core import clear_synthesis_cache, synthesize
+from repro.core import clear_synthesis_cache, resynthesize, synthesize
 from repro.core.engine import SynthesisOptions, synthesize_cdfg
 from repro.estimation import estimate_area, estimate_timing
 from repro.explore import explore_fu_range, search_for_latency
@@ -47,19 +49,24 @@ from repro.scheduling import (
     UniversalFUModel,
     set_problem_caching,
 )
-from repro.workloads import ewf_cdfg, fig5_cdfg
+from repro.ir.types import set_type_interning
+from repro.transforms import optimize
+from repro.workloads import ewf_cdfg, fig5_cdfg, fir_source
 from repro.workloads.diffeq import DIFFEQ_SOURCE
 from repro.workloads.random_dfg import RandomDFGSpec, random_dfg
 from repro.workloads.sqrt import SQRT_SOURCE
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 OUTPUT = REPO_ROOT / "BENCH_dse.json"
+STORE_WORKER = Path(__file__).resolve().with_name("_store_worker.py")
 
 BUDGETS = {
     "smoke": {"repeats": 1, "diffeq_limits": 4, "sqrt_limits": 3,
-              "random_ops": 30, "search_max_units": 8},
+              "random_ops": 30, "search_max_units": 8,
+              "store_limits": 4, "fir_taps": 16},
     "full": {"repeats": 5, "diffeq_limits": 8, "sqrt_limits": 6,
-             "random_ops": 60, "search_max_units": 16},
+             "random_ops": 60, "search_max_units": 16,
+             "store_limits": 8, "fir_taps": 32},
 }
 
 
@@ -271,6 +278,206 @@ def _stage_breakdown(name: str, source: str, fu_limit: int = 2) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Persistent-store and incremental-resynthesis benchmarks.
+
+def _store_child(store_dir: str, limits: int) -> dict:
+    """One ``_store_worker`` sweep in a child process; its JSON report."""
+    env = dict(os.environ)
+    env["REPRO_STORE_DIR"] = store_dir
+    env.pop("REPRO_STORE", None)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, str(STORE_WORKER),
+         "--limits", ",".join(str(x) for x in range(1, limits + 1))],
+        env=env, capture_output=True, text=True, check=True,
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def _bench_store_cross_process(limits: int, repeats: int) -> dict:
+    """Cold vs warm sweep across process boundaries.
+
+    Each cold run gets a fresh store directory; warm runs replay
+    against the last cold directory.  Elapsed times come from inside
+    the children, so interpreter start-up (identical on both sides)
+    cannot mask the difference.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as root:
+        colds = []
+        for index in range(repeats):
+            colds.append(
+                _store_child(os.path.join(root, f"cold{index}"), limits)
+            )
+        warm_dir = os.path.join(root, f"cold{repeats - 1}")
+        warms = [_store_child(warm_dir, limits) for _ in range(repeats)]
+    cold = min(colds, key=lambda r: r["elapsed_s"])
+    warm = min(warms, key=lambda r: r["elapsed_s"])
+    rows = colds[0]["rows"]
+    return {
+        "workload": "diffeq",
+        "points": len(rows),
+        "cold_s": cold["elapsed_s"],
+        "warm_s": warm["elapsed_s"],
+        "speedup": cold["elapsed_s"] / warm["elapsed_s"],
+        "cold_store_misses": cold["store_misses"],
+        "warm_store_hits": warm["store_hits"],
+        "warm_store_misses": warm["store_misses"],
+        "equivalent": all(
+            r["rows"] == rows for r in colds + warms
+        ),
+    }
+
+
+#: Multi-block workload for the edit-resynthesize benchmark: a heavy
+#: straight-line preamble, a data-dependent loop, and a small epilogue
+#: holding the constant ``{c}`` the "edit" changes — so an incremental
+#: run replays every block except the epilogue.
+_RESYNTH_SOURCE = """
+procedure pipe(input x: fixed<32,16>; input a: fixed<32,16>;
+               output y: fixed<32,16>);
+var t1, t2, t3, t4, t5, t6, t7, t8, t9, t10, t11, t12, t13, t14,
+    p: fixed<32,16>;
+begin
+  t1 := x * x + 3.0 * x;
+  t2 := t1 * x - 2.0 * t1;
+  t3 := t2 * t1 + x * t2;
+  t4 := t3 * t2 - t1 * t3;
+  t5 := t4 * t3 + t2 * t4;
+  t6 := t5 * t4 - t3 * t5;
+  t7 := t6 * t5 + t4 * t6;
+  t8 := t7 * t6 - t5 * t7;
+  t9 := t8 * t7 + t6 * t8;
+  t10 := t9 * t8 - t7 * t9;
+  t11 := t10 * t9 + t8 * t10;
+  t12 := t11 * t10 - t9 * t11;
+  t13 := t12 * t11 + t10 * t12;
+  t14 := t13 * t12 - t11 * t13;
+  p := t14 + t13 * t14;
+  while p < a do
+  begin
+    p := p + t1 * 0.125;
+  end;
+  y := p + {c};
+end
+"""
+
+
+def _bench_edit_resynthesis(repeats: int) -> dict:
+    """Full resynthesis vs incremental resynthesis of a one-block edit.
+
+    ``equivalent`` is the differential-verify escape hatch: the
+    incremental design's stage signatures must match a from-scratch
+    synthesis of the edited source, stage by stage.
+    """
+    options = SynthesisOptions(
+        scheduler="force-directed",
+        constraints=ResourceConstraints({"fu": 2}),
+    )
+    base_source = _RESYNTH_SOURCE.format(c="0.5")
+    edit_source = _RESYNTH_SOURCE.format(c="0.25")
+    baseline = synthesize(base_source, options=options)
+    verified = resynthesize(baseline, edit_source, options=options,
+                            verify=True)
+    full_s = _best_of(
+        lambda: synthesize(edit_source, options=options), repeats
+    )
+    incremental_s = _best_of(
+        lambda: resynthesize(baseline, edit_source, options=options),
+        repeats,
+    )
+    return {
+        "workload": "pipe (constant edit in epilogue block)",
+        "full_s": full_s,
+        "incremental_s": incremental_s,
+        "speedup": full_s / incremental_s,
+        "dirty_blocks": len(verified.delta.dirty),
+        "replayed_blocks": len(verified.replayed_blocks),
+        "rescheduled_blocks": len(verified.scheduled_blocks),
+        "equivalent": bool(verified.verified),
+    }
+
+
+def _bench_interning(taps: int, repeats: int) -> dict:
+    """Memory and time of compiling with type interning on vs off.
+
+    Memory is the retained footprint of the *type objects* the built
+    CDFG holds — exactly what interning collapses — counted
+    deterministically over distinct instances (``tracemalloc`` around
+    the whole build drowns the signal in allocator noise).
+    ``equivalent`` checks both builds describe the same IR.
+    """
+    source = fir_source(taps)
+
+    def build():
+        cdfg = compile_source(source)
+        optimize(cdfg, unroll=True)
+        return cdfg
+
+    def shape(cdfg) -> list[tuple]:
+        return [
+            (block.name, [(op.kind.value, str(op.result.type)
+                           if op.result else None) for op in block.ops])
+            for block in cdfg.blocks()
+        ]
+
+    def type_footprint(cdfg) -> tuple[int, int]:
+        """(bytes, instances) of the distinct type objects retained by
+        every value in the CDFG."""
+        seen: dict[int, int] = {}
+        for block in cdfg.blocks():
+            for op in block.ops:
+                values = list(op.operands)
+                if op.result is not None:
+                    values.append(op.result)
+                for value in values:
+                    type_ = value.type
+                    if id(type_) not in seen:
+                        size = sys.getsizeof(type_)
+                        instance_dict = getattr(type_, "__dict__", None)
+                        if instance_dict is not None:
+                            size += sys.getsizeof(instance_dict)
+                        seen[id(type_)] = size
+        return sum(seen.values()), len(seen)
+
+    def measured(enabled: bool) -> tuple[int, int, list[tuple]]:
+        previous = set_type_interning(enabled)
+        try:
+            cdfg = build()
+            size, instances = type_footprint(cdfg)
+            return size, instances, shape(cdfg)
+        finally:
+            set_type_interning(previous)
+
+    def timed(enabled: bool) -> float:
+        def run():
+            previous = set_type_interning(enabled)
+            try:
+                build()
+            finally:
+                set_type_interning(previous)
+        return _best_of(run, repeats)
+
+    interned_bytes, interned_objs, interned_shape = measured(True)
+    uninterned_bytes, uninterned_objs, uninterned_shape = measured(False)
+    interned_s = timed(True)
+    uninterned_s = timed(False)
+    return {
+        "workload": f"fir({taps}) compile+unroll",
+        "interned_bytes": interned_bytes,
+        "uninterned_bytes": uninterned_bytes,
+        "bytes_saved": uninterned_bytes - interned_bytes,
+        "interned_type_objects": interned_objs,
+        "uninterned_type_objects": uninterned_objs,
+        "interned_s": interned_s,
+        "uninterned_s": uninterned_s,
+        "speedup": uninterned_s / interned_s,
+        "equivalent": interned_shape == uninterned_shape,
+    }
+
+
 def _single_block_problem(cdfg, model, constraints=None,
                           time_limit=None) -> SchedulingProblem:
     blocks = [block for block in cdfg.blocks() if block.ops]
@@ -344,6 +551,15 @@ def run_benchmarks(budget: str = "full") -> dict:
                 repeats,
             ),
         },
+        "store": {
+            "cross_process_sweep": _bench_store_cross_process(
+                knobs["store_limits"], repeats,
+            ),
+            "edit_resynthesis": _bench_edit_resynthesis(repeats),
+        },
+        "ir": {
+            "interning": _bench_interning(knobs["fir_taps"], repeats),
+        },
     }
     return report
 
@@ -361,7 +577,7 @@ def main(argv: list[str] | None = None) -> int:
     report = run_benchmarks(args.budget)
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
 
-    for section in ("dse", "schedulers"):
+    for section in ("dse", "schedulers", "store", "ir"):
         for name, entry in report[section].items():
             flag = entry.get("equivalent",
                              entry.get("identical_schedules"))

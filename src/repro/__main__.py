@@ -20,10 +20,13 @@ Commands:
   per-stage time/percentage table.
 * ``trace FILE``    — synthesize with tracing on and write a Chrome
   ``trace_event`` JSON (open in ``chrome://tracing`` or Perfetto).
+* ``cache VERB``    — inspect or maintain the persistent design store
+  (``stats``, ``gc``, ``clear``).
 
 Examples::
 
     python -m repro synth design.bsl --fu 2 --verify -o design.v
+    python -m repro synth design.bsl --store --fu 2
     python -m repro simulate design.bsl X=0.5 --fu 2
     python -m repro explore design.bsl --limits 1,2,3,4 --report
     python -m repro verify design.bsl --differential
@@ -33,6 +36,8 @@ Examples::
     python -m repro lint --workloads
     python -m repro profile examples/sqrt.hls --fu 2
     python -m repro trace examples/sqrt.hls --out trace.json
+    python -m repro cache stats --json
+    python -m repro cache gc --max-entries 256 --max-age-days 30
 """
 
 from __future__ import annotations
@@ -76,6 +81,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--unroll", action="store_true",
         help="fully unroll constant-trip loops",
     )
+    parser.add_argument(
+        "--store", action=argparse.BooleanOptionalAction, default=None,
+        help="use the persistent design store (--store forces it on at "
+        "the default directory, --no-store forces it off; default: "
+        "honor REPRO_STORE_DIR / REPRO_STORE)",
+    )
 
 
 def _options(args: argparse.Namespace) -> SynthesisOptions:
@@ -105,9 +116,19 @@ def _parse_value(text: str) -> float | int:
         return float(text)
 
 
+def _use_cache() -> bool:
+    """Serve synth/simulate from the two-tier cache when a persistent
+    store is active (profile/trace/verify always run the real pipeline
+    — a cache hit would leave them nothing to measure)."""
+    from .store import active_store
+
+    return active_store() is not None
+
+
 def cmd_synth(args: argparse.Namespace) -> int:
     source = _read_source(args.file)
-    design = synthesize(source, args.procedure, _options(args))
+    design = synthesize(source, args.procedure, _options(args),
+                        use_cache=_use_cache())
     print(design.report())
     print()
     print("design process log:")
@@ -128,7 +149,8 @@ def cmd_synth(args: argparse.Namespace) -> int:
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     source = _read_source(args.file)
-    design = synthesize(source, args.procedure, _options(args))
+    design = synthesize(source, args.procedure, _options(args),
+                        use_cache=_use_cache())
     inputs = {}
     for pair in args.inputs:
         if "=" not in pair:
@@ -249,6 +271,55 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     )
     print(report.render())
     return 1 if not report.ok else 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
+    from .core import clear_synthesis_cache
+    from .store import DesignStore, active_store, default_store_dir
+
+    if args.dir is not None:
+        store = DesignStore(args.dir)
+    else:
+        store = active_store() or DesignStore(default_store_dir())
+
+    if args.verb == "stats":
+        stats = store.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+        else:
+            for key in sorted(stats):
+                print(f"{key:>16}: {stats[key]}")
+        return 0
+
+    if args.verb == "gc":
+        max_age_s = (
+            args.max_age_days * 86400.0
+            if args.max_age_days is not None
+            else None
+        )
+        removed = store.gc(max_entries=args.max_entries,
+                           max_age_s=max_age_s)
+        if args.json:
+            print(json.dumps(removed, indent=2, sort_keys=True))
+        else:
+            print(
+                f"removed {removed['entries']} entries, "
+                f"{removed['temp_files']} temp files, "
+                f"{removed['stale_versions']} stale version dirs"
+            )
+        return 0
+
+    # clear: drop the disk tier and the in-process LRU together so a
+    # following run starts genuinely cold.
+    store.clear()
+    clear_synthesis_cache()
+    if args.json:
+        print(json.dumps({"cleared": str(store.root)}))
+    else:
+        print(f"cleared design store at {store.root}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -405,7 +476,39 @@ def main(argv: list[str] | None = None) -> int:
     )
     trace.set_defaults(handler=cmd_trace)
 
+    cache = subparsers.add_parser(
+        "cache", help="inspect or maintain the persistent design store"
+    )
+    cache.add_argument(
+        "verb", choices=("stats", "gc", "clear"),
+        help="stats: entry/byte counts; gc: prune old or excess "
+        "entries and stale temp/version dirs; clear: remove everything",
+    )
+    cache.add_argument(
+        "--dir", default=None,
+        help="store directory (default: the active store, else the "
+        "default directory)",
+    )
+    cache.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output",
+    )
+    cache.add_argument(
+        "--max-entries", type=int, default=None,
+        help="gc: keep at most this many newest entries",
+    )
+    cache.add_argument(
+        "--max-age-days", type=float, default=None,
+        help="gc: drop entries older than this many days",
+    )
+    cache.set_defaults(handler=cmd_cache)
+
     args = parser.parse_args(argv)
+    store_flag = getattr(args, "store", None)
+    if store_flag is not None:
+        from .store import configure_store, default_store_dir
+
+        configure_store(default_store_dir() if store_flag else None)
     try:
         return args.handler(args)
     except HLSError as error:

@@ -49,6 +49,14 @@ from .expressions import (
     expression_key,
     expression_tree,
 )
+from .impact import (
+    CDFGDelta,
+    block_digest,
+    cdfg_digests,
+    diff_cdfgs,
+    impacted_blocks,
+    structure_digest,
+)
 from .liveness import (
     LivenessResult,
     block_uses_defs,
@@ -95,6 +103,12 @@ __all__ = [
     "available_expressions",
     "expression_key",
     "expression_tree",
+    "CDFGDelta",
+    "block_digest",
+    "cdfg_digests",
+    "diff_cdfgs",
+    "impacted_blocks",
+    "structure_digest",
     "ConstantsResult",
     "TOP",
     "BOTTOM",

@@ -50,6 +50,16 @@ class Component:
     def area(self, width: int) -> float:
         return self.area_fixed + self.area_per_bit * width
 
+    def cache_token(self) -> tuple:
+        """Value-level identity for persistent cache keys."""
+        return (
+            self.name,
+            tuple(sorted(kind.value for kind in self.kinds)),
+            self.area_per_bit,
+            self.area_fixed,
+            self.delay_ns,
+        )
+
 
 def _kinds(*kinds: OpKind) -> frozenset[OpKind]:
     return frozenset(kinds)
@@ -130,3 +140,14 @@ class ComponentLibrary:
                 f"no library component implements {sorted(k.value for k in kinds)}"
             )
         return min(candidates, key=lambda c: (c.area(width), c.name))
+
+    def cache_token(self) -> tuple:
+        """Value-level identity for persistent cache keys.
+
+        Libraries are plain component data, so any two with the same
+        components (in order — candidate order breaks area ties) are
+        interchangeable across processes.
+        """
+        return ("library",) + tuple(
+            component.cache_token() for component in self._components
+        )

@@ -7,19 +7,33 @@ from .engine import (
     SynthesisCache,
     SynthesisOptions,
     clear_synthesis_cache,
+    lookup_design,
+    record_design,
     source_digest,
     synthesis_cache,
     synthesize,
     synthesize_cdfg,
 )
+from .incremental import (
+    ResynthesisReport,
+    differential_verify,
+    resynthesize,
+    resynthesize_from_cache,
+)
 
 __all__ = [
     "ALLOCATORS",
     "SCHEDULERS",
+    "ResynthesisReport",
     "SynthesisCache",
     "SynthesisOptions",
     "SynthesizedDesign",
     "clear_synthesis_cache",
+    "differential_verify",
+    "lookup_design",
+    "record_design",
+    "resynthesize",
+    "resynthesize_from_cache",
     "source_digest",
     "synthesis_cache",
     "synthesize",

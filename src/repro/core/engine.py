@@ -25,7 +25,7 @@ from ..allocation import (
 from ..binding import ComponentLibrary, ModuleBinder
 from ..controller.fsm import synthesize_fsm
 from ..datapath.plan import plan_block
-from ..errors import HLSError
+from ..errors import HLSError, SchedulingError
 from ..ir.cdfg import CDFG, IfRegion, LoopRegion
 from ..lang import compile_source
 from ..obs import maybe_tracing, metrics, trace_span
@@ -37,6 +37,7 @@ from ..scheduling import (
     ListScheduler,
     ResourceConstraints,
     ResourceModel,
+    Schedule,
     SchedulingProblem,
     SimulatedAnnealingScheduler,
     UniversalFUModel,
@@ -243,6 +244,58 @@ def clear_synthesis_cache() -> None:
     _SYNTHESIS_CACHE.clear()
 
 
+def _store_tier(digest: str, procedure: str | None,
+                options: SynthesisOptions):
+    """(store, key) of the persistent tier, or (None, None).
+
+    Imported lazily: :mod:`repro.store` pulls in :mod:`repro.exec`
+    for its fault hooks, and the engine must stay importable first.
+    """
+    from ..store import active_store, store_key
+
+    store = active_store()
+    if store is None:
+        return None, None
+    key = store_key(digest, procedure, options)
+    if key is None:
+        return None, None
+    return store, key
+
+
+def lookup_design(digest: str, procedure: str | None,
+                  options: SynthesisOptions) -> SynthesizedDesign | None:
+    """Two-tier design lookup: the in-memory LRU, then the persistent
+    store (when one is active — see :func:`repro.store.active_store`).
+
+    A store hit is re-inserted into the LRU under the in-memory key,
+    so repeated lookups in one process pay the pickle load once.
+    Cached designs are shared objects; callers must not mutate them.
+    """
+    key = (digest, procedure, options.cache_key())
+    design = _SYNTHESIS_CACHE.get(key)
+    if design is not None:
+        return design
+    store, store_key_ = _store_tier(digest, procedure, options)
+    if store is None:
+        return None
+    design = store.get(store_key_)
+    if design is not None:
+        _SYNTHESIS_CACHE.put(key, design)
+    return design
+
+
+def record_design(digest: str, procedure: str | None,
+                  options: SynthesisOptions,
+                  design: SynthesizedDesign) -> None:
+    """Insert a design into both cache tiers (store tier only when one
+    is active and the options are stably keyable)."""
+    _SYNTHESIS_CACHE.put((digest, procedure, options.cache_key()),
+                         design)
+    store, store_key_ = _store_tier(digest, procedure, options)
+    if store is not None:
+        store.put(store_key_, design, fault_spec=options.fault_spec)
+
+
 def _verify_stages(design: SynthesizedDesign, stages: tuple[str, ...],
                    log: list[str]) -> None:
     """Opt-in engine hook: run stage contracts, raise on violations.
@@ -277,6 +330,7 @@ def _region_condition_values(cdfg: CDFG) -> dict[int, set[int]]:
 def synthesize_cdfg(cdfg: CDFG,
                     options: SynthesisOptions | None = None,
                     problem_cache: dict[int, SchedulingProblem] | None = None,
+                    schedule_hints: Mapping[str, tuple] | None = None,
                     ) -> SynthesizedDesign:
     """Run scheduling → allocation → binding → control on a CDFG.
 
@@ -293,14 +347,53 @@ def synthesize_cdfg(cdfg: CDFG,
             shared across runs via
             :meth:`SchedulingProblem.with_constraints`.  Only valid
             while the CDFG and resource model stay the same.
+        schedule_hints: block name → position-indexed start tuple (the
+            :meth:`~repro.scheduling.Schedule.signature` format) from a
+            previously synthesized design.  A hinted block skips the
+            scheduler: its start times are replayed onto the fresh
+            block and validated; a hint that no longer fits (different
+            op count, dependence or resource violation) silently falls
+            back to real scheduling.  Only pass hints for blocks whose
+            content is known unchanged — incremental re-synthesis
+            (:func:`repro.core.incremental.resynthesize`) derives them
+            from an :func:`~repro.analysis.impact.diff_cdfgs` delta.
     """
     options = options or SynthesisOptions()
     with maybe_tracing(options.trace):
-        return _synthesize_cdfg(cdfg, options, problem_cache)
+        return _synthesize_cdfg(cdfg, options, problem_cache,
+                                schedule_hints)
+
+
+def _replay_schedule(problem: SchedulingProblem, hint: tuple,
+                     scheduler_name: str) -> Schedule | None:
+    """Rebuild a block's schedule from a position-indexed start tuple.
+
+    Returns a validated :class:`Schedule`, or None when the hint does
+    not fit this problem (wrong op count / illegal under its
+    constraints) — the caller then runs the scheduler for real.
+    """
+    ops = problem.ops
+    start: dict[int, int] = {}
+    for index, begin in hint:
+        if not 0 <= index < len(ops):
+            metrics().counter("engine.blocks.replay_rejected").inc()
+            return None
+        start[ops[index].id] = begin
+    if len(start) != len(ops):
+        metrics().counter("engine.blocks.replay_rejected").inc()
+        return None
+    schedule = Schedule(problem, start, scheduler=scheduler_name)
+    try:
+        schedule.validate()
+    except SchedulingError:
+        metrics().counter("engine.blocks.replay_rejected").inc()
+        return None
+    return schedule
 
 
 def _synthesize_cdfg(cdfg: CDFG, options: SynthesisOptions,
                      problem_cache: dict[int, SchedulingProblem] | None,
+                     schedule_hints: Mapping[str, tuple] | None = None,
                      ) -> SynthesizedDesign:
     """The pipeline proper, with per-stage spans and metrics."""
     model = options.model or UniversalFUModel()
@@ -342,19 +435,34 @@ def _synthesize_cdfg(cdfg: CDFG, options: SynthesisOptions,
             problem = base_problem.with_constraints(constraints)
         else:
             problem = SchedulingProblem.from_block(block, model, constraints)
-        with trace_span("schedule", block=block.name,
-                        scheduler=options.scheduler) as span:
-            started = time.perf_counter()
-            schedule = scheduler_factory(problem).schedule()
-            elapsed_ms = (time.perf_counter() - started) * 1e3
-            schedule.validate()
-            span.set(steps=schedule.length)
-        metrics().counter(
-            "scheduler.invocations", scheduler=options.scheduler
-        ).inc()
-        metrics().histogram(
-            "scheduler.latency_ms", scheduler=options.scheduler
-        ).observe(elapsed_ms)
+        schedule = None
+        replayed = False
+        hint = (schedule_hints.get(block.name)
+                if schedule_hints else None)
+        if hint is not None:
+            with trace_span("schedule", block=block.name,
+                            scheduler=options.scheduler,
+                            replayed=True) as span:
+                schedule = _replay_schedule(problem, hint,
+                                            options.scheduler)
+                if schedule is not None:
+                    replayed = True
+                    span.set(steps=schedule.length)
+                    metrics().counter("engine.blocks.replayed").inc()
+        if schedule is None:
+            with trace_span("schedule", block=block.name,
+                            scheduler=options.scheduler) as span:
+                started = time.perf_counter()
+                schedule = scheduler_factory(problem).schedule()
+                elapsed_ms = (time.perf_counter() - started) * 1e3
+                schedule.validate()
+                span.set(steps=schedule.length)
+            metrics().counter(
+                "scheduler.invocations", scheduler=options.scheduler
+            ).inc()
+            metrics().histogram(
+                "scheduler.latency_ms", scheduler=options.scheduler
+            ).observe(elapsed_ms)
         with trace_span("allocate", block=block.name,
                         allocator=options.allocator) as span:
             allocation = allocator_factory(schedule).allocate()
@@ -382,6 +490,7 @@ def _synthesize_cdfg(cdfg: CDFG, options: SynthesisOptions,
         log.append(
             f"schedule[{options.scheduler}] {block.name}: "
             f"{schedule.length} steps, peak usage {{{usage or '-'}}}"
+            + (" (replayed)" if replayed else "")
         )
         log.append(
             f"allocate[{options.allocator}] {block.name}: "
@@ -425,8 +534,10 @@ def synthesize(source: str, procedure: str | None = None,
             ``option_kwargs`` are forwarded to its constructor
             (``scheduler=``, ``allocator=``, ``constraints=``, …).
         use_cache: look the design up in (and store it into) the
-            process-global :class:`SynthesisCache`.  Cached designs are
-            shared objects — callers must not mutate them.
+            two-tier design cache — the process-global
+            :class:`SynthesisCache`, backed by the persistent
+            :mod:`repro.store` tier when one is active.  Cached
+            designs are shared objects — callers must not mutate them.
     """
     if options is None:
         options = SynthesisOptions(**option_kwargs)
@@ -435,17 +546,16 @@ def synthesize(source: str, procedure: str | None = None,
     with maybe_tracing(options.trace):
         with trace_span("synthesize", scheduler=options.scheduler,
                         allocator=options.allocator) as span:
-            key: tuple | None = None
+            digest: str | None = None
             if use_cache:
-                key = (source_digest(source), procedure,
-                       options.cache_key())
-                cached = _SYNTHESIS_CACHE.get(key)
+                digest = source_digest(source)
+                cached = lookup_design(digest, procedure, options)
                 if cached is not None:
                     span.set(cached=True)
                     return cached
             cdfg = compile_source(source, procedure)
             span.set(design=cdfg.name)
             design = synthesize_cdfg(cdfg, options)
-            if key is not None:
-                _SYNTHESIS_CACHE.put(key, design)
+            if digest is not None:
+                record_design(digest, procedure, options, design)
             return design

@@ -1,0 +1,191 @@
+"""Incremental re-synthesis: redo only what a source edit touched.
+
+The flow (ScaleHLS-style cheap re-evaluation, applied to the paper's
+pipeline): compile and optimize the edited source as usual, diff the
+resulting CDFG against the baseline design's CDFG with
+:func:`~repro.analysis.impact.diff_cdfgs`, then synthesize the new
+CDFG with *schedule hints* for every content-unchanged block — the
+engine replays the baseline's start times onto the fresh block
+(validating them against its dependences and constraints) instead of
+re-running the scheduler.  Dirty, added, and structurally shifted
+blocks are scheduled for real.  Allocation, binding, datapath and
+controller synthesis always re-run — they are deterministic functions
+of (CDFG, schedules) and fast compared to scheduling, and re-running
+them keeps the produced design indistinguishable from a full
+resynthesis.
+
+Replay is *provably safe* per block (the replayed schedule is
+re-validated) but exact output equality with a from-scratch run
+additionally assumes the scheduler is deterministic on unchanged
+content — true for every built-in scheduler.  The escape hatch for
+doubt is ``verify=True``: it runs the full pipeline from scratch and
+compares stage signatures, raising
+:class:`~repro.errors.VerificationError` naming the first diverging
+stage.  Benchmarks keep it on once per workload so the reported
+speedups are certified equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..analysis.impact import CDFGDelta, diff_cdfgs
+from ..errors import VerificationError
+from ..lang import compile_source
+from ..obs import metrics, trace_span
+from ..transforms import optimize
+from .design import SynthesizedDesign
+from .engine import (
+    SynthesisOptions,
+    lookup_design,
+    record_design,
+    source_digest,
+    synthesize,
+    synthesize_cdfg,
+)
+
+
+@dataclass
+class ResynthesisReport:
+    """The incrementally re-synthesized design plus what was reused."""
+
+    design: SynthesizedDesign
+    delta: CDFGDelta
+    #: Block names whose baseline schedule was replayed.
+    replayed_blocks: list[str] = field(default_factory=list)
+    #: Block names scheduled from scratch.
+    scheduled_blocks: list[str] = field(default_factory=list)
+    #: True after a passing differential verification; None when
+    #: verification was not requested.
+    verified: bool | None = None
+
+
+def differential_verify(design: SynthesizedDesign, source: str,
+                        procedure: str | None = None,
+                        options: SynthesisOptions | None = None) -> bool:
+    """Prove ``design`` equivalent to a full resynthesis of ``source``.
+
+    Runs the whole pipeline from scratch (no hints, no caches) and
+    compares per-stage decision signatures.  Returns True; raises
+    :class:`~repro.errors.VerificationError` naming the first
+    diverging stage otherwise.
+    """
+    options = options or SynthesisOptions()
+    with trace_span("resynthesize.verify"):
+        reference = synthesize(source, procedure, options)
+    ours = design.stage_signatures()
+    theirs = reference.stage_signatures()
+    for stage in ours:
+        if ours[stage] != theirs[stage]:
+            raise VerificationError(
+                f"incremental resynthesis diverged from full "
+                f"resynthesis at the {stage} stage"
+            )
+    return True
+
+
+def resynthesize(baseline: SynthesizedDesign, source: str,
+                 procedure: str | None = None,
+                 options: SynthesisOptions | None = None,
+                 verify: bool = False) -> ResynthesisReport:
+    """Re-synthesize an edited ``source`` against a baseline design.
+
+    Args:
+        baseline: a design previously synthesized **with the same
+            options** (scheduler, model, constraints…) from a close
+            ancestor of ``source``; its per-block schedules seed the
+            replay.  A baseline built under different options is not
+            an error — its hints simply fail validation block by
+            block and everything is scheduled fresh.
+        source: the edited BSL program text.
+        procedure: entry procedure (default: last defined).
+        options: pipeline knobs (default: baseline-compatible
+            defaults).
+        verify: also run a full from-scratch resynthesis and raise
+            :class:`~repro.errors.VerificationError` unless the stage
+            signatures match (the differential escape hatch).
+    """
+    options = options or SynthesisOptions()
+    with trace_span("resynthesize", procedure=procedure or "") as span:
+        cdfg = compile_source(source, procedure)
+        if options.optimize_ir:
+            optimize(cdfg, unroll=options.unroll,
+                     tree_height=options.tree_height)
+        run_options = replace(options, optimize_ir=False)
+        delta = diff_cdfgs(baseline.cdfg, cdfg)
+        baseline_ids = {
+            block.name: block.id for block in baseline.cdfg.blocks()
+        }
+        hints: dict[str, tuple] = {}
+        for name in delta.unchanged:
+            schedule = baseline.schedules.get(baseline_ids[name])
+            if schedule is not None:
+                hints[name] = schedule.signature()
+        replayed_before = metrics().counter(
+            "engine.blocks.replayed"
+        ).value
+        design = synthesize_cdfg(cdfg, run_options,
+                                 schedule_hints=hints)
+        replayed_count = metrics().counter(
+            "engine.blocks.replayed"
+        ).value - replayed_before
+        metrics().counter("resynthesize.runs").inc()
+        metrics().counter("resynthesize.blocks.dirty").inc(
+            len(delta.dirty) + len(delta.added)
+        )
+        span.set(dirty=len(delta.dirty), replayed=replayed_count)
+    # A hint can fail validation and fall back to real scheduling, so
+    # the replayed list is derived from schedules, not from the delta:
+    # a block was replayed iff its final schedule equals its hint.
+    block_names = {
+        block.id: block.name for block in cdfg.blocks()
+    }
+    replayed: list[str] = []
+    scheduled: list[str] = []
+    for block_id, schedule in design.schedules.items():
+        name = block_names.get(block_id, "?")
+        if name in hints and schedule.signature() == hints[name]:
+            replayed.append(name)
+        else:
+            scheduled.append(name)
+    report = ResynthesisReport(
+        design=design,
+        delta=delta,
+        replayed_blocks=sorted(replayed),
+        scheduled_blocks=sorted(scheduled),
+    )
+    if verify:
+        report.verified = differential_verify(design, source,
+                                              procedure, options)
+    return report
+
+
+def resynthesize_from_cache(old_source: str, new_source: str,
+                            procedure: str | None = None,
+                            options: SynthesisOptions | None = None,
+                            verify: bool = False) -> ResynthesisReport:
+    """Incremental re-synthesis seeded from the two-tier design cache.
+
+    The baseline for ``old_source`` comes from
+    :func:`~repro.core.engine.lookup_design` — in a fresh process with
+    an active :mod:`repro.store` this loads the template a previous
+    process persisted, so an edit-compile-resynthesize loop stays warm
+    across CLI invocations.  When the baseline is not cached it is
+    synthesized (and recorded) first.
+
+    The incremental result is recorded under ``new_source``'s key only
+    after a **passing** differential verification: the store must only
+    ever serve designs indistinguishable from a full synthesis.
+    """
+    options = options or SynthesisOptions()
+    digest = source_digest(old_source)
+    baseline = lookup_design(digest, procedure, options)
+    if baseline is None:
+        baseline = synthesize(old_source, procedure, options,
+                              use_cache=True)
+    report = resynthesize(baseline, new_source, procedure, options,
+                          verify=verify)
+    if report.verified:
+        record_design(source_digest(new_source), procedure, options,
+                      report.design)
+    return report

@@ -19,11 +19,13 @@ Exploration is built for "a reasonable amount of time":
   structure is reused across resource budgets — parallel workers
   instead deep-clone the template per point
   (:func:`~repro.transforms.clone_cdfg`);
-* synthesized designs are memoized in the process-global
-  :func:`~repro.core.engine.synthesis_cache`, keyed by source digest
-  and option knobs, so a constraint probed twice — e.g. across an
-  :func:`explore_fu_range` sweep and a later
-  :func:`search_for_latency` — is never rebuilt;
+* synthesized designs are memoized in the two-tier design cache
+  (:func:`~repro.core.engine.lookup_design`: the process-global LRU,
+  backed by the persistent :mod:`repro.store` when one is active),
+  keyed by source digest and option knobs, so a constraint probed
+  twice — across an :func:`explore_fu_range` sweep, a later
+  :func:`search_for_latency`, or a whole new process — is never
+  rebuilt;
 * both entry points take ``n_jobs``: with more than one job, points
   fan out over a :class:`~repro.explore.parallel.ParallelExplorer`
   process pool, producing results identical to the serial path.
@@ -39,8 +41,9 @@ from typing import Callable, Sequence
 from ..core.design import SynthesizedDesign
 from ..core.engine import (
     SynthesisOptions,
+    lookup_design,
+    record_design,
     source_digest,
-    synthesis_cache,
     synthesize_cdfg,
 )
 from ..estimation import estimate_area, estimate_timing
@@ -300,10 +303,11 @@ class _PointBuilder:
             {self.resource_class: limit}
         )
         design = None
-        key = None
         if self.use_cache:
-            key = (self._digest, None, point_options.cache_key())
-            design = synthesis_cache().get(key)
+            # Two-tier: the in-memory LRU, then the persistent store
+            # (when active) — a sweep re-run in a fresh process warm
+            # starts from disk.
+            design = lookup_design(self._digest, None, point_options)
         if design is None:
             if isinstance(self.source_or_factory, str):
                 # IR optimization already ran once on the shared CDFG.
@@ -316,8 +320,9 @@ class _PointBuilder:
                 design = synthesize_cdfg(
                     self.source_or_factory(), point_options
                 )
-            if key is not None:
-                synthesis_cache().put(key, design)
+            if self.use_cache:
+                record_design(self._digest, None, point_options,
+                              design)
         cycles, clock_ns, area = self._measure(design)
         return DesignPoint(
             constraints=point_options.constraints,

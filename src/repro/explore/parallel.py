@@ -46,6 +46,7 @@ from ..obs import (
     tracing,
     tracing_enabled,
 )
+from ..store import DesignStore, active_store, store_key
 from ..transforms import clone_cdfg, optimize
 from .dse import DesignPoint, _PointBuilder, measure_cycles
 
@@ -77,27 +78,54 @@ def _build_point_task(payload: dict) -> tuple[DesignPoint, list, dict]:
     return point, tracer().records(), metrics().snapshot()
 
 
+def _worker_store(store_dir: str | None) -> DesignStore | None:
+    """The store this worker should consult.
+
+    The parent resolves its active store once and ships the directory
+    in every payload — so programmatic configuration crosses the
+    process boundary, and a parent that disabled caching disables it
+    for its workers too (no env fallback here)."""
+    if store_dir:
+        return DesignStore(store_dir)
+    return None
+
+
 def _build_point(payload: dict) -> DesignPoint:
     source = payload["source"]
     options = payload["options"].with_constraints(
         {payload["resource_class"]: payload["limit"]}
     )
+    design = None
+    store = None
+    key = None
     if source is not None:
-        digest = payload["digest"]
-        template = _WORKER_TEMPLATES.get(digest)
-        if template is None:
-            template = compile_source(source)
-            if options.optimize_ir:
-                optimize(template, unroll=options.unroll,
-                         tree_height=options.tree_height)
-            _WORKER_TEMPLATES[digest] = template
-        # The memoized template is already optimized; each point gets
-        # a fresh deep clone to synthesize.
-        cdfg = clone_cdfg(template)
-        options = replace(options, optimize_ir=False)
-    else:
-        cdfg = payload["factory"]()
-    design = synthesize_cdfg(cdfg, options)
+        store = _worker_store(payload.get("store_dir"))
+        if store is not None:
+            # Same key the parent's serial path derives: constraints
+            # applied, the optimize_ir knob still as requested.
+            key = store_key(payload["digest"], None, options)
+        if key is not None:
+            design = store.get(key)
+    if design is None:
+        if source is not None:
+            digest = payload["digest"]
+            template = _WORKER_TEMPLATES.get(digest)
+            if template is None:
+                template = compile_source(source)
+                if options.optimize_ir:
+                    optimize(template, unroll=options.unroll,
+                             tree_height=options.tree_height)
+                _WORKER_TEMPLATES[digest] = template
+            # The memoized template is already optimized; each point
+            # gets a fresh deep clone to synthesize.
+            cdfg = clone_cdfg(template)
+            run_options = replace(options, optimize_ir=False)
+        else:
+            cdfg = payload["factory"]()
+            run_options = options
+        design = synthesize_cdfg(cdfg, run_options)
+        if key is not None:
+            store.put(key, design, fault_spec=options.fault_spec)
     metrics().counter("dse.measurements.run").inc()
     cycles = measure_cycles(design, payload["vectors"])
     timing = estimate_timing(design, cycles)
@@ -164,6 +192,7 @@ class ParallelExplorer:
 
         source_or_factory = builder.source_or_factory
         is_source = isinstance(source_or_factory, str)
+        store = active_store() if builder.use_cache else None
         payloads = [
             {
                 "source": source_or_factory if is_source else None,
@@ -174,6 +203,9 @@ class ParallelExplorer:
                 "limit": limit,
                 "vectors": builder.vectors,
                 "trace": tracing_enabled() or builder.base.trace,
+                "store_dir": (
+                    str(store.root) if store is not None else None
+                ),
             }
             for limit in limits
         ]

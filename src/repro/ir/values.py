@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING, Any, Iterator
 
 from ..errors import IRError
 from .opcodes import OpKind, op_info
-from .types import BOOL, Type
+from .types import BOOL, Type, intern_type
 
 if TYPE_CHECKING:  # pragma: no cover
     from .cdfg import CDFG
@@ -42,7 +42,9 @@ class Value:
     def __init__(self, id: int, type_: Type, producer: "Operation",
                  name: str | None = None) -> None:
         self.id = id
-        self.type = type_
+        # Interned: equal types share one instance, so a large DFG
+        # holds one IntType per distinct width instead of one per arc.
+        self.type = intern_type(type_)
         self.producer = producer
         self.name = name
         self.uses: list[tuple[Operation, int]] = []
@@ -124,6 +126,8 @@ class BasicBlock:
     the authoritative source of ordering constraints, exactly as in the
     paper's Fig. 1 discussion.
     """
+
+    __slots__ = ("id", "cdfg", "name", "ops")
 
     def __init__(self, id: int, cdfg: "CDFG", name: str | None = None) -> None:
         self.id = id

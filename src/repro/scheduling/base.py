@@ -74,6 +74,19 @@ class ResourceModel:
         """
         return self.delay(op)
 
+    def cache_token(self) -> tuple | None:
+        """Value-level identity for persistent cache keys.
+
+        In-memory caches key models by object identity; the disk store
+        (:mod:`repro.store`) needs a token that is equal across
+        processes for models that behave identically.  The default —
+        None — marks the model *unstorable*: designs built with it are
+        cached in memory only, which is always safe.  Subclasses whose
+        behavior is fully determined by plain-data configuration
+        override this.
+        """
+        return None
+
     # Convenience -------------------------------------------------------
 
     def is_free(self, op: Operation) -> bool:
@@ -140,6 +153,9 @@ class UniversalFUModel(ResourceModel):
     def delay(self, op: Operation) -> int:
         return 0 if self.op_class(op) is None else 1
 
+    def cache_token(self) -> tuple:
+        return ("universal", self._count_bare_moves, self._memory_class)
+
 
 DEFAULT_TYPED_DELAYS: dict[str, int] = {
     "add": 1,
@@ -195,6 +211,14 @@ class TypedFUModel(ResourceModel):
         if cls in self._pipelined:
             return 1
         return self._delays.get(cls, 1)
+
+    def cache_token(self) -> tuple:
+        return (
+            "typed",
+            tuple(sorted(self._delays.items())),
+            self._free_const_shifts,
+            tuple(sorted(self._pipelined)),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -506,6 +530,11 @@ class SchedulingProblem:
 
 class Schedule:
     """An assignment of every operation to a start control step."""
+
+    # Sweeps hold one Schedule per (block, design point); slots keep
+    # the per-instance cost to the three fields.  Subclasses that add
+    # state (PipelineSchedule) get a __dict__ as usual.
+    __slots__ = ("problem", "start", "scheduler")
 
     def __init__(self, problem: SchedulingProblem,
                  start: Mapping[int, int],

@@ -1,0 +1,96 @@
+"""Persistent content-addressed design store (``repro.store``).
+
+The second tier behind the process-global in-memory
+:class:`~repro.core.engine.SynthesisCache`: designs are pickled to
+disk under a content address (source digest + entry procedure +
+value-level options token + schema version, see
+:mod:`~repro.store.keys`) so sweeps survive process restarts — the
+CLI, parallel :mod:`repro.exec` workers and a future synthesis
+service all warm-start from the same directory.
+
+The store is **off by default**.  It activates when either
+
+* :func:`configure_store` is called (the CLI's ``--store`` /
+  ``--no-store`` flags and tests use this), or
+* env ``REPRO_STORE_DIR`` names a directory (``REPRO_STORE=0``
+  force-disables even then).
+
+``active_store()`` returns the store in force, or None; callers in
+:mod:`repro.core.engine` treat None as "memory tier only".  See
+``docs/performance.md`` for the two-tier protocol and invalidation
+rules, and ``repro cache stats|gc|clear`` for maintenance.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .keys import STORE_SCHEMA_VERSION, options_token, store_key
+from .store import DEFAULT_TMP_GRACE_S, DesignStore
+
+STORE_DIR_ENV = "REPRO_STORE_DIR"
+STORE_ENV = "REPRO_STORE"
+
+_EXPLICIT: DesignStore | None = None
+_EXPLICIT_SET = False
+_ENV_MEMO: tuple[str, DesignStore] | None = None
+
+
+def default_store_dir() -> str:
+    """Where ``--store`` puts designs absent an explicit directory."""
+    return os.environ.get(STORE_DIR_ENV) or os.path.join(
+        os.path.expanduser("~"), ".cache", "repro", "designs"
+    )
+
+
+def configure_store(root: str | os.PathLike | None) -> DesignStore | None:
+    """Explicitly set the process-global store (None disables it).
+
+    An explicit configuration always wins over the environment — in
+    particular ``configure_store(None)`` turns the store off even when
+    ``REPRO_STORE_DIR`` is set (the CLI's ``--no-store``).
+    """
+    global _EXPLICIT, _EXPLICIT_SET
+    _EXPLICIT = DesignStore(root) if root is not None else None
+    _EXPLICIT_SET = True
+    return _EXPLICIT
+
+
+def reset_store() -> None:
+    """Forget any explicit configuration; fall back to the env."""
+    global _EXPLICIT, _EXPLICIT_SET, _ENV_MEMO
+    _EXPLICIT = None
+    _EXPLICIT_SET = False
+    _ENV_MEMO = None
+
+
+def active_store() -> DesignStore | None:
+    """The store in force for this process, or None."""
+    global _ENV_MEMO
+    if _EXPLICIT_SET:
+        return _EXPLICIT
+    if os.environ.get(STORE_ENV, "").strip().lower() in (
+        "0", "off", "false", "no",
+    ):
+        return None
+    root = os.environ.get(STORE_DIR_ENV)
+    if not root:
+        return None
+    if _ENV_MEMO is None or _ENV_MEMO[0] != root:
+        _ENV_MEMO = (root, DesignStore(root))
+    return _ENV_MEMO[1]
+
+
+__all__ = [
+    "DEFAULT_TMP_GRACE_S",
+    "STORE_DIR_ENV",
+    "STORE_ENV",
+    "STORE_SCHEMA_VERSION",
+    "DesignStore",
+    "active_store",
+    "configure_store",
+    "default_store_dir",
+    "options_token",
+    "reset_store",
+    "store_key",
+]

@@ -1,0 +1,236 @@
+"""The disk-backed design store: atomic, sharded, corruption-tolerant.
+
+Layout (two-level sharding keeps directories small at scale)::
+
+    <root>/v<SCHEMA>/<key[:2]>/<key>.pkl
+
+Writes are atomic: the pickle goes to a uniquely named temp file in
+the final directory, then ``os.replace`` publishes it.  Concurrent
+writers of the same key (parallel :mod:`repro.exec` workers racing on
+a popular design point) each publish a complete file and the last
+rename wins — both wrote identical bytes, the content address *is*
+the content.  A writer that dies between temp-write and rename leaves
+only a temp file, which ``gc()`` reclaims; readers never see a
+partial entry.  The ``store.persist`` fault-injection hook
+(:func:`repro.exec.faults.maybe_inject`) sits exactly in that window
+so the crash-mid-persist path is deterministically testable.
+
+Reads treat any undecodable entry as a miss, count it under
+``store.corrupt`` and unlink it best-effort — a truncated file from a
+torn filesystem can cost a resynthesis, never an error.
+
+Observability: ``store.hits`` / ``store.misses`` / ``store.persists``
+/ ``store.corrupt`` / ``store.errors`` counters, ``store.load_ms`` /
+``store.persist_ms`` histograms, and ``store.load`` /
+``store.persist`` spans.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+import shutil
+import time
+import uuid
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..exec.faults import maybe_inject
+from ..obs import metrics, trace_span
+from .keys import STORE_SCHEMA_VERSION
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.design import SynthesizedDesign
+
+_VERSION_DIR_RE = re.compile(r"^v\d+$")
+_TMP_PREFIX = ".tmp-"
+
+#: Temp files younger than this are presumed to belong to a live
+#: writer; ``gc()`` only reclaims older ones (override per call).
+DEFAULT_TMP_GRACE_S = 60.0
+
+
+class DesignStore:
+    """A content-addressed store of pickled designs under ``root``.
+
+    Instances are cheap views over a directory — workers open their
+    own against the same path.  All methods swallow filesystem errors
+    into ``store.errors``: the store is an optimization tier and must
+    never be able to fail a synthesis.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root).expanduser()
+
+    @property
+    def version_dir(self) -> Path:
+        return self.root / f"v{STORE_SCHEMA_VERSION}"
+
+    def _path(self, key: str) -> Path:
+        return self.version_dir / key[:2] / f"{key}.pkl"
+
+    # Lookup ------------------------------------------------------------
+
+    def get(self, key: str) -> "SynthesizedDesign | None":
+        registry = metrics()
+        path = self._path(key)
+        with trace_span("store.load", key=key[:12]) as span:
+            started = time.perf_counter()
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                registry.counter("store.misses").inc()
+                span.set(hit=False)
+                return None
+            try:
+                design = pickle.loads(blob)
+            except Exception:
+                # Torn write survivor or a foreign file: treat as a
+                # miss and reclaim the slot.
+                registry.counter("store.corrupt").inc()
+                registry.counter("store.misses").inc()
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                span.set(hit=False, corrupt=True)
+                return None
+            elapsed_ms = (time.perf_counter() - started) * 1e3
+            registry.counter("store.hits").inc()
+            registry.histogram("store.load_ms").observe(elapsed_ms)
+            span.set(hit=True, bytes=len(blob))
+        return design
+
+    # Persistence -------------------------------------------------------
+
+    def put(self, key: str, design: "SynthesizedDesign",
+            fault_spec: str | None = None) -> bool:
+        """Atomically persist ``design``; True when it was published."""
+        registry = metrics()
+        with trace_span("store.persist", key=key[:12]) as span:
+            started = time.perf_counter()
+            try:
+                blob = pickle.dumps(design,
+                                    protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                # Designs built from CDFG factories can close over
+                # unpicklable state; they simply stay memory-only.
+                registry.counter("store.errors").inc()
+                span.set(ok=False)
+                return False
+            path = self._path(key)
+            # pid + uuid keeps concurrent writers of the same key on
+            # distinct temp files; the rename below is then the only
+            # point of contention, and it is atomic.
+            tmp = path.parent / (
+                f"{_TMP_PREFIX}{key[:8]}-{os.getpid()}-{uuid.uuid4().hex}"
+            )
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp.write_bytes(blob)
+            except OSError:
+                registry.counter("store.errors").inc()
+                span.set(ok=False)
+                return False
+            # Deterministic fault hook: a "crash"/"error" fault
+            # registered for label ``store.persist`` fires here,
+            # between temp-write and publish (docs/resilience.md).
+            maybe_inject("store.persist", fault_spec)
+            try:
+                os.replace(tmp, path)
+            except OSError:
+                registry.counter("store.errors").inc()
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+                span.set(ok=False)
+                return False
+            elapsed_ms = (time.perf_counter() - started) * 1e3
+            registry.counter("store.persists").inc()
+            registry.histogram("store.persist_ms").observe(elapsed_ms)
+            span.set(ok=True, bytes=len(blob))
+        return True
+
+    # Maintenance -------------------------------------------------------
+
+    def _entries(self) -> list[Path]:
+        if not self.version_dir.is_dir():
+            return []
+        return sorted(self.version_dir.glob("*/*.pkl"))
+
+    def _temp_files(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob(f"v*/*/{_TMP_PREFIX}*"))
+
+    def stats(self) -> dict:
+        entries = self._entries()
+        return {
+            "root": str(self.root),
+            "schema_version": STORE_SCHEMA_VERSION,
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries
+                         if p.is_file()),
+            "temp_files": len(self._temp_files()),
+        }
+
+    def gc(self, max_entries: int | None = None,
+           max_age_s: float | None = None,
+           tmp_grace_s: float = DEFAULT_TMP_GRACE_S) -> dict:
+        """Reclaim dead weight; returns what was removed.
+
+        Removes: version directories of *other* schema versions
+        (unreachable by construction), orphaned temp files older than
+        ``tmp_grace_s``, entries older than ``max_age_s``, and — after
+        that — the oldest entries beyond ``max_entries``.
+        """
+        now = time.time()
+        removed = {"entries": 0, "temp_files": 0, "stale_versions": 0}
+        if self.root.is_dir():
+            for child in self.root.iterdir():
+                if (child.is_dir() and _VERSION_DIR_RE.match(child.name)
+                        and child != self.version_dir):
+                    shutil.rmtree(child, ignore_errors=True)
+                    removed["stale_versions"] += 1
+        for tmp in self._temp_files():
+            try:
+                if now - tmp.stat().st_mtime >= tmp_grace_s:
+                    tmp.unlink()
+                    removed["temp_files"] += 1
+            except OSError:
+                continue
+        entries = []
+        for path in self._entries():
+            try:
+                entries.append((path.stat().st_mtime, path))
+            except OSError:
+                continue
+        entries.sort()
+        survivors = []
+        for mtime, path in entries:
+            if max_age_s is not None and now - mtime > max_age_s:
+                try:
+                    path.unlink()
+                    removed["entries"] += 1
+                except OSError:
+                    pass
+            else:
+                survivors.append(path)
+        if max_entries is not None and len(survivors) > max_entries:
+            for path in survivors[:len(survivors) - max_entries]:
+                try:
+                    path.unlink()
+                    removed["entries"] += 1
+                except OSError:
+                    pass
+        return removed
+
+    def clear(self) -> None:
+        """Remove every entry, temp file and version directory."""
+        if not self.root.is_dir():
+            return
+        for child in self.root.iterdir():
+            if child.is_dir() and _VERSION_DIR_RE.match(child.name):
+                shutil.rmtree(child, ignore_errors=True)

@@ -43,6 +43,23 @@ def _fresh_synthesis_cache():
 
 
 @pytest.fixture(autouse=True)
+def _no_design_store(monkeypatch):
+    """Keep the persistent store tier out of tests by default.
+
+    A developer's ``REPRO_STORE_DIR`` must not leak cached designs
+    into the suite; tests that want the disk tier opt in by calling
+    ``configure_store`` themselves.
+    """
+    from repro.store import reset_store
+
+    monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+    reset_store()
+    yield
+    reset_store()
+
+
+@pytest.fixture(autouse=True)
 def _fresh_observability():
     """Fresh tracer + zeroed metrics registry per test.
 

@@ -53,6 +53,33 @@ def test_smoke_budget_runs_and_results_match():
 
 
 @pytest.mark.perf_smoke
+def test_smoke_report_embeds_store_and_ir_sections():
+    run_bench = _load_run_bench()
+    report = run_bench.run_benchmarks("smoke")
+
+    assert set(report["store"]) == {
+        "cross_process_sweep", "edit_resynthesis"
+    }
+    sweep = report["store"]["cross_process_sweep"]
+    assert sweep["equivalent"], "warm sweep rows diverged from cold"
+    assert sweep["cold_s"] > 0 and sweep["warm_s"] > 0
+    assert sweep["cold_store_misses"] == sweep["points"]
+    assert sweep["warm_store_hits"] == sweep["points"]
+    assert sweep["warm_store_misses"] == 0
+
+    edit = report["store"]["edit_resynthesis"]
+    assert edit["equivalent"], "incremental resynthesis not verified"
+    assert edit["full_s"] > 0 and edit["incremental_s"] > 0
+    assert edit["dirty_blocks"] == 1
+    assert edit["replayed_blocks"] >= 1
+
+    interning = report["ir"]["interning"]
+    assert interning["equivalent"], "interning changed the built IR"
+    assert interning["bytes_saved"] > 0
+    assert interning["interned_s"] > 0 and interning["uninterned_s"] > 0
+
+
+@pytest.mark.perf_smoke
 def test_smoke_report_embeds_stage_breakdown():
     run_bench = _load_run_bench()
     report = run_bench.run_benchmarks("smoke")
