@@ -3,7 +3,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test test-slow fuzz-smoke fault-smoke fuzz lint verify-examples profile bench cache-smoke
+.PHONY: test test-slow fuzz-smoke fault-smoke fuzz fuzz-corpus corpus-replay corpus-minimize lint verify-examples profile bench cache-smoke
 
 # Tier-1 suite (what CI runs).
 test:
@@ -13,9 +13,12 @@ test:
 test-slow:
 	$(PYTHON) -m pytest -x -q --runslow
 
-# The fixed-seed differential fuzzing pass that ships inside tier-1.
+# The fixed-seed differential fuzzing pass that ships inside tier-1,
+# plus a deterministic smoke-tier coverage-guided run (ephemeral
+# corpus, fixed master seed).
 fuzz-smoke:
 	$(PYTHON) -m pytest -q -m fuzz_smoke
+	$(PYTHON) -m repro fuzz run --tier smoke --budget 40 --master-seed 1
 
 # Fault-injection matrix: crashing/hanging/erroring workers against
 # the repro.exec runtime (docs/resilience.md).
@@ -30,6 +33,25 @@ JOBS ?= 4
 OPS ?= 14
 fuzz:
 	$(PYTHON) -m repro fuzz --seeds $(SEEDS) --jobs $(JOBS) --ops $(OPS)
+
+# Coverage-guided corpus fuzzing: mutate recipes, keep whatever lights
+# new coverage in $(CORPUS), shrink failures into artifacts/.  Tune
+# with e.g. `make fuzz-corpus TIER=deep JOBS=8 MASTER_SEED=3`.
+CORPUS ?= .repro-corpus
+TIER ?= standard
+MASTER_SEED ?= 1
+fuzz-corpus:
+	$(PYTHON) -m repro fuzz run --corpus $(CORPUS) --tier $(TIER) \
+		--master-seed $(MASTER_SEED) --jobs $(JOBS)
+
+# Re-run every corpus entry (the checked-in regression corpus by
+# default): each must synthesize clean, fingerprints must match.
+corpus-replay:
+	$(PYTHON) -m repro fuzz replay --corpus tests/corpus --jobs $(JOBS)
+
+# Drop local-corpus entries that no longer add coverage.
+corpus-minimize:
+	$(PYTHON) -m repro fuzz minimize --corpus $(CORPUS) --jobs $(JOBS)
 
 # Whole-pipeline linter (docs/static-analysis.md).  Fails only on
 # error-severity findings (exit 2): warnings are legitimate on honest

@@ -10,9 +10,13 @@ Commands:
   area/latency trade-off table.
 * ``verify FILE``   — synthesize, run every stage contract, and
   optionally the full scheduler × allocator differential matrix.
-* ``fuzz``          — differentially fuzz random DFGs over many seeds;
-  shrink failures and write repro scripts to ``artifacts/``; replay a
-  single seed from a CI log with ``--seed``.
+* ``fuzz``          — differentially fuzz random DFGs; shrink failures
+  and write repro scripts to ``artifacts/``.  Without a corpus this is
+  the fixed-seed sweep (replay one seed from a CI log with ``--seed``);
+  with ``--corpus DIR`` it runs the mutational, coverage-guided loop
+  (``fuzz run``), re-checks every stored entry (``fuzz replay``) or
+  drops entries that no longer add coverage (``fuzz minimize``).
+  ``--tier smoke|standard|deep`` picks the budget profile.
 * ``lint FILE``     — run the whole-pipeline linter (source, schedule,
   allocation, netlist, controller rules); exit 2 on errors, 1 on
   warnings, 0 when clean.
@@ -32,6 +36,9 @@ Examples::
     python -m repro verify design.bsl --differential
     python -m repro fuzz --seeds 50 --jobs 4 --ops 14
     python -m repro fuzz --seed 17
+    python -m repro fuzz run --corpus .repro-corpus --tier smoke
+    python -m repro fuzz replay --corpus tests/corpus
+    python -m repro fuzz minimize --corpus .repro-corpus
     python -m repro lint examples/lint_demo.hls --format json
     python -m repro lint --workloads
     python -m repro profile examples/sqrt.hls --fu 2
@@ -258,10 +265,49 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
-    from .verify import fuzz_seeds
+    from .verify import (
+        TIERS,
+        fuzz_corpus,
+        fuzz_seeds,
+        minimize_corpus,
+        replay_corpus,
+    )
 
+    if args.mode == "replay":
+        if args.corpus is None:
+            raise HLSError("fuzz replay needs --corpus DIR")
+        report = replay_corpus(args.corpus, jobs=args.jobs,
+                               timeout_s=args.timeout)
+        print(report.render())
+        return 1 if not report.ok else 0
+
+    if args.mode == "minimize":
+        if args.corpus is None:
+            raise HLSError("fuzz minimize needs --corpus DIR")
+        print(minimize_corpus(args.corpus, jobs=args.jobs,
+                              timeout_s=args.timeout).render())
+        return 0
+
+    if args.corpus is not None or args.budget is not None:
+        report = fuzz_corpus(
+            args.corpus,
+            tier=args.tier,
+            budget=args.budget,
+            master_seed=args.master_seed,
+            jobs=args.jobs,
+            ops=args.ops,
+            inputs=args.inputs,
+            artifacts_dir=args.artifacts,
+            shrink=not args.no_shrink,
+            timeout_s=args.timeout,
+        )
+        print(report.render())
+        return 1 if not report.ok else 0
+
+    seeds = (args.seeds if args.seeds is not None
+             else TIERS[args.tier].seeds)
     report = fuzz_seeds(
-        [args.seed] if args.seed is not None else args.seeds,
+        [args.seed] if args.seed is not None else seeds,
         ops=args.ops,
         inputs=args.inputs,
         jobs=args.jobs,
@@ -384,8 +430,36 @@ def main(argv: list[str] | None = None) -> int:
         "fuzz", help="differentially fuzz random DFGs"
     )
     fuzz.add_argument(
-        "--seeds", type=int, default=25,
-        help="number of seeds to run (default 25)",
+        "mode", nargs="?", choices=("run", "replay", "minimize"),
+        default="run",
+        help="run: fuzz (fixed-seed, or coverage-guided with "
+        "--corpus/--budget); replay: re-check every corpus entry; "
+        "minimize: drop corpus entries that no longer add coverage "
+        "(default run)",
+    )
+    fuzz.add_argument(
+        "--corpus", default=None,
+        help="corpus directory for coverage-guided fuzzing "
+        "(entries persist and accumulate across runs)",
+    )
+    fuzz.add_argument(
+        "--tier", choices=("smoke", "standard", "deep"),
+        default="standard",
+        help="budget profile: seed/mutation counts and wall-clock "
+        "cap (default standard)",
+    )
+    fuzz.add_argument(
+        "--budget", type=int, default=None,
+        help="mutation budget for a coverage-guided run (default: "
+        "the tier's; implies corpus mode, in-memory if no --corpus)",
+    )
+    fuzz.add_argument(
+        "--master-seed", type=int, default=1,
+        help="seed of the mutational loop (default 1)",
+    )
+    fuzz.add_argument(
+        "--seeds", type=int, default=None,
+        help="fixed-seed sweep size (default: the tier's)",
     )
     fuzz.add_argument(
         "--seed", type=int, default=None,

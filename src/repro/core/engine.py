@@ -28,7 +28,7 @@ from ..datapath.plan import plan_block
 from ..errors import HLSError, SchedulingError
 from ..ir.cdfg import CDFG, IfRegion, LoopRegion
 from ..lang import compile_source
-from ..obs import maybe_tracing, metrics, trace_span
+from ..obs import maybe_tracing, metrics, pow2_bucket, trace_span
 from ..scheduling import (
     ASAPScheduler,
     BranchAndBoundScheduler,
@@ -463,6 +463,15 @@ def _synthesize_cdfg(cdfg: CDFG, options: SynthesisOptions,
             metrics().histogram(
                 "scheduler.latency_ms", scheduler=options.scheduler
             ).observe(elapsed_ms)
+        # Magnitude-class counters: deterministic shape signal for the
+        # coverage fingerprint (repro.obs.coverage) — a constrained
+        # schedule that stretches 4x or an allocation squeezed onto
+        # one FU is a different pipeline path, and should count as
+        # new coverage even when no branch counter says so.
+        metrics().counter(
+            "engine.schedule.steps",
+            bucket=str(pow2_bucket(schedule.length)),
+        ).inc()
         with trace_span("allocate", block=block.name,
                         allocator=options.allocator) as span:
             allocation = allocator_factory(schedule).allocate()
@@ -471,6 +480,10 @@ def _synthesize_cdfg(cdfg: CDFG, options: SynthesisOptions,
                      registers=allocation.register_count)
         metrics().counter(
             "allocator.invocations", allocator=options.allocator
+        ).inc()
+        metrics().counter(
+            "engine.allocation.fus",
+            bucket=str(pow2_bucket(allocation.fu_count())),
         ).inc()
         with trace_span("datapath", block=block.name):
             plan = plan_block(

@@ -17,6 +17,12 @@ Three layers, all zero-dependency:
   the ``repro profile`` per-stage table and sweep telemetry text.
 """
 
+from .coverage import (
+    EXCLUDED_COUNTER_PREFIXES,
+    coverage_atoms,
+    coverage_fingerprint,
+    pow2_bucket,
+)
 from .export import chrome_trace, write_chrome_trace
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS_MS,
@@ -51,6 +57,7 @@ from .tracer import (
 __all__ = [
     "CORE_STAGES",
     "DEFAULT_LATENCY_BUCKETS_MS",
+    "EXCLUDED_COUNTER_PREFIXES",
     "Counter",
     "Gauge",
     "Histogram",
@@ -60,10 +67,13 @@ __all__ = [
     "SpanRecord",
     "Tracer",
     "chrome_trace",
+    "coverage_atoms",
+    "coverage_fingerprint",
     "disable_tracing",
     "enable_tracing",
     "maybe_tracing",
     "metrics",
+    "pow2_bucket",
     "profile_table",
     "reset_metrics",
     "reset_tracing",

@@ -1,0 +1,109 @@
+"""Coverage fingerprints derived from metrics snapshots and spans.
+
+The corpus fuzzer (:mod:`repro.verify.corpus`) needs a *coverage
+signal*: a deterministic description of which pipeline paths one run
+exercised — stages reached, contract branches checked, per-algorithm
+scheduler/allocator invocations, transform passes applied, lint rules
+fired.  All of that is already observable in the always-on metrics
+registry and (when tracing is enabled) the span stream, so coverage is
+computed as a pure function of two registry snapshots plus the span
+names recorded in between — no new instrumentation protocol, no
+sys.settrace.
+
+A run's coverage is a frozen set of **atoms**:
+
+* ``c:<key>`` — a counter (canonical ``name{label=value}`` id) whose
+  value increased during the run: the path behind it was taken;
+* ``c:<key>~<bucket>`` — the same counter with its delta rounded up to
+  a power of two, so "CSE fired once" and "CSE fired 30 times" are
+  different coverage without making every count its own feature;
+* ``s:<name>`` — a span name that occurred (pipeline stages reached);
+* ``x:<text>`` — caller-supplied atoms (e.g. per-combo differential
+  statuses).
+
+Timing data never participates: histograms are excluded wholesale and
+span *durations* are ignored, so the fingerprint of a deterministic
+run is itself deterministic — replaying a corpus entry must reproduce
+its fingerprint bit-for-bit on any machine.  Counter families whose
+values depend on the environment rather than the workload (cache and
+store occupancy, executor retries, the fuzzer's own bookkeeping) are
+excluded by prefix for the same reason.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Mapping
+
+#: Counter-name prefixes that describe the *harness* (cache warmth,
+#: pool health, the fuzz loop itself), not the workload; including
+#: them would make fingerprints depend on run order and environment.
+EXCLUDED_COUNTER_PREFIXES: tuple[str, ...] = (
+    "cache.",
+    "store.",
+    "exec.",
+    "fuzz.",
+    "dse.",
+)
+
+
+def pow2_bucket(value: int) -> int:
+    """The smallest power of two >= ``value`` (and >= 1).
+
+    Used to quantize counts into a handful of stable magnitude
+    classes: 1, 2, 4, 8, ... — coarse enough that unrelated runs
+    collide, fine enough that "constrained scheduling took 4x the
+    steps" shows up as new coverage.
+    """
+    if value <= 1:
+        return 1
+    bucket = 1
+    while bucket < value:
+        bucket <<= 1
+    return bucket
+
+
+def _counter_deltas(before: Mapping, after: Mapping) -> dict[str, int]:
+    before_counters = before.get("counters", {})
+    deltas = {}
+    for key, value in after.get("counters", {}).items():
+        if key.startswith(EXCLUDED_COUNTER_PREFIXES):
+            continue
+        delta = value - before_counters.get(key, 0)
+        if delta > 0:
+            deltas[key] = delta
+    return deltas
+
+
+def coverage_atoms(
+    before: Mapping,
+    after: Mapping,
+    span_names: Iterable[str] = (),
+    extra: Iterable[str] = (),
+) -> frozenset[str]:
+    """The coverage atoms of one run bracketed by two snapshots.
+
+    Args:
+        before / after: :meth:`MetricsRegistry.snapshot` results taken
+            around the run (on whichever process executed it).
+        span_names: names of spans recorded during the run.
+        extra: caller-level atoms (prefixed ``x:`` verbatim).
+    """
+    atoms: set[str] = set()
+    for key, delta in _counter_deltas(before, after).items():
+        atoms.add(f"c:{key}")
+        atoms.add(f"c:{key}~{pow2_bucket(delta)}")
+    atoms.update(f"s:{name}" for name in span_names)
+    atoms.update(f"x:{text}" for text in extra)
+    return frozenset(atoms)
+
+
+def coverage_fingerprint(atoms: Iterable[str]) -> str:
+    """A 16-hex-digit content hash of a coverage atom set.
+
+    Order-independent (atoms are sorted first) and stable across
+    processes and platforms, so fingerprints are usable as corpus
+    dedup keys and as CI assertions.
+    """
+    digest = hashlib.sha256("\n".join(sorted(atoms)).encode("utf-8"))
+    return digest.hexdigest()[:16]

@@ -37,6 +37,7 @@ import heapq
 from math import lcm
 
 from ..errors import SchedulingError
+from ..obs import metrics
 from .base import Schedule, Scheduler, SchedulingProblem
 from .mobility import TimeFrames, compute_time_frames
 
@@ -313,6 +314,18 @@ class _IncrementalFrames:
 class ForceDirectedScheduler(Scheduler):
     """Time-constrained scheduler balancing distribution graphs.
 
+    Force-directed scheduling minimizes units under a deadline; it
+    balances load but never enforces per-step caps, so under explicit
+    resource constraints the balanced schedule can oversubscribe a
+    class (two same-class ops whose frames collapse onto one step).
+    When that happens the schedule is legalized the way Paulin &
+    Knight handle the resource-constrained case — force-directed
+    *list* scheduling: the balanced start steps become the list
+    priorities (earlier balanced start runs first) and ops re-place
+    greedily under the caps, which may lengthen the schedule.  A
+    problem ``time_limit`` is still enforced by ``validate()``:
+    exceeding it after legalization is a real infeasibility.
+
     Args:
         problem: the scheduling problem.
         deadline: available control steps; defaults to the problem's
@@ -337,14 +350,46 @@ class ForceDirectedScheduler(Scheduler):
         self._reference = _reference
 
     def schedule(self) -> Schedule:
-        if self._reference:
-            return self._schedule_reference()
-        return self._schedule_incremental()
+        result = (self._schedule_reference(self.deadline)
+                  if self._reference
+                  else self._schedule_incremental(self.deadline))
+        if self._oversubscribed(result):
+            result = self._legalize(result)
+            metrics().counter("scheduler.fds.legalized").inc()
+        return result
 
-    def _schedule_incremental(self) -> Schedule:
+    def _oversubscribed(self, schedule: Schedule) -> bool:
+        """True when a step uses more units than the constraints allow."""
+        constraints = self.problem.constraints
+        return any(
+            (limit := constraints.limit(cls)) is not None
+            and used > limit
+            for (_, cls), used in schedule.busy_usage().items()
+        )
+
+    def _legalize(self, balanced: Schedule) -> Schedule:
+        """Force-directed list scheduling over the balanced result.
+
+        The balanced schedule's global ordering decisions survive as
+        priorities; the list pass guarantees the caps.
+        """
+        from .list_scheduler import ListScheduler
+
+        order = dict(balanced.start)
+
+        def balanced_priority(problem: SchedulingProblem):
+            return {op_id: -step for op_id, step in order.items()}
+
+        repaired = ListScheduler(
+            self.problem, priority=balanced_priority
+        ).schedule()
+        return Schedule(self.problem, dict(repaired.start),
+                        scheduler=self.name)
+
+    def _schedule_incremental(self, deadline: int) -> Schedule:
         problem = self.problem
-        incremental = _IncrementalFrames(problem, self.deadline)
-        state = _DistributionState(problem, self.deadline,
+        incremental = _IncrementalFrames(problem, deadline)
+        state = _DistributionState(problem, deadline,
                                   incremental.frames)
         pending = set(problem.compute_op_ids())
         while pending:
@@ -356,19 +401,19 @@ class ForceDirectedScheduler(Scheduler):
             pending.discard(op_id)
         return self._finish(incremental.fixed, incremental.frames)
 
-    def _schedule_reference(self) -> Schedule:
+    def _schedule_reference(self, deadline: int) -> Schedule:
         problem = self.problem
         fixed: dict[int, int] = {}
         pending = set(problem.compute_op_ids())
         while pending:
-            frames = _frames_with_fixed(problem, self.deadline, fixed)
-            state = _DistributionState(problem, self.deadline, frames)
+            frames = _frames_with_fixed(problem, deadline, fixed)
+            state = _DistributionState(problem, deadline, frames)
             _, op_id, step = self._select(
                 frames, state.float_graphs(), pending
             )
             fixed[op_id] = step
             pending.discard(op_id)
-        frames = _frames_with_fixed(problem, self.deadline, fixed)
+        frames = _frames_with_fixed(problem, deadline, fixed)
         return self._finish(fixed, frames)
 
     def _select(self, frames: TimeFrames,

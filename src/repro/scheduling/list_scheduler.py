@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from ..obs import metrics
 from .base import Schedule, Scheduler, SchedulingProblem
 from .mobility import compute_time_frames
 
@@ -104,6 +105,10 @@ class ListScheduler(Scheduler):
                 for op_id in candidates:
                     placed_at = self._try_place(op_id, step, start, usage)
                     if placed_at is None:
+                        # Resource pressure deferred a ready op — a
+                        # branch only constrained problems take;
+                        # counted so coverage fingerprints see it.
+                        metrics().counter("scheduler.list.deferred").inc()
                         continue
                     unscheduled.discard(op_id)
                     for succ in problem.graph.successors(op_id):

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import os
 
+from .atomic import TMP_PREFIX, atomic_write_bytes
 from .keys import STORE_SCHEMA_VERSION, options_token, store_key
 from .store import DEFAULT_TMP_GRACE_S, DesignStore
 
@@ -86,8 +87,10 @@ __all__ = [
     "STORE_DIR_ENV",
     "STORE_ENV",
     "STORE_SCHEMA_VERSION",
+    "TMP_PREFIX",
     "DesignStore",
     "active_store",
+    "atomic_write_bytes",
     "configure_store",
     "default_store_dir",
     "options_token",

@@ -32,19 +32,18 @@ import pickle
 import re
 import shutil
 import time
-import uuid
 from pathlib import Path
 from typing import TYPE_CHECKING
 
-from ..exec.faults import maybe_inject
 from ..obs import metrics, trace_span
+from .atomic import TMP_PREFIX as _TMP_PREFIX
+from .atomic import atomic_write_bytes
 from .keys import STORE_SCHEMA_VERSION
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.design import SynthesizedDesign
 
 _VERSION_DIR_RE = re.compile(r"^v\d+$")
-_TMP_PREFIX = ".tmp-"
 
 #: Temp files younger than this are presumed to belong to a live
 #: writer; ``gc()`` only reclaims older ones (override per call).
@@ -119,32 +118,13 @@ class DesignStore:
                 registry.counter("store.errors").inc()
                 span.set(ok=False)
                 return False
-            path = self._path(key)
-            # pid + uuid keeps concurrent writers of the same key on
-            # distinct temp files; the rename below is then the only
-            # point of contention, and it is atomic.
-            tmp = path.parent / (
-                f"{_TMP_PREFIX}{key[:8]}-{os.getpid()}-{uuid.uuid4().hex}"
-            )
-            try:
-                path.parent.mkdir(parents=True, exist_ok=True)
-                tmp.write_bytes(blob)
-            except OSError:
+            # Shared temp-then-rename publish; the "store.persist"
+            # fault hook fires between temp-write and rename
+            # (docs/resilience.md).
+            if not atomic_write_bytes(self._path(key), blob,
+                                      fault_label="store.persist",
+                                      fault_spec=fault_spec):
                 registry.counter("store.errors").inc()
-                span.set(ok=False)
-                return False
-            # Deterministic fault hook: a "crash"/"error" fault
-            # registered for label ``store.persist`` fires here,
-            # between temp-write and publish (docs/resilience.md).
-            maybe_inject("store.persist", fault_spec)
-            try:
-                os.replace(tmp, path)
-            except OSError:
-                registry.counter("store.errors").inc()
-                try:
-                    tmp.unlink()
-                except OSError:
-                    pass
                 span.set(ok=False)
                 return False
             elapsed_ms = (time.perf_counter() - started) * 1e3

@@ -11,9 +11,11 @@ This package answers "did the pipeline do something legal?" three ways:
   (and every paired code path: cached/uncached, serial/parallel,
   incremental/reference) must agree with the behavioral reference,
   with failures localized to the first diverging stage;
-* **fuzzing** (:func:`fuzz_seeds`) — seeded random DFGs through the
-  full matrix, with failing cases shrunk to minimal recipes and saved
-  as standalone repro scripts.
+* **fuzzing** (:func:`fuzz_seeds`, :func:`fuzz_corpus`) — seeded
+  random DFGs through the full matrix, plus a mutational,
+  coverage-guided loop over a persisted corpus
+  (:mod:`repro.verify.corpus`); failing cases are shrunk to minimal
+  recipes and saved as standalone repro scripts.
 
 The checkers here deliberately re-derive stage legality independently
 of each stage's own raising ``validate()`` method, so the two
@@ -41,6 +43,28 @@ from .differential import (
     first_diverging_stage,
     run_differential,
 )
+from .corpus import (
+    MUTATORS,
+    TIERS,
+    CaseResult,
+    Corpus,
+    CorpusCase,
+    CorpusEntry,
+    CorpusFinding,
+    CorpusReport,
+    FuzzTier,
+    MinimizeReport,
+    ReplayReport,
+    ReplayRow,
+    default_combos,
+    evaluate_case,
+    fixed_seed_cases,
+    fuzz_corpus,
+    minimize_corpus,
+    mutate_case,
+    replay_corpus,
+    seed_case,
+)
 from .fuzz import FuzzFailure, FuzzReport, check_seed, fuzz_seeds
 from .shrink import (
     ShrinkResult,
@@ -54,12 +78,24 @@ from .violations import STAGE_ORDER, VerificationReport, Violation
 __all__ = [
     "CONTRACTS",
     "DIFF_STAGE_ORDER",
+    "MUTATORS",
     "STAGE_ORDER",
+    "TIERS",
+    "CaseResult",
     "ComboResult",
+    "Corpus",
+    "CorpusCase",
+    "CorpusEntry",
+    "CorpusFinding",
+    "CorpusReport",
     "DifferentialReport",
     "FuzzFailure",
     "FuzzReport",
+    "FuzzTier",
+    "MinimizeReport",
     "PathResult",
+    "ReplayReport",
+    "ReplayRow",
     "ShrinkResult",
     "VerificationReport",
     "Violation",
@@ -73,11 +109,19 @@ __all__ = [
     "check_parallel_paths",
     "check_schedule",
     "check_seed",
+    "default_combos",
     "describe_failure",
+    "evaluate_case",
     "first_diverging_stage",
+    "fixed_seed_cases",
+    "fuzz_corpus",
     "fuzz_seeds",
+    "minimize_corpus",
+    "mutate_case",
     "recipe_fails",
+    "replay_corpus",
     "run_differential",
+    "seed_case",
     "shrink_failure",
     "verify_design",
     "write_repro_script",

@@ -32,15 +32,29 @@ class ShrinkResult:
         return self.original.op_count - self.shrunk.op_count
 
 
+def _constrained_options(fu_limit: int | None):
+    """Synthesis options for an FU-limited repro, or None."""
+    if fu_limit is None:
+        return None
+    from ..core import SynthesisOptions
+    from ..scheduling import ResourceConstraints
+
+    return SynthesisOptions(
+        constraints=ResourceConstraints({"fu": fu_limit})
+    )
+
+
 def recipe_fails(recipe: DFGRecipe,
                  schedulers: Sequence[str],
-                 allocators: Sequence[str]) -> bool:
+                 allocators: Sequence[str],
+                 fu_limit: int | None = None) -> bool:
     """True when the differential engine finds any failure."""
     try:
         report = run_differential(
             lambda: build_dfg(recipe),
             schedulers=schedulers,
             allocators=allocators,
+            options=_constrained_options(fu_limit),
             label=recipe.name,
         )
     except Exception:
@@ -90,13 +104,23 @@ RECIPE = {recipe}
 
 SCHEDULERS = {schedulers}
 ALLOCATORS = {allocators}
+FU_LIMIT = {fu_limit}
 
 
 def main() -> int:
+    options = None
+    if FU_LIMIT is not None:
+        from repro.core import SynthesisOptions
+        from repro.scheduling import ResourceConstraints
+
+        options = SynthesisOptions(
+            constraints=ResourceConstraints({{"fu": FU_LIMIT}})
+        )
     report = run_differential(
         lambda: build_dfg(RECIPE),
         schedulers=SCHEDULERS,
         allocators=ALLOCATORS,
+        options=options,
         label=RECIPE.name,
     )
     print(report.render())
@@ -114,12 +138,15 @@ def write_repro_script(
     allocators: Sequence[str],
     path: str,
     notes: str = "",
+    fu_limit: int | None = None,
 ) -> str:
     """Write a standalone repro script for a shrunk failure.
 
     Returns the path written.  The script depends only on the public
     ``repro`` API, so it stays valid as long as the recipe still
-    triggers the bug.
+    triggers the bug.  The parent directory is created here, on the
+    first actual write — a fuzzing run with zero failures must leave
+    no ``artifacts/`` directory behind (pinned by tests).
     """
     body = _SCRIPT_TEMPLATE.format(
         notes=("\n\n" + notes) if notes else "",
@@ -127,6 +154,7 @@ def write_repro_script(
         recipe=recipe.render(),
         schedulers=sorted(schedulers),
         allocators=sorted(allocators),
+        fu_limit=fu_limit,
     )
     directory = os.path.dirname(path)
     if directory:

@@ -10,11 +10,14 @@ from .filters import (
     fir_source,
 )
 from .random_dfg import (
+    RECIPE_KINDS,
+    RECIPE_WIDTHS,
     DFGRecipe,
     RandomDFGSpec,
     build_dfg,
     dfg_recipe,
     random_dfg,
+    recipe_word,
     shrink_recipe,
 )
 from .sqrt import SQRT_SOURCE, sqrt_cdfg
@@ -22,6 +25,8 @@ from .sqrt import SQRT_SOURCE, sqrt_cdfg
 __all__ = [
     "DFGRecipe",
     "DIFFEQ_SOURCE",
+    "RECIPE_KINDS",
+    "RECIPE_WIDTHS",
     "RandomDFGSpec",
     "SQRT_SOURCE",
     "ar_lattice_cdfg",
@@ -38,5 +43,6 @@ __all__ = [
     "fir_cdfg",
     "fir_source",
     "random_dfg",
+    "recipe_word",
     "shrink_recipe",
 ]

@@ -25,9 +25,29 @@ from typing import Callable
 
 from ..ir.cdfg import CDFG, BlockRegion
 from ..ir.opcodes import OpKind
-from ..ir.types import FixedType
+from ..ir.types import FixedType, IntType, Type
 
 _WORD = FixedType(16, 8)
+
+#: Recipe op kinds legal per value domain.  Fixed-point values only
+#: support arithmetic in the simulator semantics; the integer domain
+#: adds the bitwise kinds (shift/divide stay out: a random operand is
+#: a legal shift amount or divisor only by luck, and the behavioral
+#: and RTL simulators rightly differ on how they fail).
+RECIPE_KINDS: dict[str, tuple[str, ...]] = {
+    "fixed": ("ADD", "SUB", "MUL"),
+    "int": ("ADD", "SUB", "MUL", "AND", "OR", "XOR"),
+}
+
+#: Bit widths a recipe may use (defaults match the legacy generator).
+RECIPE_WIDTHS: tuple[int, ...] = (8, 12, 16, 24, 32)
+
+
+def recipe_word(domain: str, width: int) -> Type:
+    """The element type of a recipe's values."""
+    if domain == "int":
+        return IntType(width)
+    return FixedType(width, width // 2)
 
 
 
@@ -79,13 +99,28 @@ class DFGRecipe:
     ``(kind_name, left_pool_index, right_pool_index)`` triple whose
     operand indices must precede the op itself — the recipe is a DAG by
     construction, which is what makes deletion-based shrinking sound.
+
+    ``width`` and ``domain`` pick the element type of every value
+    (see :func:`recipe_word`); the defaults reproduce the legacy
+    16-bit fixed-point generator exactly, so recipes embedded in old
+    repro scripts keep meaning the same graph.
     """
 
     inputs: int
     ops: tuple[tuple[str, int, int], ...]
     name: str = "dfg"
+    width: int = 16
+    domain: str = "fixed"
 
     def __post_init__(self) -> None:
+        if self.domain not in RECIPE_KINDS:
+            raise ValueError(
+                f"unknown recipe domain {self.domain!r}; expected one "
+                f"of {sorted(RECIPE_KINDS)}"
+            )
+        if self.width < 2:
+            raise ValueError(f"recipe width must be >= 2, got {self.width}")
+        allowed = RECIPE_KINDS[self.domain]
         for position, (kind, left, right) in enumerate(self.ops):
             limit = self.inputs + position
             if not (0 <= left < limit and 0 <= right < limit):
@@ -95,6 +130,11 @@ class DFGRecipe:
                     f"precede it"
                 )
             OpKind[kind]  # raises KeyError on an unknown kind name
+            if kind not in allowed:
+                raise ValueError(
+                    f"recipe op {position} kind {kind} is not legal in "
+                    f"the {self.domain!r} domain (allowed: {allowed})"
+                )
 
     @property
     def op_count(self) -> int:
@@ -107,6 +147,10 @@ class DFGRecipe:
             lines.append(f"        ({kind!r}, {left}, {right}),")
         lines.append("    ),")
         lines.append(f"    name={self.name!r},")
+        if self.width != 16:
+            lines.append(f"    width={self.width},")
+        if self.domain != "fixed":
+            lines.append(f"    domain={self.domain!r},")
         lines.append(")")
         return "\n".join(lines)
 
@@ -134,16 +178,17 @@ def dfg_recipe(spec: RandomDFGSpec) -> DFGRecipe:
 
 def build_dfg(recipe: DFGRecipe) -> CDFG:
     """Construct the single-block CDFG a recipe describes."""
+    word = recipe_word(recipe.domain, recipe.width)
     cdfg = CDFG(recipe.name)
     for index in range(recipe.inputs):
-        cdfg.add_input(f"in{index}", _WORD)
+        cdfg.add_input(f"in{index}", word)
     block = cdfg.new_block("body")
     cdfg.body = BlockRegion(block)
 
-    pool = [block.read(f"in{i}", _WORD) for i in range(recipe.inputs)]
+    pool = [block.read(f"in{i}", word) for i in range(recipe.inputs)]
     for kind_name, left, right in recipe.ops:
         op = block.emit(
-            OpKind[kind_name], [pool[left], pool[right]], _WORD
+            OpKind[kind_name], [pool[left], pool[right]], word
         )
         pool.append(op.result)
 
@@ -153,11 +198,11 @@ def build_dfg(recipe: DFGRecipe) -> CDFG:
     for value in pool[recipe.inputs:]:
         if not value.uses:
             name = f"out{sink_index}"
-            cdfg.add_output(name, _WORD)
+            cdfg.add_output(name, word)
             block.write(name, value)
             sink_index += 1
     if sink_index == 0:
-        cdfg.add_output("out0", _WORD)
+        cdfg.add_output("out0", word)
         block.write("out0", pool[-1])
     cdfg.validate()
     return cdfg

@@ -1,0 +1,95 @@
+"""Property tests for the corpus mutators.
+
+Two properties every mutator must satisfy: the mutated case is always
+*buildable* (its recipe constructs a CDFG without raising — the
+`DFGRecipe` constructor itself validates wiring, kinds, width and
+domain), and mutation is *deterministic* given `(case, seed,
+population)` so corpus runs replay exactly.
+"""
+
+import pytest
+
+from repro.core.engine import ALLOCATORS, SCHEDULERS
+from repro.verify import MUTATORS, mutate_case, seed_case
+from repro.verify.corpus import _LCG
+from repro.workloads import RECIPE_KINDS, RECIPE_WIDTHS, build_dfg
+
+
+def _population(count=6, ops=10):
+    return tuple(seed_case(seed, ops=ops) for seed in range(1, count + 1))
+
+
+def _check_buildable(case):
+    build_dfg(case.recipe)  # raises on any invalid wiring/kind/width
+    assert case.scheduler in SCHEDULERS
+    assert case.allocator in ALLOCATORS
+    assert case.recipe.width in RECIPE_WIDTHS
+    kinds = RECIPE_KINDS[case.recipe.domain]
+    assert all(kind in kinds for kind, _, _ in case.recipe.ops)
+
+
+@pytest.mark.parametrize("name", sorted(MUTATORS))
+def test_mutator_yields_buildable_case(name):
+    """Whenever a mutator applies, the result builds a valid CDFG."""
+    mutator = MUTATORS[name]
+    population = _population()
+    applied = 0
+    for case in population:
+        for seed in range(1, 30):
+            mutated = mutator(case, _LCG(seed), population)
+            if mutated is None:
+                continue  # mutator declined (e.g. shrink at 1 op)
+            applied += 1
+            assert mutated != case
+            _check_buildable(mutated)
+    assert applied > 0, f"{name} never applied across the sweep"
+
+
+def test_mutate_case_is_deterministic():
+    population = _population()
+    for case in population:
+        for seed in (1, 17, 91, 4096):
+            first = mutate_case(case, seed, population)
+            second = mutate_case(case, seed, population)
+            assert first == second
+            assert first[1].key == second[1].key
+
+
+def test_mutate_case_always_returns_a_case():
+    """The dispatcher falls through inapplicable mutators; grow always
+    applies, so mutation never comes back empty-handed."""
+    population = _population()
+    for seed in range(1, 60):
+        name, mutated = mutate_case(population[0], seed, population)
+        assert name in MUTATORS
+        _check_buildable(mutated)
+
+
+def test_every_mutator_is_reachable_from_the_dispatcher():
+    """A seed sweep through mutate_case selects all ten mutators —
+    pins the LCG bit-mixing fix that once starved half the table."""
+    population = _population()
+    chosen = set()
+    rng = _LCG(99)
+    for _ in range(400):
+        case = population[rng.below(len(population))]
+        name, _ = mutate_case(case, rng.next(), population)
+        chosen.add(name)
+        if len(chosen) == len(MUTATORS):
+            break
+    missing = set(MUTATORS) - chosen
+    assert not missing, f"never selected: {sorted(missing)}"
+
+
+def test_mutators_keep_recipes_rooted_at_inputs():
+    """Shrink to exhaustion must never orphan the op list."""
+    population = _population(count=3, ops=8)
+    case = population[0]
+    rng = _LCG(7)
+    for _ in range(40):
+        shrunk = MUTATORS["shrink"](case, rng, population)
+        if shrunk is None:
+            break
+        _check_buildable(shrunk)
+        case = shrunk
+    assert len(case.recipe.ops) == 1

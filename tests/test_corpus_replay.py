@@ -1,0 +1,61 @@
+"""Regression gate over the checked-in corpus (``tests/corpus/``).
+
+Every entry is a once-failing (or coverage-interesting) case that must
+stay green forever: first under its own recorded pipeline
+configuration with a bit-identical coverage fingerprint, then through
+the *full* scheduler × allocator matrix so a fix in one combo cannot
+regress another.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.verify import Corpus, replay_corpus, run_differential
+from repro.workloads import build_dfg
+
+CORPUS_DIR = Path(__file__).resolve().parent / "corpus"
+
+
+def _entries():
+    return Corpus(CORPUS_DIR).load()
+
+
+def test_regression_corpus_is_present_and_well_formed():
+    entries = _entries()
+    assert len(entries) >= 5
+    assert len({e.key for e in entries}) == len(entries)
+    assert len({e.fingerprint for e in entries}) == len(entries)
+    # The force-directed FDLS-legalization regression must stay pinned
+    # (its shrunk 2-op case is the smallest oversubscription trigger).
+    assert any(
+        e.case.scheduler == "force-directed" and e.case.fu_limit == 1
+        and len(e.case.recipe.ops) == 2
+        for e in entries
+    )
+
+
+def test_replay_passes_with_zero_drift():
+    report = replay_corpus(CORPUS_DIR)
+    assert report.ok, report.render()
+    assert len(report.rows) == len(_entries())
+    for row in report.rows:
+        assert not row.drifted, (
+            f"{row.key}: stored {row.stored_fingerprint} "
+            f"!= replayed {row.fingerprint}"
+        )
+
+
+@pytest.mark.parametrize(
+    "entry", _entries(), ids=lambda e: e.key,
+)
+def test_entry_is_clean_through_the_full_matrix(entry):
+    """A fixed bug must stay fixed in *every* combo, not just the one
+    that originally tripped it."""
+    report = run_differential(
+        lambda: build_dfg(entry.case.recipe),
+        options=entry.case.options(),
+        vector_count=3,
+        label=entry.key,
+    )
+    assert report.ok, report.render()
