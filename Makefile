@@ -3,7 +3,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test test-slow fuzz-smoke fault-smoke fuzz fuzz-corpus corpus-replay corpus-minimize lint verify-examples profile bench cache-smoke
+.PHONY: test test-slow fuzz-smoke fault-smoke fuzz fuzz-corpus corpus-replay corpus-minimize lint verify-examples profile profile-json bench cache-smoke history report
 
 # Tier-1 suite (what CI runs).
 test:
@@ -66,9 +66,22 @@ lint:
 profile:
 	$(PYTHON) -m repro profile examples/sqrt.hls --fu 2
 
+profile-json:
+	$(PYTHON) -m repro profile examples/sqrt.hls --fu 2 --format json
+
 # Full perf harness; writes BENCH_dse.json (incl. stage breakdowns).
 bench:
 	$(PYTHON) benchmarks/perf/run_bench.py
+
+# Run-ledger views (docs/observability.md).  Tune with e.g.
+# `make report LEDGER=.repro-ledger`.
+LEDGER ?= .repro-ledger
+history:
+	$(PYTHON) -m repro history --ledger $(LEDGER)
+
+# Exit codes: 0 clean, 1 warnings only, 2 regression.
+report:
+	$(PYTHON) -m repro report --ledger $(LEDGER)
 
 # Cross-process smoke of the persistent design store: a cold sweep
 # populates a throwaway store, a warm sweep must hit it and produce

@@ -21,16 +21,26 @@ Commands:
   allocation, netlist, controller rules); exit 2 on errors, 1 on
   warnings, 0 when clean.
 * ``profile FILE``  — synthesize with tracing on and print the
-  per-stage time/percentage table.
+  per-stage time/percentage table (``--format json`` for the
+  machine-readable breakdown with latency percentiles).
 * ``trace FILE``    — synthesize with tracing on and write a Chrome
   ``trace_event`` JSON (open in ``chrome://tracing`` or Perfetto).
 * ``cache VERB``    — inspect or maintain the persistent design store
   (``stats``, ``gc``, ``clear``).
+* ``history``       — list the QoR run ledger (filter by workload or
+  kind, ``--format json`` for tooling).
+* ``report``        — compare each group's latest ledger run against
+  its median-of-N baseline; exit 0 clean, 1 warnings, 2 regression.
+
+Any synthesis-running command accepts ``--ledger [DIR]`` to append its
+run to the persistent QoR ledger (default directory when DIR is
+omitted; ``REPRO_LEDGER_DIR`` works without the flag).
 
 Examples::
 
     python -m repro synth design.bsl --fu 2 --verify -o design.v
     python -m repro synth design.bsl --store --fu 2
+    python -m repro synth design.bsl --ledger .repro-ledger
     python -m repro simulate design.bsl X=0.5 --fu 2
     python -m repro explore design.bsl --limits 1,2,3,4 --report
     python -m repro verify design.bsl --differential
@@ -42,15 +52,19 @@ Examples::
     python -m repro lint examples/lint_demo.hls --format json
     python -m repro lint --workloads
     python -m repro profile examples/sqrt.hls --fu 2
+    python -m repro profile examples/sqrt.hls --fu 2 --format json
     python -m repro trace examples/sqrt.hls --out trace.json
     python -m repro cache stats --json
     python -m repro cache gc --max-entries 256 --max-age-days 30
+    python -m repro history --ledger .repro-ledger --limit 10
+    python -m repro report --ledger .repro-ledger --format markdown
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from . import obs
 from .core import SynthesisOptions, synthesize
@@ -94,6 +108,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "the default directory, --no-store forces it off; default: "
         "honor REPRO_STORE_DIR / REPRO_STORE)",
     )
+    _add_ledger_flag(parser)
+    parser.add_argument(
+        "--memory", action="store_true",
+        help="record per-stage heap-peak gauges (tracemalloc) for "
+        "this run",
+    )
+
+
+def _add_ledger_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ledger", nargs="?", const="", default=None, metavar="DIR",
+        help="append this run to the persistent QoR ledger (DIR, or "
+        "the default ledger directory when omitted; default: honor "
+        "REPRO_LEDGER_DIR / REPRO_LEDGER)",
+    )
 
 
 def _options(args: argparse.Namespace) -> SynthesisOptions:
@@ -108,6 +137,7 @@ def _options(args: argparse.Namespace) -> SynthesisOptions:
         constraints=constraints,
         optimize_ir=not args.no_optimize,
         unroll=args.unroll,
+        memory=getattr(args, "memory", False),
     )
 
 
@@ -184,23 +214,37 @@ def cmd_explore(args: argparse.Namespace) -> int:
 
 def _traced_run(args: argparse.Namespace):
     """Synthesize ``args.file`` with tracing on; returns (design,
-    spans)."""
+    spans, latency-histogram deltas)."""
     source = _read_source(args.file)
     obs.tracer().clear()
+    before = obs.metrics().snapshot()
     with obs.tracing(True):
         design = synthesize(source, args.procedure, _options(args))
-    return design, obs.tracer().records()
+    deltas = obs.histogram_deltas(before, obs.metrics().snapshot())
+    return design, obs.tracer().records(), deltas
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    design, records = _traced_run(args)
+    import json
+
+    design, records, histograms = _traced_run(args)
     options = _options(args)
-    title = (
-        f"pipeline profile of '{design.cdfg.name}' "
-        f"(scheduler={options.scheduler}, "
-        f"allocator={options.allocator}):"
-    )
-    print(obs.profile_table(records, title=title))
+    if args.format == "json":
+        document = obs.profile_json(
+            records, histograms,
+            design=design.cdfg.name,
+            scheduler=options.scheduler,
+            allocator=options.allocator,
+        )
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        title = (
+            f"pipeline profile of '{design.cdfg.name}' "
+            f"(scheduler={options.scheduler}, "
+            f"allocator={options.allocator}):"
+        )
+        print(obs.profile_table(records, title=title,
+                                histograms=histograms))
     if args.out:
         obs.write_chrome_trace(args.out, records,
                                process_name=f"repro {design.cdfg.name}")
@@ -209,26 +253,61 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    design, records = _traced_run(args)
+    design, records, _ = _traced_run(args)
     obs.write_chrome_trace(args.out, records,
                            process_name=f"repro {design.cdfg.name}")
     print(f"{len(records)} spans written to {args.out}")
     return 0
 
 
+def _append_cli_record(kind: str, workload: str, started: float,
+                       metrics_before: dict | None = None,
+                       design=None, source_digest=None, options=None,
+                       **extra) -> None:
+    """One summary ledger record for a multi-run CLI command."""
+    from .obs import ledger
+
+    active = ledger.active_ledger()
+    if active is None:
+        return
+    active.append(ledger.build_record(
+        kind, workload,
+        design=design,
+        source_digest=source_digest,
+        options=options,
+        metrics_before=metrics_before,
+        wall_s=time.perf_counter() - started,
+        extra=extra,
+    ))
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
+    from .core.engine import source_digest
+    from .obs import ledger
     from .verify import run_differential, verify_design
 
     source = _read_source(args.file)
-    design = synthesize(source, args.procedure, _options(args))
-    report = verify_design(design)
-    print(report.render())
-    failed = not report.ok
-    if args.differential:
-        print()
-        diff = run_differential(source, options=_options(args))
-        print(diff.render())
-        failed = failed or not diff.ok
+    started = time.perf_counter()
+    metrics_before = obs.metrics().snapshot()
+    with ledger.ledger_scope():
+        design = synthesize(source, args.procedure, _options(args))
+        report = verify_design(design)
+        print(report.render())
+        failed = not report.ok
+        if args.differential:
+            print()
+            diff = run_differential(source, options=_options(args))
+            print(diff.render())
+            failed = failed or not diff.ok
+    _append_cli_record(
+        "verify", design.cdfg.name, started,
+        metrics_before=metrics_before,
+        design=design,
+        source_digest=source_digest(source),
+        options=_options(args),
+        ok=not failed,
+        differential=args.differential,
+    )
     return 1 if failed else 0
 
 
@@ -236,6 +315,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
     import json
 
     from .analysis.lint import LintOptions, lint_source
+    from .obs import ledger
     from .workloads import DIFFEQ_SOURCE, SQRT_SOURCE, fir_source
 
     options = LintOptions(
@@ -254,17 +334,46 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if not sources:
         raise HLSError("nothing to lint: give a FILE or --workloads")
 
-    reports = [lint_source(source, options) for source in sources]
+    started = time.perf_counter()
+    metrics_before = obs.metrics().snapshot()
+    with ledger.ledger_scope():
+        reports = [lint_source(source, options) for source in sources]
     if args.format == "json":
         payload = [report.to_dict() for report in reports]
         print(json.dumps(payload[0] if len(payload) == 1 else payload,
                          indent=2))
     else:
         print("\n\n".join(report.render() for report in reports))
-    return max(report.exit_code for report in reports)
+    exit_code = max(report.exit_code for report in reports)
+    _append_cli_record(
+        "lint", args.file or "workloads", started,
+        metrics_before=metrics_before,
+        exit_code=exit_code,
+        sources=len(sources),
+        findings=sum(len(report.diagnostics) for report in reports),
+    )
+    return exit_code
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .obs import ledger
+
+    started = time.perf_counter()
+    metrics_before = obs.metrics().snapshot()
+    with ledger.ledger_scope():
+        exit_code = _run_fuzz(args)
+    _append_cli_record(
+        "fuzz", f"{args.mode}:{args.tier}", started,
+        metrics_before=metrics_before,
+        ok=exit_code == 0,
+        mode=args.mode,
+        tier=args.tier,
+        jobs=args.jobs,
+    )
+    return exit_code
+
+
+def _run_fuzz(args: argparse.Namespace) -> int:
     from .verify import (
         TIERS,
         fuzz_corpus,
@@ -366,6 +475,84 @@ def cmd_cache(args: argparse.Namespace) -> int:
     else:
         print(f"cleared design store at {store.root}")
     return 0
+
+
+def _resolve_ledger(args: argparse.Namespace):
+    """The ledger a read-only verb operates on: ``--ledger DIR``, else
+    the active one, else the default directory."""
+    from .obs.ledger import RunLedger, active_ledger, default_ledger_dir
+
+    if args.ledger:
+        return RunLedger(args.ledger)
+    return active_ledger() or RunLedger(default_ledger_dir())
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    import json
+
+    ledger = _resolve_ledger(args)
+    records = ledger.records()
+    if args.workload is not None:
+        records = [r for r in records if r.workload == args.workload]
+    if args.kind is not None:
+        records = [r for r in records if r.kind == args.kind]
+    if args.limit is not None and args.limit >= 0:
+        records = records[-args.limit:] if args.limit else []
+
+    if args.format == "json":
+        print(json.dumps([r.to_dict() for r in records], indent=2,
+                         sort_keys=True))
+        return 0
+    if not records:
+        print(f"history: no runs in {ledger.root}")
+        return 0
+    print(f"  {'when':<20} {'run':<16} {'kind':<8} {'workload':<12} "
+          f"{'lat':>5} {'fu':>3} {'reg':>4} {'wall_s':>8}")
+    for record in records:
+        qor = record.qor
+        print(
+            f"  {record.created_at:<20} {record.run_id:<16} "
+            f"{record.kind:<8} {record.workload:<12} "
+            f"{_qor_cell(qor.get('latency_csteps')):>5} "
+            f"{_qor_cell(qor.get('fu_total')):>3} "
+            f"{_qor_cell(qor.get('registers')):>4} "
+            f"{record.wall_s:>8.3f}"
+        )
+    return 0
+
+
+def _qor_cell(value) -> str:
+    return "-" if value is None else str(value)
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.regression import compare, parse_threshold
+
+    thresholds = {}
+    for spec in args.threshold or []:
+        try:
+            family, threshold = parse_threshold(spec)
+        except ValueError as error:
+            raise HLSError(str(error))
+        thresholds[family] = threshold
+
+    ledger = _resolve_ledger(args)
+    report = compare(
+        ledger.records(),
+        window=args.window,
+        thresholds=thresholds,
+        workload=args.workload,
+        kind=args.kind,
+    )
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    elif args.format == "markdown":
+        print(report.to_markdown(), end="")
+    else:
+        print(report.render())
+    return report.exit_code
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -491,6 +678,7 @@ def main(argv: list[str] | None = None) -> int:
         help="per-seed wall-clock budget in seconds for parallel "
         "runs (default: env REPRO_TASK_TIMEOUT_S, else none)",
     )
+    _add_ledger_flag(fuzz)
     fuzz.set_defaults(handler=cmd_fuzz)
 
     lint = subparsers.add_parser(
@@ -528,6 +716,7 @@ def main(argv: list[str] | None = None) -> int:
         "--workloads", action="store_true",
         help="also lint the built-in workloads (sqrt, diffeq, fir)",
     )
+    _add_ledger_flag(lint)
     lint.set_defaults(handler=cmd_lint)
 
     profile = subparsers.add_parser(
@@ -537,6 +726,11 @@ def main(argv: list[str] | None = None) -> int:
     profile.add_argument(
         "--out", default=None,
         help="also write the Chrome trace JSON to this file",
+    )
+    profile.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="stage breakdown format (default text; json adds "
+        "latency percentiles)",
     )
     profile.set_defaults(handler=cmd_profile)
 
@@ -577,12 +771,79 @@ def main(argv: list[str] | None = None) -> int:
     )
     cache.set_defaults(handler=cmd_cache)
 
+    history = subparsers.add_parser(
+        "history", help="list the QoR run ledger"
+    )
+    history.add_argument(
+        "--ledger", default=None, metavar="DIR",
+        help="ledger directory (default: the active ledger, else the "
+        "default directory)",
+    )
+    history.add_argument(
+        "--workload", default=None,
+        help="only runs of this workload",
+    )
+    history.add_argument(
+        "--kind", default=None,
+        help="only runs of this kind (synth, explore, fuzz, lint, ...)",
+    )
+    history.add_argument(
+        "--limit", type=int, default=20,
+        help="show at most the newest N runs (default 20; -1 = all)",
+    )
+    history.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default text)",
+    )
+    history.set_defaults(handler=cmd_history)
+
+    report = subparsers.add_parser(
+        "report",
+        help="compare the latest ledger runs against their baselines",
+    )
+    report.add_argument(
+        "--ledger", default=None, metavar="DIR",
+        help="ledger directory (default: the active ledger, else the "
+        "default directory)",
+    )
+    report.add_argument(
+        "--workload", default=None,
+        help="only report on this workload",
+    )
+    report.add_argument(
+        "--kind", default=None,
+        help="only report on this run kind",
+    )
+    report.add_argument(
+        "--window", type=int, default=5,
+        help="baseline window: median of up to N prior runs "
+        "(default 5)",
+    )
+    report.add_argument(
+        "--threshold", action="append", default=None,
+        metavar="FAMILY=WARN,FAIL",
+        help="override a family's warn/fail percentages (either may "
+        "be '-' to disable); repeatable",
+    )
+    report.add_argument(
+        "--format", choices=("text", "json", "markdown"),
+        default="text",
+        help="output format (default text)",
+    )
+    report.set_defaults(handler=cmd_report)
+
     args = parser.parse_args(argv)
     store_flag = getattr(args, "store", None)
     if store_flag is not None:
         from .store import configure_store, default_store_dir
 
         configure_store(default_store_dir() if store_flag else None)
+    if args.command not in ("history", "report"):
+        ledger_flag = getattr(args, "ledger", None)
+        if ledger_flag is not None:
+            from .obs.ledger import configure_ledger, default_ledger_dir
+
+            configure_ledger(ledger_flag or default_ledger_dir())
     try:
         return args.handler(args)
     except HLSError as error:

@@ -28,7 +28,16 @@ from ..datapath.plan import plan_block
 from ..errors import HLSError, SchedulingError
 from ..ir.cdfg import CDFG, IfRegion, LoopRegion
 from ..lang import compile_source
-from ..obs import maybe_tracing, metrics, pow2_bucket, trace_span
+from ..obs import (
+    maybe_memory,
+    maybe_tracing,
+    memory_span,
+    metrics,
+    pow2_bucket,
+    trace_span,
+    tracer,
+    tracing_enabled,
+)
 from ..scheduling import (
     ASAPScheduler,
     BranchAndBoundScheduler,
@@ -84,6 +93,9 @@ class SynthesisOptions:
         trace: enable :mod:`repro.obs` span tracing for this run
             (equivalent to env ``REPRO_TRACE=1`` scoped to the call).
             Pure observability — never changes what is synthesized.
+        memory: enable :mod:`repro.obs.resource` per-stage heap-peak
+            gauges for this run (equivalent to env ``REPRO_MEM=1``
+            scoped to the call).  Pure observability, like ``trace``.
         fault_spec: deterministic fault-injection spec for the
             :mod:`repro.exec` task runtime (testing knob, equivalent
             to env ``REPRO_FAULT`` scoped to runs derived from these
@@ -102,6 +114,7 @@ class SynthesisOptions:
     library: ComponentLibrary | None = None
     verify: bool = False
     trace: bool = False
+    memory: bool = False
     fault_spec: str | None = None
 
     def with_constraints(
@@ -133,11 +146,11 @@ class SynthesisOptions:
             if self.constraints is None
             else tuple(sorted(self.constraints.limits.items()))
         )
-        # ``trace`` is deliberately absent: tracing observes a run
-        # without changing its result, so traced and untraced runs
-        # share cache entries.  ``fault_spec`` is absent for the same
-        # reason — faults kill or delay a task, never alter a design
-        # that completes.
+        # ``trace`` and ``memory`` are deliberately absent: both
+        # observe a run without changing its result, so observed and
+        # unobserved runs share cache entries.  ``fault_spec`` is
+        # absent for the same reason — faults kill or delay a task,
+        # never alter a design that completes.
         return (
             self.scheduler,
             self.allocator,
@@ -359,7 +372,7 @@ def synthesize_cdfg(cdfg: CDFG,
             from an :func:`~repro.analysis.impact.diff_cdfgs` delta.
     """
     options = options or SynthesisOptions()
-    with maybe_tracing(options.trace):
+    with maybe_tracing(options.trace), maybe_memory(options.memory):
         return _synthesize_cdfg(cdfg, options, problem_cache,
                                 schedule_hints)
 
@@ -401,8 +414,9 @@ def _synthesize_cdfg(cdfg: CDFG, options: SynthesisOptions,
 
     log: list[str] = []
     if options.optimize_ir:
-        report = optimize(cdfg, unroll=options.unroll,
-                          tree_height=options.tree_height)
+        with memory_span("transforms"):
+            report = optimize(cdfg, unroll=options.unroll,
+                              tree_height=options.tree_height)
         log.append(f"optimize: {report}")
 
     scheduler_factory = SCHEDULERS.get(options.scheduler)
@@ -451,7 +465,8 @@ def _synthesize_cdfg(cdfg: CDFG, options: SynthesisOptions,
                     metrics().counter("engine.blocks.replayed").inc()
         if schedule is None:
             with trace_span("schedule", block=block.name,
-                            scheduler=options.scheduler) as span:
+                            scheduler=options.scheduler) as span, \
+                    memory_span("schedule"):
                 started = time.perf_counter()
                 schedule = scheduler_factory(problem).schedule()
                 elapsed_ms = (time.perf_counter() - started) * 1e3
@@ -473,7 +488,8 @@ def _synthesize_cdfg(cdfg: CDFG, options: SynthesisOptions,
             bucket=str(pow2_bucket(schedule.length)),
         ).inc()
         with trace_span("allocate", block=block.name,
-                        allocator=options.allocator) as span:
+                        allocator=options.allocator) as span, \
+                memory_span("allocate"):
             allocation = allocator_factory(schedule).allocate()
             allocation.validate()
             span.set(fus=allocation.fu_count(),
@@ -485,7 +501,8 @@ def _synthesize_cdfg(cdfg: CDFG, options: SynthesisOptions,
             "engine.allocation.fus",
             bucket=str(pow2_bucket(allocation.fu_count())),
         ).inc()
-        with trace_span("datapath", block=block.name):
+        with trace_span("datapath", block=block.name), \
+                memory_span("datapath"):
             plan = plan_block(
                 block, schedule, allocation,
                 live_out_values=conditions.get(block.id, set()),
@@ -493,7 +510,8 @@ def _synthesize_cdfg(cdfg: CDFG, options: SynthesisOptions,
         design.schedules[block.id] = schedule
         design.allocations[block.id] = allocation
         design.plans[block.id] = plan
-        with trace_span("bind", block=block.name):
+        with trace_span("bind", block=block.name), \
+                memory_span("bind"):
             binding = binder.bind(allocation)
         bindings.append(binding)
         usage = ", ".join(
@@ -525,13 +543,28 @@ def _synthesize_cdfg(cdfg: CDFG, options: SynthesisOptions,
         )
     if options.verify:
         _verify_stages(design, ("binding",), log)
-    with trace_span("controller") as span:
+    with trace_span("controller") as span, memory_span("controller"):
         design.fsm = synthesize_fsm(cdfg, design.plans)
         span.set(states=design.fsm.state_count)
     log.append(f"control: FSM with {design.fsm.state_count} states")
     if options.verify:
         _verify_stages(design, ("controller", "netlist"), log)
     return design
+
+
+def _ledger_tier():
+    """The :mod:`repro.obs.ledger` module iff this run should append a
+    record, else None.
+
+    Imported lazily for the same reason as :func:`_store_tier`, and
+    None whenever no ledger is active or a multi-run driver (a DSE
+    sweep, the fuzzer) has claimed the record via ``ledger_scope()``.
+    """
+    from ..obs import ledger
+
+    if ledger.active_ledger() is None or ledger.in_ledger_scope():
+        return None
+    return ledger
 
 
 def synthesize(source: str, procedure: str | None = None,
@@ -551,24 +584,58 @@ def synthesize(source: str, procedure: str | None = None,
             :class:`SynthesisCache`, backed by the persistent
             :mod:`repro.store` tier when one is active.  Cached
             designs are shared objects — callers must not mutate them.
+
+    When a run ledger is active (:func:`repro.obs.ledger.active_ledger`)
+    and no enclosing driver holds a ``ledger_scope()``, exactly one
+    :class:`~repro.obs.ledger.RunRecord` is appended per call — cache
+    hits included (they are runs too; ``extra.cached`` marks them).
     """
     if options is None:
         options = SynthesisOptions(**option_kwargs)
     elif option_kwargs:
         raise HLSError("pass either options or keyword options, not both")
-    with maybe_tracing(options.trace):
+    ledger = _ledger_tier()
+    with maybe_tracing(options.trace), maybe_memory(options.memory):
+        metrics_before = metrics().snapshot() if ledger else None
+        span_base = len(tracer()) if ledger else 0
+        started = time.perf_counter()
+        cached = False
         with trace_span("synthesize", scheduler=options.scheduler,
                         allocator=options.allocator) as span:
             digest: str | None = None
-            if use_cache:
+            if use_cache or ledger is not None:
                 digest = source_digest(source)
-                cached = lookup_design(digest, procedure, options)
-                if cached is not None:
+            design: SynthesizedDesign | None = None
+            if use_cache:
+                design = lookup_design(digest, procedure, options)
+                if design is not None:
+                    cached = True
                     span.set(cached=True)
-                    return cached
-            cdfg = compile_source(source, procedure)
-            span.set(design=cdfg.name)
-            design = synthesize_cdfg(cdfg, options)
-            if digest is not None:
-                record_design(digest, procedure, options, design)
-            return design
+            if design is None:
+                with memory_span("compile"):
+                    cdfg = compile_source(source, procedure)
+                span.set(design=cdfg.name)
+                design = synthesize_cdfg(cdfg, options)
+                if use_cache:
+                    record_design(digest, procedure, options, design)
+        if ledger is not None:
+            span_records = (tracer().records()[span_base:]
+                            if tracing_enabled() else ())
+            record = ledger.build_record(
+                "synth", design.cdfg.name,
+                design=design,
+                source_digest=digest,
+                options=options,
+                metrics_before=metrics_before,
+                span_records=span_records,
+                wall_s=time.perf_counter() - started,
+                extra={
+                    "cached": cached,
+                    "scheduler": options.scheduler,
+                    "allocator": options.allocator,
+                },
+            )
+            ledger.active_ledger().append(
+                record, fault_spec=options.fault_spec
+            )
+        return design

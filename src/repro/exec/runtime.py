@@ -305,6 +305,22 @@ def _run_pool_phase(
     inflight: dict[Future, _TaskState] = {}
     pool: ProcessPoolExecutor | None = None
     pool_size = 0
+    batch_started = time.monotonic()
+
+    def update_pool_gauges() -> None:
+        """Peak pool telemetry: workers, in-flight tasks, utilization.
+
+        Gauges keep the batch maximum — the same rule the registry
+        uses for cross-process merges — so a report reads "how full
+        did the pool get", not whatever the last sample was.
+        """
+        in_flight_gauge = registry.gauge("exec.pool.in_flight")
+        in_flight_gauge.set(max(in_flight_gauge.value, len(inflight)))
+        if pool_size:
+            utilization = registry.gauge("exec.pool.utilization")
+            utilization.set(
+                max(utilization.value, len(inflight) / pool_size)
+            )
 
     def record_value(state: _TaskState, value: Any) -> None:
         outcomes[state.index] = TaskOutcome(
@@ -422,6 +438,10 @@ def _run_pool_phase(
                 try:
                     pool_size = max(1, min(max_workers, remaining))
                     pool = ProcessPoolExecutor(max_workers=pool_size)
+                    workers_gauge = registry.gauge("exec.pool.workers")
+                    workers_gauge.set(
+                        max(workers_gauge.value, pool_size)
+                    )
                 except (ImportError, NotImplementedError, OSError,
                         PermissionError):
                     # No subprocess support in this environment: every
@@ -459,6 +479,16 @@ def _run_pool_phase(
                     break
                 registry.counter("exec.tasks.submitted").inc()
                 inflight[future] = state
+                if state.attempts == 1:
+                    # Queue wait: how long the task sat ready before a
+                    # worker slot freed up (first attempt only —
+                    # retries wait on backoff, not on the queue).
+                    wait_gauge = registry.gauge("exec.queue.wait_s")
+                    wait_gauge.set(max(
+                        wait_gauge.value,
+                        state.started - batch_started,
+                    ))
+            update_pool_gauges()
 
             if not inflight:
                 if not ready:

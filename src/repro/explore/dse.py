@@ -49,7 +49,13 @@ from ..core.engine import (
 from ..estimation import estimate_area, estimate_timing
 from ..ir.cdfg import CDFG
 from ..lang import compile_source
-from ..obs import metrics, telemetry_summary, trace_span
+from ..obs import (
+    histogram_deltas,
+    metrics,
+    telemetry_summary,
+    trace_span,
+)
+from ..obs import ledger as run_ledger
 from ..scheduling import ResourceConstraints
 from ..sim.equivalence import default_vectors
 from ..sim.rtl_sim import RTLSimulator
@@ -490,23 +496,63 @@ def explore_fu_range(
     )
     limits = list(fu_limits)
     result = ExplorationResult()
-    before = metrics().counters() if report else None
+    ledger = (None if run_ledger.in_ledger_scope()
+              else run_ledger.active_ledger())
+    before = (metrics().snapshot()
+              if report or ledger is not None else None)
     started = time.perf_counter()
-    with trace_span("dse.sweep", resource=resource_class,
-                    points=len(limits)):
-        points, failures = _map_points(builder, limits, n_jobs,
-                                       task_timeout_s)
-        result.points.extend(points)
-        result.failures.extend(failures)
+    with run_ledger.ledger_scope():
+        # The scope claims the ledger record for this sweep: the many
+        # syntheses inside are one exploration, not N runs.
+        with trace_span("dse.sweep", resource=resource_class,
+                        points=len(limits)):
+            points, failures = _map_points(builder, limits, n_jobs,
+                                           task_timeout_s)
+            result.points.extend(points)
+            result.failures.extend(failures)
+    wall_s = time.perf_counter() - started
     if report:
-        after = metrics().counters()
+        after = metrics().snapshot()
         deltas = {
-            key: value - before.get(key, 0)
-            for key, value in after.items()
-            if value - before.get(key, 0) != 0
+            key: value - before["counters"].get(key, 0)
+            for key, value in after["counters"].items()
+            if value - before["counters"].get(key, 0) != 0
         }
         result.telemetry = {
-            "wall_s": time.perf_counter() - started,
+            "wall_s": wall_s,
             "counters": deltas,
+            "histograms": {
+                key: hist.summary()
+                for key, hist in histogram_deltas(before, after).items()
+            },
         }
+    if ledger is not None and result.points:
+        # QoR of the sweep's best-latency point, plus the trade-off
+        # curve itself — one "explore" record per invocation.
+        best = min(result.points,
+                   key=lambda p: (p.latency_ns, p.area))
+        record = run_ledger.build_record(
+            "explore", best.design.cdfg.name,
+            design=best.design,
+            source_digest=builder._digest,
+            options=builder.base,
+            metrics_before=before,
+            wall_s=wall_s,
+            extra={
+                "resource_class": resource_class,
+                "limits": limits,
+                "pareto": len(result.pareto),
+                "failures": len(result.failures),
+                "points": [
+                    {
+                        "constraints": str(p.constraints),
+                        "area": round(p.area, 3),
+                        "cycles": p.cycles,
+                        "clock_ns": round(p.clock_ns, 3),
+                    }
+                    for p in result.points
+                ],
+            },
+        )
+        ledger.append(record)
     return result

@@ -15,6 +15,13 @@ Three layers, all zero-dependency:
   and the parent :meth:`~MetricsRegistry.merge`\\ s it back.
 * **reporting** (:func:`profile_table`, :func:`telemetry_summary`) —
   the ``repro profile`` per-stage table and sweep telemetry text.
+
+Two durable layers build on these and are imported as submodules to
+keep the engine's import graph acyclic: :mod:`repro.obs.ledger` (the
+persistent QoR run history behind ``repro history``/``repro report``)
+and :mod:`repro.obs.regression` (the median-of-N baseline verdicts).
+:func:`to_prometheus` renders the registry as the ``/metrics`` payload
+and :mod:`repro.obs.resource` adds opt-in per-stage heap-peak gauges.
 """
 
 from .coverage import (
@@ -23,22 +30,33 @@ from .coverage import (
     coverage_fingerprint,
     pow2_bucket,
 )
-from .export import chrome_trace, write_chrome_trace
+from .export import chrome_trace, to_prometheus, write_chrome_trace
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS_MS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    histogram_deltas,
     metrics,
     reset_metrics,
 )
 from .report import (
     CORE_STAGES,
     PIPELINE_STAGES,
+    profile_json,
     profile_table,
     stage_totals,
     telemetry_summary,
+)
+from .resource import (
+    disable_memory,
+    enable_memory,
+    maybe_memory,
+    memory_enabled,
+    memory_profiling,
+    memory_span,
+    reset_memory,
 )
 from .tracer import (
     NULL_SPAN,
@@ -69,16 +87,26 @@ __all__ = [
     "chrome_trace",
     "coverage_atoms",
     "coverage_fingerprint",
+    "disable_memory",
     "disable_tracing",
+    "enable_memory",
     "enable_tracing",
+    "histogram_deltas",
+    "maybe_memory",
     "maybe_tracing",
+    "memory_enabled",
+    "memory_profiling",
+    "memory_span",
     "metrics",
     "pow2_bucket",
+    "profile_json",
     "profile_table",
+    "reset_memory",
     "reset_metrics",
     "reset_tracing",
     "stage_totals",
     "telemetry_summary",
+    "to_prometheus",
     "trace_span",
     "tracer",
     "tracing",

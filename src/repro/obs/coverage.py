@@ -44,6 +44,7 @@ EXCLUDED_COUNTER_PREFIXES: tuple[str, ...] = (
     "exec.",
     "fuzz.",
     "dse.",
+    "ledger.",
 )
 
 

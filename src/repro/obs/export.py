@@ -1,4 +1,4 @@
-"""Trace exporters.
+"""Trace and metrics exporters.
 
 :func:`chrome_trace` converts recorded spans into the Chrome
 ``trace_event`` JSON format (the "JSON Array Format" with complete
@@ -6,20 +6,42 @@
 Each span becomes one complete event; worker spans keep their own
 ``pid``, so cross-process traces render as separate process tracks
 (worker clocks are not synchronized with the parent's — durations are
-exact, offsets are per-process).
+exact, offsets are per-process).  An empty record list yields a valid
+empty document, and zero-duration spans are clamped to 1µs so the
+viewer actually renders them.
+
+:func:`to_prometheus` renders the metrics registry in the Prometheus
+text exposition format (version 0.0.4): one ``# HELP``/``# TYPE``
+header per family, counters suffixed ``_total``, histograms expanded
+into cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``.
+Families and series are emitted in sorted order and label maps are
+rendered with sorted keys, so the payload of a deterministic registry
+state is byte-stable — it is the exact body a ``/metrics`` endpoint
+serves.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Iterable
+import math
+import re
+from typing import Iterable, Mapping
 
+from .metrics import MetricsRegistry, metrics
 from .tracer import SpanRecord
+
+#: Spans shorter than the tracer's clock resolution record 0µs; the
+#: Chrome viewer drops zero-width slices, so exports clamp them up.
+MIN_EVENT_DURATION_US = 1.0
 
 
 def chrome_trace(records: Iterable[SpanRecord],
                  process_name: str = "repro") -> dict:
-    """Spans → a Chrome ``trace_event`` document (a plain dict)."""
+    """Spans → a Chrome ``trace_event`` document (a plain dict).
+
+    With no records at all the document is still valid: an empty
+    ``traceEvents`` array with no process-metadata rows.
+    """
     records = list(records)
     events: list[dict] = []
     for pid in sorted({record.pid for record in records}):
@@ -31,12 +53,15 @@ def chrome_trace(records: Iterable[SpanRecord],
             "args": {"name": process_name},
         })
     for record in records:
+        duration_us = record.duration_us
+        if duration_us < MIN_EVENT_DURATION_US:
+            duration_us = MIN_EVENT_DURATION_US
         event = {
             "name": record.name,
             "cat": "repro",
             "ph": "X",
             "ts": record.start_us,
-            "dur": record.duration_us,
+            "dur": duration_us,
             "pid": record.pid,
             "tid": 0,
         }
@@ -61,3 +86,145 @@ def write_chrome_trace(path: str, records: Iterable[SpanRecord],
     with open(path, "w") as handle:
         json.dump(chrome_trace(records, process_name), handle, indent=2)
         handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_SANITIZER = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str, namespace: str) -> str:
+    """``cache.hits`` → ``repro_cache_hits`` (grammar-safe)."""
+    flat = _NAME_SANITIZER.sub("_", name)
+    if namespace:
+        flat = f"{namespace}_{flat}"
+    if flat[:1].isdigit():
+        flat = f"_{flat}"
+    return flat
+
+
+def _parse_key(key: str) -> tuple[str, dict[str, str]]:
+    """A canonical registry id (``name{a=x,b=y}``) back into parts."""
+    if "{" not in key:
+        return key, {}
+    name, _, inner = key.partition("{")
+    labels: dict[str, str] = {}
+    for pair in inner.rstrip("}").split(","):
+        if not pair:
+            continue
+        label, _, value = pair.partition("=")
+        labels[label] = value
+    return name, labels
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+    )
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    """``{a="x",b="y"}`` with sorted keys, or empty for no labels."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_LABEL_SANITIZER.sub("_", key)}='
+        f'"{_escape_label_value(str(labels[key]))}"'
+        for key in sorted(labels)
+    )
+    return f"{{{inner}}}"
+
+
+def _fmt_value(value: float) -> str:
+    """Prometheus sample values: integral floats print as integers."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _group_by_family(keys: Iterable[str]) -> dict[str, list[str]]:
+    families: dict[str, list[str]] = {}
+    for key in keys:
+        name, _ = _parse_key(key)
+        families.setdefault(name, []).append(key)
+    return families
+
+
+def to_prometheus(registry: MetricsRegistry | None = None,
+                  namespace: str = "repro") -> str:
+    """The registry in Prometheus text exposition format (0.0.4).
+
+    The output is a pure function of the registry's state: families
+    sorted by name, series sorted by canonical id, label keys sorted,
+    so rendering the same state twice is byte-identical.  This is the
+    verbatim ``/metrics`` payload for the serve daemon.
+    """
+    registry = registry if registry is not None else metrics()
+    lines: list[str] = []
+
+    counters = registry.counters()
+    for family, keys in sorted(_group_by_family(counters).items()):
+        flat = _metric_name(family, namespace)
+        lines.append(f"# HELP {flat}_total repro counter {family}")
+        lines.append(f"# TYPE {flat}_total counter")
+        for key in sorted(keys):
+            _, labels = _parse_key(key)
+            lines.append(
+                f"{flat}_total{_render_labels(labels)} "
+                f"{_fmt_value(counters[key])}"
+            )
+
+    gauges = registry.gauges()
+    for family, keys in sorted(_group_by_family(gauges).items()):
+        flat = _metric_name(family, namespace)
+        lines.append(f"# HELP {flat} repro gauge {family}")
+        lines.append(f"# TYPE {flat} gauge")
+        for key in sorted(keys):
+            _, labels = _parse_key(key)
+            lines.append(
+                f"{flat}{_render_labels(labels)} "
+                f"{_fmt_value(gauges[key])}"
+            )
+
+    histograms = registry.histograms()
+    for family, keys in sorted(_group_by_family(histograms).items()):
+        flat = _metric_name(family, namespace)
+        lines.append(f"# HELP {flat} repro histogram {family}")
+        lines.append(f"# TYPE {flat} histogram")
+        for key in sorted(keys):
+            _, labels = _parse_key(key)
+            histogram = histograms[key]
+            cumulative = 0
+            for boundary, count in zip(histogram.boundaries,
+                                       histogram.counts):
+                cumulative += count
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = _fmt_value(boundary)
+                lines.append(
+                    f"{flat}_bucket{_render_labels(bucket_labels)} "
+                    f"{cumulative}"
+                )
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = "+Inf"
+            lines.append(
+                f"{flat}_bucket{_render_labels(bucket_labels)} "
+                f"{histogram.count}"
+            )
+            rendered = _render_labels(labels)
+            lines.append(
+                f"{flat}_sum{rendered} {_fmt_value(histogram.total)}"
+            )
+            lines.append(f"{flat}_count{rendered} {histogram.count}")
+
+    return "\n".join(lines) + "\n" if lines else ""

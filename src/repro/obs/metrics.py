@@ -92,6 +92,58 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (``0 < q <= 1``), interpolated linearly
+        within the fixed buckets.
+
+        The estimate assumes observations are spread uniformly inside
+        each bucket (the classic Prometheus ``histogram_quantile``
+        model): the target rank is located in its bucket's cumulative
+        range and mapped proportionally between the bucket's lower and
+        upper boundary.  The first bucket's lower edge is 0; ranks
+        landing in the overflow bucket return the last boundary (there
+        is no upper edge to interpolate toward).
+        """
+        if self.count == 0:
+            return 0.0
+        q = min(max(q, 0.0), 1.0)
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                if i >= len(self.boundaries):
+                    return self.boundaries[-1]
+                lower = self.boundaries[i - 1] if i > 0 else 0.0
+                upper = self.boundaries[i]
+                fraction = (rank - cumulative) / bucket_count
+                return lower + fraction * (upper - lower)
+            cumulative += bucket_count
+        return self.boundaries[-1]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    def summary(self) -> dict:
+        """Count, mean and interpolated percentiles as plain data."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
     def reset(self) -> None:
         self.counts = [0] * (len(self.boundaries) + 1)
         self.total = 0.0
@@ -227,3 +279,31 @@ def metrics() -> MetricsRegistry:
 def reset_metrics() -> None:
     """Zero every metric in the global registry (test isolation)."""
     _REGISTRY.reset()
+
+
+def histogram_deltas(before: Mapping, after: Mapping) -> dict[str, Histogram]:
+    """Per-key :class:`Histogram` deltas between two snapshots.
+
+    Returns, for every histogram whose observation count grew between
+    ``before`` and ``after``, a standalone histogram holding only the
+    observations made in between — the input a sweep needs to report
+    p50/p95/p99 of *its own* work rather than the process's lifetime.
+    """
+    deltas: dict[str, Histogram] = {}
+    before_histograms = before.get("histograms", {})
+    for key, data in after.get("histograms", {}).items():
+        prior = before_histograms.get(
+            key, {"counts": [0] * len(data["counts"]),
+                  "total": 0.0, "count": 0},
+        )
+        count = data["count"] - prior["count"]
+        if count <= 0:
+            continue
+        deltas[key] = Histogram(
+            boundaries=tuple(data["boundaries"]),
+            counts=[c - p for c, p in zip(data["counts"],
+                                          prior["counts"])],
+            total=data["total"] - prior["total"],
+            count=count,
+        )
+    return deltas

@@ -1,0 +1,376 @@
+"""Regression verdicts over the run ledger.
+
+``repro report`` turns ledger history into a CI decision: the latest
+run of each comparable group is measured against the **median of the
+previous N** runs (the baseline window) family by family — schedule
+latency, FU and register counts, wall-clock, cache hit-rate — and the
+worst family verdict becomes the exit code: 0 clean, 1 warnings only,
+2 regression.
+
+Runs are comparable only within a *group*: same kind, workload, source
+digest and value-level options token (the ledger's environment
+fingerprint).  A changed source or knob starts a fresh group — the
+report never blames a regression on an intentional change.
+
+Thresholds are per family.  QoR families (latency, FUs, registers) are
+deterministic for a deterministic pipeline, so *any* increase is a
+regression; wall-clock is noisy, so it gets generous relative bounds
+plus an absolute floor below which it is ignored entirely; cache
+hit-rate warns (never fails) on a large drop.  All of it is
+overridable from the CLI (``--threshold FAMILY=WARN,FAIL``).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from .ledger import RunRecord
+
+#: Verdict severity order — a group's status is its worst family's.
+_SEVERITY = {"ok": 0, "new": 0, "improved": 0, "warn": 1,
+             "regression": 2}
+
+
+@dataclass(frozen=True)
+class Threshold:
+    """When a family's change becomes a warning or a regression.
+
+    ``warn_pct``/``fail_pct`` bound the *worsening* relative change in
+    percent (0.0 means any worsening trips it; None disables that
+    level).  ``higher_is_worse`` orients the comparison.  Samples
+    whose baseline is below ``min_base`` are skipped — the guard that
+    keeps sub-noise wall-clock baselines from ever failing CI.
+    """
+
+    warn_pct: float | None = 0.0
+    fail_pct: float | None = 0.0
+    higher_is_worse: bool = True
+    min_base: float = 0.0
+
+    def verdict(self, baseline: float, latest: float) -> str:
+        if baseline < self.min_base:
+            return "ok"
+        worsening = (latest - baseline) if self.higher_is_worse else (
+            baseline - latest
+        )
+        if worsening <= 0:
+            return "improved" if worsening < 0 else "ok"
+        change_pct = (
+            100.0 * worsening / baseline if baseline
+            else float("inf")
+        )
+        if self.fail_pct is not None and change_pct > self.fail_pct:
+            return "regression"
+        if self.warn_pct is not None and change_pct > self.warn_pct:
+            return "warn"
+        return "ok"
+
+
+#: QoR families are deterministic — any increase is a regression.
+#: Wall-clock is noisy — warn at +25%, fail at +200%, and ignore
+#: baselines under 50ms outright.  Hit-rate only ever warns.
+DEFAULT_THRESHOLDS: dict[str, Threshold] = {
+    "latency_csteps": Threshold(0.0, 0.0),
+    "fu_total": Threshold(0.0, 0.0),
+    "registers": Threshold(0.0, 0.0),
+    "area_total": Threshold(0.0, 5.0),
+    "wall_s": Threshold(25.0, 200.0, min_base=0.05),
+    "cache_hit_rate": Threshold(15.0, None, higher_is_worse=False,
+                                min_base=1.0),
+}
+
+
+def _qor_value(name: str) -> Callable[[RunRecord], float | None]:
+    def extract(record: RunRecord) -> float | None:
+        value = record.qor.get(name)
+        return float(value) if value is not None else None
+
+    return extract
+
+
+def _area_total(record: RunRecord) -> float | None:
+    area = record.qor.get("area")
+    if not area:
+        return None
+    return float(area.get("total", 0.0))
+
+
+def _wall_s(record: RunRecord) -> float | None:
+    return float(record.wall_s) if record.wall_s else None
+
+
+def _cache_hit_rate(record: RunRecord) -> float | None:
+    counters = record.metrics.get("counters", {})
+    hits = counters.get("cache.hits", 0)
+    misses = counters.get("cache.misses", 0)
+    if hits + misses == 0:
+        return None
+    return 100.0 * hits / (hits + misses)
+
+
+#: Family name → value extractor.  A None extraction skips the family
+#: for that record (e.g. fuzz records carry no design QoR).
+FAMILIES: dict[str, Callable[[RunRecord], float | None]] = {
+    "latency_csteps": _qor_value("latency_csteps"),
+    "fu_total": _qor_value("fu_total"),
+    "registers": _qor_value("registers"),
+    "area_total": _area_total,
+    "wall_s": _wall_s,
+    "cache_hit_rate": _cache_hit_rate,
+}
+
+DEFAULT_WINDOW = 5
+
+
+@dataclass
+class FamilyVerdict:
+    """One family's latest-vs-baseline outcome inside a group."""
+
+    family: str
+    status: str
+    baseline: float | None = None
+    latest: float | None = None
+    samples: int = 0
+
+    @property
+    def change_pct(self) -> float | None:
+        if self.baseline is None or self.latest is None:
+            return None
+        if self.baseline == 0:
+            return None if self.latest == 0 else float("inf")
+        return 100.0 * (self.latest - self.baseline) / self.baseline
+
+    def to_dict(self) -> dict:
+        change = self.change_pct
+        return {
+            "family": self.family,
+            "status": self.status,
+            "baseline": self.baseline,
+            "latest": self.latest,
+            "samples": self.samples,
+            "change_pct": (round(change, 2)
+                           if change not in (None, float("inf"))
+                           else change),
+        }
+
+
+@dataclass
+class GroupReport:
+    """All family verdicts for one comparable run group."""
+
+    kind: str
+    workload: str
+    latest: RunRecord
+    verdicts: list[FamilyVerdict] = field(default_factory=list)
+
+    @property
+    def status(self) -> str:
+        worst = "ok"
+        for verdict in self.verdicts:
+            if _SEVERITY[verdict.status] > _SEVERITY[worst]:
+                worst = verdict.status
+        if not self.verdicts:
+            return "new"
+        return worst
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "workload": self.workload,
+            "status": self.status,
+            "latest_run": self.latest.run_id,
+            "created_at": self.latest.created_at,
+            "families": [v.to_dict() for v in self.verdicts],
+        }
+
+
+@dataclass
+class RegressionReport:
+    """The whole verdict: one :class:`GroupReport` per group."""
+
+    groups: list[GroupReport] = field(default_factory=list)
+    window: int = DEFAULT_WINDOW
+
+    @property
+    def status(self) -> str:
+        worst = "ok"
+        for group in self.groups:
+            if _SEVERITY.get(group.status, 0) > _SEVERITY[worst]:
+                worst = group.status
+        return worst
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean, 1 warnings only, 2 regression — the CI contract."""
+        return _SEVERITY.get(self.status, 0)
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "exit_code": self.exit_code,
+            "window": self.window,
+            "groups": [group.to_dict() for group in self.groups],
+        }
+
+    def render(self) -> str:
+        """The human-readable report text."""
+        if not self.groups:
+            return "report: no runs in the ledger"
+        lines = [f"regression report (baseline: median of up to "
+                 f"{self.window} prior runs)"]
+        for group in self.groups:
+            lines.append(
+                f"  [{group.status:>10}] {group.kind}:{group.workload} "
+                f"run {group.latest.run_id}"
+            )
+            for verdict in group.verdicts:
+                if verdict.status in ("ok",) and verdict.baseline is None:
+                    continue
+                change = verdict.change_pct
+                change_text = (
+                    "" if change is None
+                    else f" ({change:+.1f}%)" if change != float("inf")
+                    else " (new)"
+                )
+                lines.append(
+                    f"      {verdict.family:<16} "
+                    f"{_fmt(verdict.baseline):>10} -> "
+                    f"{_fmt(verdict.latest):>10}"
+                    f"{change_text:<10} {verdict.status}"
+                )
+        lines.append(f"verdict: {self.status} "
+                     f"(exit {self.exit_code})")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """A CI-comment-ready markdown summary."""
+        lines = ["## QoR regression report", ""]
+        if not self.groups:
+            lines.append("_No runs in the ledger._")
+            return "\n".join(lines) + "\n"
+        lines.append(f"**Verdict: {self.status}** "
+                     f"(exit {self.exit_code}; baseline = median of up "
+                     f"to {self.window} prior runs)")
+        lines.append("")
+        lines.append("| group | family | baseline | latest | change "
+                     "| status |")
+        lines.append("|---|---|---:|---:|---:|---|")
+        for group in self.groups:
+            name = f"{group.kind}:{group.workload}"
+            if not group.verdicts:
+                lines.append(f"| {name} | — | — | — | — | new |")
+                continue
+            for verdict in group.verdicts:
+                change = verdict.change_pct
+                change_text = (
+                    "—" if change is None
+                    else f"{change:+.1f}%" if change != float("inf")
+                    else "new"
+                )
+                lines.append(
+                    f"| {name} | {verdict.family} "
+                    f"| {_fmt(verdict.baseline)} "
+                    f"| {_fmt(verdict.latest)} | {change_text} "
+                    f"| {verdict.status} |"
+                )
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.3f}"
+
+
+def group_key(record: RunRecord) -> tuple:
+    """What must match for two records to be compared."""
+    return (
+        record.kind,
+        record.workload,
+        record.env.get("source_digest"),
+        record.env.get("options"),
+        record.schema,
+    )
+
+
+def compare(records: Iterable[RunRecord],
+            window: int = DEFAULT_WINDOW,
+            thresholds: Mapping[str, Threshold] | None = None,
+            workload: str | None = None,
+            kind: str | None = None) -> RegressionReport:
+    """Latest run of every group vs its median-of-N baseline.
+
+    ``records`` must be in ledger order (oldest first); the last
+    record of each group is "latest" and the up-to-``window`` records
+    before it form the baseline.  Groups with no prior runs come back
+    ``new`` (never a failure — first contact creates the baseline).
+    """
+    thresholds = dict(DEFAULT_THRESHOLDS) | dict(thresholds or {})
+    groups: dict[tuple, list[RunRecord]] = {}
+    for record in records:
+        if workload is not None and record.workload != workload:
+            continue
+        if kind is not None and record.kind != kind:
+            continue
+        groups.setdefault(group_key(record), []).append(record)
+
+    report = RegressionReport(window=window)
+    for key in sorted(groups, key=lambda k: tuple(str(p) for p in k)):
+        history = groups[key]
+        latest = history[-1]
+        baseline_records = history[:-1][-window:]
+        group = GroupReport(kind=latest.kind, workload=latest.workload,
+                            latest=latest)
+        for family, extract in FAMILIES.items():
+            latest_value = extract(latest)
+            if latest_value is None:
+                continue
+            samples = [
+                value for value in
+                (extract(record) for record in baseline_records)
+                if value is not None
+            ]
+            if not samples:
+                continue
+            baseline = statistics.median(samples)
+            threshold = thresholds.get(family, Threshold())
+            group.verdicts.append(FamilyVerdict(
+                family=family,
+                status=threshold.verdict(baseline, latest_value),
+                baseline=baseline,
+                latest=latest_value,
+                samples=len(samples),
+            ))
+        report.groups.append(group)
+    return report
+
+
+def parse_threshold(spec: str) -> tuple[str, Threshold]:
+    """``FAMILY=WARN,FAIL`` (either level may be ``-`` for disabled).
+
+    The CLI's ``--threshold`` grammar; the family keeps its default
+    orientation and floor, only the levels are overridden.
+    """
+    family, _, levels = spec.partition("=")
+    family = family.strip()
+    if not family or not levels:
+        raise ValueError(
+            f"threshold spec {spec!r} is not FAMILY=WARN,FAIL"
+        )
+    warn_text, _, fail_text = levels.partition(",")
+
+    def _level(text: str) -> float | None:
+        text = text.strip()
+        return None if text in ("", "-") else float(text)
+
+    base = DEFAULT_THRESHOLDS.get(family, Threshold())
+    return family, Threshold(
+        warn_pct=_level(warn_text),
+        fail_pct=_level(fail_text),
+        higher_is_worse=base.higher_is_worse,
+        min_base=base.min_base,
+    )

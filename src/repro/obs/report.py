@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping
 
+from .metrics import Histogram
 from .tracer import SpanRecord
 
 #: The pipeline stages the profile table reports, in flow order.
@@ -66,13 +67,19 @@ def _root_duration(records: list[SpanRecord]) -> float:
 
 
 def profile_table(records: Iterable[SpanRecord],
-                  title: str | None = None) -> str:
+                  title: str | None = None,
+                  histograms: Mapping[str, Histogram] | None = None,
+                  ) -> str:
     """The ``repro profile`` table: per-stage time and share.
 
     Shares are of the root span's wall time (the whole run), so the
     ``other`` row absorbs whatever the stage spans don't cover
     (I/O, logging, span bookkeeping).  Column layout is stable —
     golden tests mask the duration numbers, not the structure.
+
+    When latency ``histograms`` are passed (canonical metric key →
+    :class:`Histogram`), a percentile section follows the table — one
+    fixed-width row of interpolated p50/p95/p99 per key.
     """
     records = list(records)
     totals = stage_totals(records)
@@ -93,7 +100,53 @@ def profile_table(records: Iterable[SpanRecord],
     other_us = max(0.0, root_us - covered_us)
     lines.append(_row("other", "-", other_us, root_us))
     lines.append(_row("total", "-", root_us, root_us))
+    if histograms:
+        lines.append(f"  {'latency(ms)':<36} {'count':>6} {'p50':>8} "
+                     f"{'p95':>8} {'p99':>8}")
+        for key in sorted(histograms):
+            hist = histograms[key]
+            lines.append(
+                f"  {key:<36} {hist.count:>6} {hist.p50:>8.2f} "
+                f"{hist.p95:>8.2f} {hist.p99:>8.2f}"
+            )
     return "\n".join(lines)
+
+
+def profile_json(records: Iterable[SpanRecord],
+                 histograms: Mapping[str, Histogram] | None = None,
+                 **meta) -> dict:
+    """The machine-readable twin of :func:`profile_table`.
+
+    Durations are rounded to whole microseconds so the document never
+    degenerates into scientific notation, and every mapping is emitted
+    in sorted/pipeline order — the same run profiles to the same JSON.
+    """
+    records = list(records)
+    totals = stage_totals(records)
+    root_us = _root_duration(records)
+    covered_us = sum(entry["total_us"] for entry in totals.values())
+    stages = {
+        stage: {
+            "calls": totals[stage]["calls"],
+            "total_us": round(totals[stage]["total_us"], 1),
+        }
+        for stage in PIPELINE_STAGES
+        if stage in totals
+    }
+    document = dict(meta)
+    document["total_us"] = round(root_us, 1)
+    document["other_us"] = round(max(0.0, root_us - covered_us), 1)
+    document["stages"] = stages
+    if histograms is not None:
+        document["percentiles"] = {
+            key: {
+                name: round(value, 4) if isinstance(value, float)
+                else value
+                for name, value in histograms[key].summary().items()
+            }
+            for key in sorted(histograms)
+        }
+    return document
 
 
 def _row(stage: str, calls: str, dur_us: float, root_us: float) -> str:
@@ -103,11 +156,20 @@ def _row(stage: str, calls: str, dur_us: float, root_us: float) -> str:
 
 
 def telemetry_summary(telemetry: Mapping) -> str:
-    """Render a sweep's telemetry dict (wall time + counter deltas)."""
+    """Render a sweep's telemetry dict (wall time + counter deltas,
+    plus p50/p95/p99 rows for any histogram deltas it collected)."""
     lines = ["sweep telemetry:"]
     wall_s = telemetry.get("wall_s")
     if wall_s is not None:
         lines.append(f"  {'wall_time_s':<36} {wall_s:>10.3f}")
     for key, value in sorted(telemetry.get("counters", {}).items()):
         lines.append(f"  {key:<36} {value:>10d}")
+    for key, summary in sorted(
+        telemetry.get("histograms", {}).items()
+    ):
+        lines.append(
+            f"  {key:<36} p50={summary['p50']:.2f} "
+            f"p95={summary['p95']:.2f} p99={summary['p99']:.2f} "
+            f"(n={summary['count']})"
+        )
     return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Opt-in resource telemetry: per-stage Python heap peaks.
+
+Memory profiling piggybacks on :mod:`tracemalloc` — always available,
+but expensive enough (every allocation is traced) that it must stay
+**off by default**.  Enable it per run with
+``SynthesisOptions(memory=True)``, programmatically with
+:func:`enable_memory`, or via env ``REPRO_MEM=1``; the engine then
+wraps each pipeline stage in :func:`memory_span`, which resets the
+traced peak before the stage and records the stage's own peak into the
+``engine.mem.peak_kb{stage=...}`` gauge afterwards.  Gauges merge by
+maximum across processes and are excluded from coverage fingerprints,
+so turning this on never perturbs fuzzing or cache behaviour — only
+wall-clock.
+"""
+
+from __future__ import annotations
+
+import os
+import tracemalloc
+from contextlib import contextmanager
+from typing import Iterator
+
+from .metrics import metrics
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_MEM", "").lower() not in (
+        "", "0", "false", "no",
+    )
+
+
+_ENABLED = _env_enabled()
+#: Set when *we* started tracemalloc, so disable() doesn't stop a
+#: trace some outer profiler owns.
+_STARTED_HERE = False
+
+
+def memory_enabled() -> bool:
+    """Is per-stage memory profiling currently on?"""
+    return _ENABLED
+
+
+def enable_memory() -> None:
+    """Turn on per-stage heap-peak gauges (starts tracemalloc)."""
+    global _ENABLED, _STARTED_HERE
+    _ENABLED = True
+    if not tracemalloc.is_tracing():
+        tracemalloc.start()
+        _STARTED_HERE = True
+
+
+def disable_memory() -> None:
+    """Turn profiling off; stop tracemalloc only if we started it."""
+    global _ENABLED, _STARTED_HERE
+    _ENABLED = False
+    if _STARTED_HERE and tracemalloc.is_tracing():
+        tracemalloc.stop()
+    _STARTED_HERE = False
+
+
+@contextmanager
+def memory_profiling(enabled: bool = True) -> Iterator[None]:
+    """Scope memory profiling on (or off) for a block, then restore."""
+    global _ENABLED
+    previous = _ENABLED
+    if enabled:
+        enable_memory()
+    else:
+        _ENABLED = False
+    try:
+        yield
+    finally:
+        if previous and not _ENABLED:
+            enable_memory()
+        elif not previous and _ENABLED:
+            disable_memory()
+
+
+def maybe_memory(enabled: bool):
+    """``memory_profiling(True)`` when asked and not already on.
+
+    The engine's per-run hook, mirroring ``obs.maybe_tracing``:
+    ``SynthesisOptions(memory=True)`` profiles exactly that run
+    without disturbing an outer scope that already enabled it.
+    """
+    if enabled and not _ENABLED:
+        return memory_profiling(True)
+    return _NULL_SCOPE
+
+
+class _ReusableNullScope:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SCOPE = _ReusableNullScope()
+
+
+@contextmanager
+def memory_span(stage: str) -> Iterator[None]:
+    """Record a stage's traced-heap peak into the metrics registry.
+
+    While profiling is off this is one flag test and a no-op yield.
+    While on, the peak counter is reset entering the stage and the
+    stage's own peak (KiB) lands in ``engine.mem.peak_kb{stage=...}``;
+    the gauge keeps the maximum across repeated stage runs, matching
+    the registry's cross-process merge rule.
+    """
+    if not _ENABLED or not tracemalloc.is_tracing():
+        yield
+        return
+    tracemalloc.reset_peak()
+    try:
+        yield
+    finally:
+        _, peak = tracemalloc.get_traced_memory()
+        gauge = metrics().gauge("engine.mem.peak_kb", stage=stage)
+        gauge.set(max(gauge.value, peak / 1024.0))
+
+
+def reset_memory() -> None:
+    """Restore the env-derived flag and stop any trace we own."""
+    global _ENABLED, _STARTED_HERE
+    if _STARTED_HERE and tracemalloc.is_tracing():
+        tracemalloc.stop()
+    _STARTED_HERE = False
+    _ENABLED = _env_enabled()

@@ -69,9 +69,31 @@ def _fresh_observability():
     """
     obs.reset_tracing()
     obs.reset_metrics()
+    obs.reset_memory()
     yield
     obs.reset_tracing()
     obs.reset_metrics()
+    obs.reset_memory()
+
+
+@pytest.fixture(autouse=True)
+def _no_run_ledger(monkeypatch):
+    """Keep the run ledger out of tests by default.
+
+    Mirrors ``_no_design_store``: a developer's ``REPRO_LEDGER_DIR``
+    must not make every synthesized design append a run record; tests
+    that want the ledger opt in via ``configure_ledger``.
+    """
+    from repro.obs.ledger import reset_ledger, reset_ledger_scope
+
+    monkeypatch.delenv("REPRO_LEDGER_DIR", raising=False)
+    monkeypatch.delenv("REPRO_LEDGER", raising=False)
+    monkeypatch.delenv("REPRO_MEM", raising=False)
+    reset_ledger()
+    reset_ledger_scope()
+    yield
+    reset_ledger()
+    reset_ledger_scope()
 
 
 @pytest.fixture

@@ -370,3 +370,147 @@ class TestSweepTelemetry:
         # reset() keeps registered keys alive at zero, so check the
         # value rather than key absence
         assert counters.get("fuzz.seeds.failing", 0) == 0
+
+
+class TestHistogramPercentiles:
+    def _hist(self, boundaries=(10.0,)):
+        from repro.obs.metrics import Histogram
+
+        return Histogram(boundaries=boundaries)
+
+    def test_empty_histogram_percentiles_are_zero(self):
+        hist = self._hist()
+        assert hist.p50 == 0.0
+        assert hist.p95 == 0.0
+        assert hist.p99 == 0.0
+
+    def test_linear_interpolation_within_a_bucket(self):
+        hist = self._hist(boundaries=(10.0,))
+        for _ in range(10):
+            hist.observe(1.0)  # all land in [0, 10]
+        assert hist.p50 == pytest.approx(5.0)
+        assert hist.p95 == pytest.approx(9.5)
+        assert hist.p99 == pytest.approx(9.9)
+
+    def test_interpolation_uses_previous_boundary_as_lower_edge(self):
+        hist = self._hist(boundaries=(1.0, 2.0, 4.0))
+        hist.observe(0.5)   # bucket [0, 1]
+        hist.observe(1.5)   # bucket (1, 2]
+        hist.observe(3.0)   # bucket (2, 4]
+        hist.observe(3.5)   # bucket (2, 4]
+        # rank 2 falls exactly at the end of the (1, 2] bucket
+        assert hist.p50 == pytest.approx(2.0)
+
+    def test_overflow_bucket_returns_last_boundary(self):
+        hist = self._hist(boundaries=(10.0,))
+        hist.observe(1000.0)
+        assert hist.p99 == 10.0
+
+    def test_summary_is_plain_data(self):
+        hist = self._hist()
+        hist.observe(2.0)
+        summary = hist.summary()
+        assert summary["count"] == 1
+        assert summary["mean"] == 2.0
+        assert set(summary) == {"count", "mean", "p50", "p95", "p99"}
+
+    def test_sweep_telemetry_includes_histograms(self):
+        result = explore_fu_range(SQRT_SOURCE, [1, 2], report=True)
+        histograms = result.telemetry["histograms"]
+        assert any("scheduler.latency_ms" in key for key in histograms)
+        for summary in histograms.values():
+            assert summary["p50"] <= summary["p95"] <= summary["p99"]
+        assert "p50=" in result.table()
+
+
+class TestChromeTraceEdgeCases:
+    def test_empty_records_yield_valid_empty_document(self):
+        doc = obs.chrome_trace([])
+        assert doc == {"traceEvents": [], "displayTimeUnit": "ms"}
+        json.dumps(doc)
+
+    def test_zero_duration_spans_are_clamped_to_one_us(self):
+        from repro.obs.export import MIN_EVENT_DURATION_US
+        from repro.obs.tracer import SpanRecord
+
+        record = SpanRecord(name="instant", index=0, parent=None,
+                            depth=0, start_us=5.0, duration_us=0.0)
+        doc = obs.chrome_trace([record])
+        (event,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert event["dur"] == MIN_EVENT_DURATION_US
+
+    def test_real_durations_are_not_clamped(self):
+        from repro.obs.tracer import SpanRecord
+
+        record = SpanRecord(name="long", index=0, parent=None,
+                            depth=0, start_us=0.0, duration_us=42.5)
+        doc = obs.chrome_trace([record])
+        (event,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert event["dur"] == 42.5
+
+    def test_metadata_rows_only_for_present_pids(self):
+        from repro.obs.tracer import SpanRecord
+
+        records = [
+            SpanRecord(name="a", index=0, parent=None, depth=0,
+                       start_us=0.0, duration_us=1.0, pid=11),
+            SpanRecord(name="b", index=1, parent=None, depth=0,
+                       start_us=0.0, duration_us=1.0, pid=22),
+        ]
+        doc = obs.chrome_trace(records)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert sorted(e["pid"] for e in meta) == [11, 22]
+
+
+class TestMemoryProfiling:
+    def test_off_by_default_and_no_gauges(self):
+        assert not obs.memory_enabled()
+        with obs.memory_span("schedule"):
+            pass
+        assert "engine.mem.peak_kb{stage=schedule}" not in (
+            obs.metrics().gauges()
+        )
+
+    def test_memory_span_records_peak_gauge(self):
+        with obs.memory_profiling(True):
+            with obs.memory_span("schedule"):
+                blob = [list(range(1000)) for _ in range(100)]
+            del blob
+        gauges = obs.metrics().gauges()
+        assert gauges["engine.mem.peak_kb{stage=schedule}"] > 0.0
+
+    def test_engine_memory_option_populates_stage_gauges(self):
+        synthesize(SQRT_SOURCE, options=SynthesisOptions(
+            constraints=ResourceConstraints({"fu": 2}), memory=True,
+        ))
+        gauges = obs.metrics().gauges()
+        stages = {key for key in gauges
+                  if key.startswith("engine.mem.peak_kb")}
+        assert "engine.mem.peak_kb{stage=compile}" in stages
+        assert "engine.mem.peak_kb{stage=schedule}" in stages
+
+    def test_memory_option_does_not_change_cache_key(self):
+        plain = SynthesisOptions(
+            constraints=ResourceConstraints({"fu": 2}))
+        with_memory = SynthesisOptions(
+            constraints=ResourceConstraints({"fu": 2}), memory=True)
+        assert plain.cache_key() == with_memory.cache_key()
+
+    def test_nested_memory_profiling_is_reentrant(self):
+        with obs.memory_profiling(True):
+            with obs.maybe_memory(True):
+                assert obs.memory_enabled()
+            assert obs.memory_enabled()
+        assert not obs.memory_enabled()
+
+
+class TestExecPoolGauges:
+    def test_pool_gauges_recorded_for_a_batch(self):
+        from repro.exec import run_tasks
+        from tests.test_exec_runtime import double
+
+        run_tasks(double, [1, 2, 3, 4], max_workers=2)
+        gauges = obs.metrics().gauges()
+        assert gauges["exec.pool.workers"] == 2
+        assert 0.0 < gauges["exec.pool.utilization"] <= 1.0
+        assert gauges["exec.queue.wait_s"] >= 0.0

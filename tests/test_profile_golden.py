@@ -28,6 +28,11 @@ def mask_floats(text: str) -> str:
     )
 
 
+def mask_json_floats(text: str) -> str:
+    """Mask floats in JSON output (no alignment to preserve)."""
+    return re.sub(r"\d+\.\d+", "#.##", text)
+
+
 @pytest.fixture
 def sqrt_file(tmp_path):
     path = tmp_path / "sqrt.bsl"
@@ -49,6 +54,30 @@ class TestProfileGolden:
         assert mask_floats(narrow) == mask_floats(wide) == (
             "  schedule         2       #.##    #.##%"
         )
+
+    def test_profile_json_matches_golden(self, sqrt_file, capsys):
+        """``--format json`` is machine-facing API surface: keys,
+        nesting and integer fields (calls, counts) are pinned; only
+        measured floats are masked."""
+        assert main([
+            "profile", sqrt_file, "--fu", "2", "--format", "json",
+        ]) == 0
+        out = capsys.readouterr().out
+        golden = (GOLDEN / "cli_profile_sqrt.json").read_text()
+        assert mask_json_floats(out) == golden
+
+    def test_profile_json_is_valid_json(self, sqrt_file, capsys):
+        import json
+
+        assert main([
+            "profile", sqrt_file, "--fu", "2", "--format", "json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["design"] == "sqrt"
+        assert doc["total_us"] > 0
+        assert set(doc["stages"]) >= {"compile", "schedule", "bind"}
+        for entry in doc["percentiles"].values():
+            assert entry["p50"] <= entry["p95"] <= entry["p99"]
 
     def test_profile_writes_optional_chrome_trace(self, sqrt_file,
                                                   tmp_path, capsys):

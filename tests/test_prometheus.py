@@ -1,0 +1,133 @@
+"""Tests for the Prometheus text exposition exporter.
+
+The exporter's contract is byte-stability (same registry state →
+identical payload) plus conformance to the text format 0.0.4 grammar:
+``# HELP``/``# TYPE`` headers per family, ``_total`` counters,
+cumulative ``_bucket{le=...}`` series capped by ``+Inf``, and
+``_sum``/``_count`` per histogram.  A small grammar validator pins all
+of that without depending on a prometheus client library.
+"""
+
+import re
+
+from repro.obs import to_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+_METRIC_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"          # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*="         # optional label set
+    r'"(?:[^"\\\n]|\\\\|\\"|\\n)*"'
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*="
+    r'"(?:[^"\\\n]|\\\\|\\"|\\n)*")*\})?'
+    r" (?:[+-]?(?:\d+(?:\.\d+)?(?:e-?\d+)?|Inf)|NaN)$"
+)
+_HELP_LINE = re.compile(r"^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+$")
+_TYPE_LINE = re.compile(
+    r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$"
+)
+
+
+def assert_valid_exposition(text: str) -> None:
+    """Every line must be a HELP, TYPE, or sample line."""
+    assert text == "" or text.endswith("\n")
+    for line in text.splitlines():
+        assert (
+            _HELP_LINE.match(line)
+            or _TYPE_LINE.match(line)
+            or _METRIC_LINE.match(line)
+        ), f"invalid exposition line: {line!r}"
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("cache.hits").inc(3)
+    registry.counter("cache.misses").inc()
+    registry.counter("sched.steps", scheduler="list").inc(7)
+    registry.counter("sched.steps", scheduler="asap").inc(2)
+    registry.gauge("exec.pool.workers").set(4)
+    registry.gauge("engine.mem.peak_kb", stage="schedule").set(128.5)
+    hist = registry.histogram("latency_ms", buckets=(1.0, 5.0, 10.0))
+    for value in (0.5, 0.7, 3.0, 20.0):
+        hist.observe(value)
+    return registry
+
+
+class TestToPrometheus:
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+    def test_grammar_valid(self):
+        assert_valid_exposition(to_prometheus(populated_registry()))
+
+    def test_byte_stable_across_renders(self):
+        registry = populated_registry()
+        first = to_prometheus(registry)
+        second = to_prometheus(registry)
+        assert first == second
+        # and stable across *equal states*, not just the same object
+        assert to_prometheus(populated_registry()) == first
+
+    def test_counters_get_total_suffix_and_namespace(self):
+        text = to_prometheus(populated_registry())
+        assert "# TYPE repro_cache_hits_total counter" in text
+        assert "repro_cache_hits_total 3" in text
+        assert "repro_cache_misses_total 1" in text
+
+    def test_label_series_sorted_within_family(self):
+        text = to_prometheus(populated_registry())
+        asap = text.index('repro_sched_steps_total{scheduler="asap"} 2')
+        list_ = text.index('repro_sched_steps_total{scheduler="list"} 7')
+        assert asap < list_
+
+    def test_gauges(self):
+        text = to_prometheus(populated_registry())
+        assert "# TYPE repro_exec_pool_workers gauge" in text
+        assert "repro_exec_pool_workers 4" in text
+        assert ('repro_engine_mem_peak_kb{stage="schedule"} 128.5'
+                in text)
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = to_prometheus(populated_registry())
+        assert 'repro_latency_ms_bucket{le="1"} 2' in text
+        assert 'repro_latency_ms_bucket{le="5"} 3' in text
+        assert 'repro_latency_ms_bucket{le="10"} 3' in text
+        assert 'repro_latency_ms_bucket{le="+Inf"} 4' in text
+        assert "repro_latency_ms_sum 24.2" in text
+        assert "repro_latency_ms_count 4" in text
+
+    def test_bucket_order_help_before_type_before_samples(self):
+        text = to_prometheus(populated_registry())
+        lines = text.splitlines()
+        help_at = lines.index("# HELP repro_latency_ms repro "
+                              "histogram latency_ms")
+        type_at = lines.index("# TYPE repro_latency_ms histogram")
+        assert type_at == help_at + 1
+        assert lines[type_at + 1].startswith("repro_latency_ms_bucket")
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("odd.counter", tag='quo"te\\slash').inc()
+        text = to_prometheus(registry)
+        assert r'tag="quo\"te\\slash"' in text
+        assert_valid_exposition(text)
+
+    def test_namespace_override(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.hits").inc()
+        assert "hls_cache_hits_total 1" in to_prometheus(
+            registry, namespace="hls"
+        )
+
+    def test_default_registry_is_process_registry(self):
+        from repro import obs
+
+        obs.metrics().counter("cache.hits").inc(5)
+        assert "repro_cache_hits_total 5" in to_prometheus()
+
+    def test_integral_floats_print_as_integers(self):
+        registry = MetricsRegistry()
+        registry.gauge("g.exact").set(2.0)
+        registry.gauge("g.frac").set(2.25)
+        text = to_prometheus(registry)
+        assert "repro_g_exact 2\n" in text
+        assert "repro_g_frac 2.25\n" in text
