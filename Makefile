@@ -3,7 +3,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test test-slow fuzz-smoke fault-smoke fuzz fuzz-corpus corpus-replay corpus-minimize lint verify-examples profile profile-json bench cache-smoke history report
+.PHONY: test test-slow fuzz-smoke fault-smoke fuzz fuzz-corpus corpus-replay corpus-minimize lint ruff verify-examples profile profile-json bench cache-smoke history report
 
 # Tier-1 suite (what CI runs).
 test:
@@ -56,11 +56,25 @@ corpus-minimize:
 # Whole-pipeline linter (docs/static-analysis.md).  Fails only on
 # error-severity findings (exit 2): warnings are legitimate on honest
 # sources (e.g. diffeq's folded-away temporaries).  Also asserts that
-# the seeded demo still trips the linter.
+# both seeded demos still trip the linter, and replays the fuzz
+# corpus through the interval analysis (every simulated value must
+# stay inside its inferred range).
 lint:
 	$(PYTHON) -m repro lint examples/sqrt.hls
 	$(PYTHON) -m repro lint --workloads; test $$? -lt 2
 	! $(PYTHON) -m repro lint examples/lint_demo.hls > /dev/null
+	! $(PYTHON) -m repro lint examples/range_demo.hls > /dev/null
+	$(PYTHON) -m pytest -q tests/test_ranges.py -k soundness
+
+# Python-source lint (config in pyproject.toml: syntax errors and
+# pyflakes-class defects only).  Skips quietly when ruff is not on
+# PATH — the container image does not ship it; CI installs it.
+ruff:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping"; \
+	fi
 
 # Per-stage timing of the paper's sqrt example (span tracing on).
 profile:

@@ -479,6 +479,89 @@ def _bench_interning(taps: int, repeats: int) -> dict:
     }
 
 
+#: The diffeq operating contract (docs/static-analysis.md): every
+#: input bounded to the paper's intended operating region, the step
+#: size strictly positive so the loop terminates.
+DIFFEQ_CONTRACT = (
+    ("x0", 0.0, 1.0),
+    ("y0", 0.0, 1.0),
+    ("u0", 0.0, 1.0),
+    ("dx", 0.0, 0.125),
+    ("a", 0.0, 1.0),
+)
+
+
+def _bench_narrow(repeats: int) -> dict:
+    """Datapath narrowing under the diffeq operating contract.
+
+    Measures the estimated-area delta of ``--narrow --assume ...``
+    against the plain pipeline, and differentially verifies that the
+    narrowed design still computes the same outputs — a smaller
+    datapath that changes answers is a bug, not a win.
+    """
+    from repro.verify import run_differential
+
+    base_options = SynthesisOptions()
+    narrow_options = SynthesisOptions(
+        narrow=True, assume_ranges=DIFFEQ_CONTRACT
+    )
+    base = _fresh(
+        lambda: synthesize(DIFFEQ_SOURCE, options=base_options)
+    )()
+    narrowed = _fresh(
+        lambda: synthesize(DIFFEQ_SOURCE, options=narrow_options)
+    )()
+    base_area = estimate_area(base).total
+    narrow_area = estimate_area(narrowed).total
+    # The contract is *trusted*: a narrowed design only behaves for
+    # inputs inside it, so both sides are measured on the same
+    # in-contract vectors (full-range vectors would legitimately hang
+    # the narrowed loop — see docs/static-analysis.md).
+    vectors = [
+        {"x0": 0.0, "y0": 1.0, "u0": 1.0, "dx": 0.125, "a": 0.5},
+        {"x0": 0.25, "y0": 0.5, "u0": 0.75, "dx": 0.0625, "a": 1.0},
+    ]
+    base_cycles = measure_cycles(base, vectors)
+    narrow_cycles = measure_cycles(narrowed, vectors)
+    differential = run_differential(
+        DIFFEQ_SOURCE,
+        schedulers=["list"],
+        allocators=["left-edge"],
+        options=narrow_options,
+        vectors=vectors,
+    )
+    baseline_s = _best_of(
+        _fresh(lambda: synthesize(DIFFEQ_SOURCE, options=base_options)),
+        repeats,
+    )
+    new_s = _best_of(
+        _fresh(
+            lambda: synthesize(DIFFEQ_SOURCE, options=narrow_options)
+        ),
+        repeats,
+    )
+    summary = next(
+        (line for line in narrowed.log if line.startswith("narrow:")),
+        "",
+    )
+    return {
+        "workload": "diffeq (operating contract on every input)",
+        "contract": {name: [lo, hi] for name, lo, hi in DIFFEQ_CONTRACT},
+        "baseline_area": base_area,
+        "narrowed_area": narrow_area,
+        "area_saved": base_area - narrow_area,
+        "area_saved_pct": (
+            100.0 * (base_area - narrow_area) / base_area
+            if base_area else 0.0
+        ),
+        "cycles": [base_cycles, narrow_cycles],
+        "baseline_s": baseline_s,
+        "new_s": new_s,
+        "narrow_summary": summary,
+        "equivalent": differential.ok,
+    }
+
+
 def _single_block_problem(cdfg, model, constraints=None,
                           time_limit=None) -> SchedulingProblem:
     blocks = [block for block in cdfg.blocks() if block.ops]
@@ -497,7 +580,7 @@ def _ledger_records(report: dict) -> None:
     ledger = run_ledger.active_ledger()
     if ledger is None:
         return
-    for section in ("dse", "schedulers", "store", "ir"):
+    for section in ("dse", "schedulers", "store", "ir", "narrow"):
         for name, entry in report[section].items():
             wall = entry.get(
                 "new_s",
@@ -600,6 +683,9 @@ def _build_report(budget, knobs, repeats, random_spec, typed,
         "ir": {
             "interning": _bench_interning(knobs["fir_taps"], repeats),
         },
+        "narrow": {
+            "diffeq_contract": _bench_narrow(repeats),
+        },
     }
     return report
 
@@ -632,6 +718,11 @@ def main(argv: list[str] | None = None) -> int:
                              entry.get("identical_schedules"))
             print(f"{section}/{name}: {entry['speedup']:.2f}x "
                   f"(results identical: {flag})")
+    for name, entry in report["narrow"].items():
+        print(f"narrow/{name}: area {entry['baseline_area']:.0f} -> "
+              f"{entry['narrowed_area']:.0f} "
+              f"({entry['area_saved_pct']:.1f}% saved; "
+              f"equivalent: {entry['equivalent']})")
     for name, entry in report["stage_breakdown"].items():
         hottest = max(entry["stages"].items(),
                       key=lambda item: item[1]["ms"])

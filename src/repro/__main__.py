@@ -39,6 +39,7 @@ omitted; ``REPRO_LEDGER_DIR`` works without the flag).
 Examples::
 
     python -m repro synth design.bsl --fu 2 --verify -o design.v
+    python -m repro synth design.bsl --narrow --assume X=0.0625:1.0
     python -m repro synth design.bsl --store --fu 2
     python -m repro synth design.bsl --ledger .repro-ledger
     python -m repro simulate design.bsl X=0.5 --fu 2
@@ -50,6 +51,7 @@ Examples::
     python -m repro fuzz replay --corpus tests/corpus
     python -m repro fuzz minimize --corpus .repro-corpus
     python -m repro lint examples/lint_demo.hls --format json
+    python -m repro lint examples/range_demo.hls --format sarif
     python -m repro lint --workloads
     python -m repro profile examples/sqrt.hls --fu 2
     python -m repro profile examples/sqrt.hls --fu 2 --format json
@@ -72,7 +74,7 @@ from .errors import HLSError
 from .explore import explore_fu_range
 from .rtl import emit_verilog
 from .scheduling import ResourceConstraints
-from .sim import RTLSimulator, check_equivalence
+from .sim import RTLSimulator, check_equivalence, default_vectors
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -103,6 +105,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="fully unroll constant-trip loops",
     )
     parser.add_argument(
+        "--narrow", action="store_true",
+        help="narrow value/register bitwidths to their proven ranges "
+        "(sound interval analysis; see --assume for input contracts)",
+    )
+    parser.add_argument(
+        "--assume", action="append", default=None, metavar="NAME=LO:HI",
+        help="trusted input range contract for --narrow (repeatable, "
+        "e.g. --assume X=0.0625:1.0); narrowing is only valid for "
+        "executions honoring the contract",
+    )
+    parser.add_argument(
         "--store", action=argparse.BooleanOptionalAction, default=None,
         help="use the persistent design store (--store forces it on at "
         "the default directory, --no-store forces it off; default: "
@@ -125,6 +138,21 @@ def _add_ledger_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _parse_assume(specs: list[str] | None) -> tuple:
+    """``NAME=LO:HI`` flags → ``SynthesisOptions.assume_ranges``."""
+    ranges = []
+    for spec in specs or []:
+        name, eq, bounds = spec.partition("=")
+        lo, colon, hi = bounds.partition(":")
+        if not eq or not colon or not name:
+            raise HLSError(f"assume {spec!r} is not NAME=LO:HI")
+        try:
+            ranges.append((name, _parse_value(lo), _parse_value(hi)))
+        except ValueError:
+            raise HLSError(f"assume {spec!r} has non-numeric bounds")
+    return tuple(ranges)
+
+
 def _options(args: argparse.Namespace) -> SynthesisOptions:
     constraints = (
         ResourceConstraints({"fu": args.fu})
@@ -137,6 +165,8 @@ def _options(args: argparse.Namespace) -> SynthesisOptions:
         constraints=constraints,
         optimize_ir=not args.no_optimize,
         unroll=args.unroll,
+        narrow=getattr(args, "narrow", False),
+        assume_ranges=_parse_assume(getattr(args, "assume", None)),
         memory=getattr(args, "memory", False),
     )
 
@@ -172,7 +202,17 @@ def cmd_synth(args: argparse.Namespace) -> int:
     for line in design.log:
         print(f"  {line}")
     if args.verify:
-        report = check_equivalence(design)
+        # A narrowed design is only equivalent for inputs inside the
+        # trusted --assume contract; verification vectors must respect
+        # it or the narrowed loop registers wrap (and may never exit).
+        contracts = _parse_assume(getattr(args, "assume", None))
+        vectors = None
+        if contracts:
+            vectors = default_vectors(
+                design.cdfg,
+                assume={name: (lo, hi) for name, lo, hi in contracts},
+            )
+        report = check_equivalence(design, vectors=vectors)
         status = "PASS" if report.equivalent else "FAIL"
         print(f"\nco-simulation on {report.vectors} vectors: {status}")
         if not report.equivalent:
@@ -314,7 +354,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
 def cmd_lint(args: argparse.Namespace) -> int:
     import json
 
-    from .analysis.lint import LintOptions, lint_source
+    from .analysis.lint import LintOptions, lint_source, sarif_document
     from .obs import ledger
     from .workloads import DIFFEQ_SOURCE, SQRT_SOURCE, fir_source
 
@@ -342,15 +382,24 @@ def cmd_lint(args: argparse.Namespace) -> int:
         payload = [report.to_dict() for report in reports]
         print(json.dumps(payload[0] if len(payload) == 1 else payload,
                          indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(sarif_document(reports, uri=args.file),
+                         indent=2))
     else:
         print("\n\n".join(report.render() for report in reports))
     exit_code = max(report.exit_code for report in reports)
+    rule_counts: dict[str, int] = {}
+    for report in reports:
+        for rule, count in report.rule_counts().items():
+            rule_counts[rule] = rule_counts.get(rule, 0) + count
     _append_cli_record(
         "lint", args.file or "workloads", started,
         metrics_before=metrics_before,
         exit_code=exit_code,
         sources=len(sources),
         findings=sum(len(report.diagnostics) for report in reports),
+        errors=sum(report.count("error") for report in reports),
+        rule_counts=dict(sorted(rule_counts.items())),
     )
     return exit_code
 
@@ -709,8 +758,9 @@ def main(argv: list[str] | None = None) -> int:
         help="lint the design without the transform pipeline",
     )
     lint.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (default text)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default text; sarif emits one SARIF "
+        "2.1.0 document covering every linted source)",
     )
     lint.add_argument(
         "--workloads", action="store_true",

@@ -19,7 +19,7 @@ an exact minimum clique cover (exponential) is available for tests.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Hashable, Iterable
+from typing import Hashable
 
 import networkx as nx
 

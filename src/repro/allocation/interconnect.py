@@ -17,10 +17,9 @@ onto shared buses.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable
 
 from ..ir.opcodes import OpKind
-from ..ir.values import Operation, Value
+from ..ir.values import Value
 from .base import Allocation
 
 Source = tuple

@@ -14,6 +14,9 @@ The core of the package is a generic worklist solver
 * :func:`constant_lattice` / :func:`evaluated_conditions` — the
   three-level constant lattice, evaluated with the simulator's own
   semantics;
+* :func:`range_analysis` — the sound interval lattice (widening at
+  loop heads, branch-condition refinement, constant seeding); consumed
+  by the bitwidth-narrowing transform and the ``range.*`` lints;
 * :mod:`~repro.analysis.usage` — the flow-insensitive summaries the
   transforms share (:func:`variable_usage`,
   :func:`transitively_dead_ops`).
@@ -62,6 +65,16 @@ from .liveness import (
     block_uses_defs,
     live_out_variables,
     variable_liveness,
+)
+from .ranges import (
+    Interval,
+    RangesResult,
+    coerce_interval,
+    fits_type,
+    op_interval,
+    range_analysis,
+    refine_interval,
+    type_interval,
 )
 from .reaching import (
     DefUseChains,
@@ -115,6 +128,14 @@ __all__ = [
     "constant_lattice",
     "constant_of",
     "evaluated_conditions",
+    "Interval",
+    "RangesResult",
+    "range_analysis",
+    "op_interval",
+    "refine_interval",
+    "coerce_interval",
+    "type_interval",
+    "fits_type",
     "VariableUsage",
     "SIDE_EFFECT_KINDS",
     "variable_usage",

@@ -44,6 +44,17 @@ class DataflowAnalysis(Generic[Fact]):
         """Propagate ``fact`` through ``block``."""
         raise NotImplementedError
 
+    def edge_transfer(self, src: int, dst: int, fact: Fact) -> Fact:
+        """Adjust ``fact`` while it flows over the control edge
+        ``(src, dst)``.
+
+        The default is the identity; path-sensitive analyses (e.g. the
+        range analysis refining on a branch condition's polarity)
+        override it.  ``src``/``dst`` are always in *control* order,
+        regardless of the analysis direction.
+        """
+        return fact
+
 
 @dataclass
 class DataflowResult(Generic[Fact]):
@@ -80,7 +91,14 @@ def solve(cfg: ControlFlowGraph,
         node = worklist.popleft()
         queued.discard(node)
 
-        incoming = [exit_facts[p] for p in flow_preds.get(node, [])]
+        incoming = [
+            # Control-edge orientation: (p, node) forward, (node, p)
+            # backward — edge_transfer always sees control order.
+            analysis.edge_transfer(p, node, exit_facts[p])
+            if forward
+            else analysis.edge_transfer(node, p, exit_facts[p])
+            for p in flow_preds.get(node, [])
+        ]
         fact_in = analysis.join(incoming) if incoming else analysis.initial()
         entry_facts[node] = fact_in
 

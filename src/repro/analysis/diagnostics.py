@@ -75,12 +75,22 @@ class Diagnostic:
 
 
 class DiagnosticSink:
-    """Ordered collector of diagnostics."""
+    """Ordered collector of diagnostics.
+
+    Exact duplicates (same rule, severity, message, location, stage and
+    subject) are dropped: several rule families may rediscover the same
+    finding from different pipeline stages, and a repeated record would
+    both clutter the report and double-count the metric.
+    """
 
     def __init__(self) -> None:
         self._diagnostics: list[Diagnostic] = []
+        self._seen: set[Diagnostic] = set()
 
     def emit(self, diagnostic: Diagnostic) -> None:
+        if diagnostic in self._seen:
+            return
+        self._seen.add(diagnostic)
         self._diagnostics.append(diagnostic)
         metrics().counter(
             "lint.diagnostics",

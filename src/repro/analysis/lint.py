@@ -1,6 +1,6 @@
 """The whole-pipeline linter: every rule family, one driver.
 
-Three rule families, each consuming the shared analyses:
+Four rule families, each consuming the shared analyses:
 
 * **source rules** (``src.*``, ``lang.*``) — run on the *unoptimized*
   CDFG, so findings point at what the user wrote, not at what the
@@ -8,6 +8,14 @@ Three rule families, each consuming the shared analyses:
   unreachable blocks and constant conditions (constant lattice +
   condition-pruned CFG reachability), dead stores (liveness), unused
   variables;
+* **range rules** (``range.*``) — run on the sound interval analysis
+  (:func:`~repro.analysis.ranges.range_analysis`): guaranteed and
+  possible division by zero, comparisons decided by the operands'
+  value ranges alone, arithmetic whose unbounded result provably
+  cannot be represented by its type, and shift amounts outside the
+  operand width.  The same intervals also *suppress*
+  ``lang.implicit-trunc`` (and the same-cause ``net.width-mismatch``)
+  when the stored value's range provably fits the destination type;
 * **design rules** (``sched.*``, ``alloc.*``) — run on a synthesized
   design: scheduled use-before-def (the dependence-edge twin of
   ``Schedule.validate``), register sharing with overlapping lifetimes,
@@ -34,12 +42,13 @@ from ..controller.fsm import FSM
 from ..datapath.netlist import DatapathNetlist, build_netlist
 from ..errors import HLSError
 from ..ir.cdfg import CDFG, IfRegion, LoopRegion
-from ..ir.opcodes import OpKind
-from ..ir.types import bit_width, is_scalar
+from ..ir.opcodes import COMPARISONS, OpKind
+from ..ir.types import FixedType, IntType, bit_width, is_scalar
 from .cfg import build_cfg
 from .constants import constant_lattice, evaluated_conditions
 from .diagnostics import Diagnostic, DiagnosticSink
 from .liveness import live_out_variables, variable_liveness
+from .ranges import Interval, fits_type, range_analysis, type_interval
 from .reaching import UNINIT, def_use_chains
 
 
@@ -106,14 +115,83 @@ class LintReport:
             "diagnostics": [diag.to_dict() for diag in self.diagnostics],
         }
 
+    def rule_counts(self) -> dict[str, int]:
+        """Findings per rule id — the QoR ledger's lint fingerprint."""
+        counts: dict[str, int] = {}
+        for diag in self.diagnostics:
+            counts[diag.rule] = counts.get(diag.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+#: Diagnostic severity → SARIF result level.
+_SARIF_LEVELS = {"info": "note", "warning": "warning", "error": "error"}
+
+
+def sarif_document(reports: list[LintReport],
+                   uri: str | None = None) -> dict[str, Any]:
+    """Render lint reports as one SARIF 2.1.0 document (one run per
+    report), the interchange format code-scanning UIs ingest.
+
+    Args:
+        reports: the lint reports to serialize.
+        uri: optional artifact URI recorded on located results
+            (normally the linted file's path).
+    """
+    runs = []
+    for report in reports:
+        results = []
+        for diag in report.diagnostics:
+            result: dict[str, Any] = {
+                "ruleId": diag.rule,
+                "level": _SARIF_LEVELS[diag.severity],
+                "message": {"text": diag.message},
+                "properties": {
+                    "where": diag.where,
+                    "subject": diag.subject,
+                },
+            }
+            if diag.location is not None:
+                physical: dict[str, Any] = {
+                    "region": {
+                        "startLine": diag.location.line,
+                        "startColumn": diag.location.column,
+                    }
+                }
+                if uri is not None:
+                    physical["artifactLocation"] = {"uri": uri}
+                result["locations"] = [{"physicalLocation": physical}]
+            results.append(result)
+        runs.append({
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "rules": [
+                        {"id": rule}
+                        for rule in sorted(report.rule_counts())
+                    ],
+                }
+            },
+            "properties": {"design": report.name},
+            "results": results,
+        })
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": runs,
+    }
+
 
 # ----------------------------------------------------------------------
 # Source / CDFG rules
 # ----------------------------------------------------------------------
 
 
-def lint_cdfg(cdfg: CDFG, sink: DiagnosticSink) -> None:
-    """Run the source-level rule family on (ideally unoptimized) IR."""
+def lint_cdfg(cdfg: CDFG, sink: DiagnosticSink) -> set[tuple]:
+    """Run the source and range rule families on (ideally unoptimized)
+    IR.  Returns the range-proven suppression keys — ``(line, column,
+    variable)`` triples of stores whose value provably fits the
+    destination type, which the driver uses to drop the corresponding
+    ``lang.implicit-trunc`` / ``net.width-mismatch`` findings."""
     cfg = build_cfg(cdfg)
     source_map = cdfg.source_map
 
@@ -211,6 +289,144 @@ def lint_cdfg(cdfg: CDFG, sink: DiagnosticSink) -> None:
             f"variable {var!r} is declared but never used",
             subject=var,
         )
+
+    # range.* ----------------------------------------------------------
+    return _lint_ranges(cdfg, cfg, constants, sink, source_map)
+
+
+# ----------------------------------------------------------------------
+# Range rules
+# ----------------------------------------------------------------------
+
+#: Rules the interval analysis may prove harmless: a store whose value
+#: range provably fits the destination type loses both the frontend's
+#: truncation warning and its allocation-level twin.
+RANGE_SUPPRESSIBLE = ("lang.implicit-trunc", "net.width-mismatch")
+
+_ALWAYS_TRUE = Interval(1, 1)
+_ALWAYS_FALSE = Interval(0, 0)
+
+
+def _grid_compatible(src, dst) -> bool:
+    """Every value representable at ``src``'s granularity is on
+    ``dst``'s grid too (range aside): the fractional resolution must
+    not shrink, else in-range interior values would still be rounded."""
+    def frac(type_) -> int | None:
+        if isinstance(type_, FixedType):
+            return type_.frac_bits
+        if isinstance(type_, IntType):
+            return 0
+        return None
+
+    src_frac, dst_frac = frac(src), frac(dst)
+    if src_frac is None or dst_frac is None:
+        return False
+    return src_frac <= dst_frac
+
+
+def _lint_ranges(cdfg: CDFG, cfg, constants, sink: DiagnosticSink,
+                 source_map) -> set[tuple]:
+    """The ``range.*`` family plus the truncation suppression keys."""
+    ranges = range_analysis(cdfg, cfg, constants)
+    suppressed: set[tuple] = set()
+
+    for block_id, block in cfg.blocks.items():
+        if ranges.env_in.get(block_id) is None:
+            continue  # unreachable: intervals there are vacuous
+        for op in block.ops:
+            location = source_map.get(op.id)
+
+            # range.div-zero ------------------------------------------
+            if op.kind in (OpKind.DIV, OpKind.MOD):
+                divisor = op.operands[1]
+                iv = ranges.values.get(divisor.id)
+                if iv is not None and iv.is_point and iv.lo == 0:
+                    sink.error(
+                        "range.div-zero",
+                        "divisor is always zero",
+                        location=location,
+                    )
+                elif iv is not None and (iv.lo == 0 or iv.hi == 0):
+                    # Zero sitting somewhere inside a wide signed range
+                    # is usually noise; zero as a *proven extremum* of
+                    # a sign-constrained divisor (an unsigned count,
+                    # say) is the classic reachable div-by-zero.
+                    sink.warning(
+                        "range.div-zero",
+                        f"divisor may be zero "
+                        f"(value in [{iv.lo}, {iv.hi}])",
+                        location=location,
+                    )
+
+            # range.const-compare -------------------------------------
+            if (
+                op.kind in COMPARISONS
+                and op.result is not None
+                and constants.values.get(op.result.id) is None
+            ):
+                # Constant-folded compares are src.const-condition's
+                # business; this rule reports decisions forced by value
+                # *ranges* that no single constant explains.
+                iv = ranges.values.get(op.result.id)
+                if iv in (_ALWAYS_TRUE, _ALWAYS_FALSE):
+                    verdict = "true" if iv == _ALWAYS_TRUE else "false"
+                    sink.warning(
+                        "range.const-compare",
+                        f"comparison is always {verdict} for the "
+                        f"operands' value ranges",
+                        location=location,
+                    )
+
+            # range.overflow ------------------------------------------
+            if op.result is not None and is_scalar(op.result.type):
+                raw = ranges.raw_values.get(op.result.id)
+                if raw is not None:
+                    rep = type_interval(op.result.type)
+                    if raw.hi < rep.lo or raw.lo > rep.hi:
+                        sink.warning(
+                            "range.overflow",
+                            f"result always wraps: value in "
+                            f"[{raw.lo}, {raw.hi}] never fits "
+                            f"{op.result.type}",
+                            location=location,
+                        )
+
+            # range.shift-range ---------------------------------------
+            if op.kind in (OpKind.SHL, OpKind.SHR):
+                amount = op.operands[1]
+                iv = ranges.values.get(amount.id)
+                width = bit_width(op.operands[0].type)
+                if iv is not None and iv.hi < 0:
+                    sink.error(
+                        "range.shift-range",
+                        f"shift amount is always negative "
+                        f"(value in [{iv.lo}, {iv.hi}])",
+                        location=location,
+                    )
+                elif iv is not None and iv.lo >= width:
+                    sink.warning(
+                        "range.shift-range",
+                        f"shift amount is always >= the operand "
+                        f"width ({width}); every input bit is "
+                        f"discarded",
+                        location=location,
+                    )
+
+            # Truncation suppression ----------------------------------
+            if op.kind is OpKind.VAR_WRITE:
+                var = op.attrs["var"]
+                declared = cdfg.variables.get(var)
+                iv = ranges.values.get(op.operands[0].id)
+                if (
+                    declared is not None
+                    and iv is not None
+                    and location is not None
+                    and _grid_compatible(op.operands[0].type, declared)
+                    and fits_type(iv, declared)
+                ):
+                    suppressed.add((location.line, location.column, var))
+
+    return suppressed
 
 
 # ----------------------------------------------------------------------
@@ -438,7 +654,7 @@ def lint_source(source: str,
     sink = DiagnosticSink()
 
     cdfg = compile_source(source, options.procedure, sink=sink)
-    lint_cdfg(cdfg, sink)
+    suppressed = lint_cdfg(cdfg, sink)
 
     design_cdfg = compile_source(source, options.procedure)
     design = synthesize_cdfg(
@@ -452,7 +668,19 @@ def lint_source(source: str,
     )
     lint_design(design, sink)
 
+    # Drop the truncation findings the interval analysis proved
+    # harmless (the value range fits the destination exactly).
+    diagnostics = [
+        diag
+        for diag in sink
+        if not (
+            diag.rule in RANGE_SUPPRESSIBLE
+            and diag.location is not None
+            and (diag.location.line, diag.location.column, diag.subject)
+            in suppressed
+        )
+    ]
     return LintReport(
         cdfg.name,
-        sorted(sink, key=lambda diag: diag.sort_key),
+        sorted(diagnostics, key=lambda diag: diag.sort_key),
     )

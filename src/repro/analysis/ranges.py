@@ -1,0 +1,755 @@
+"""Sound value-range (interval) analysis over the CDFG.
+
+Every value and every variable gets a closed interval ``[lo, hi]``
+guaranteed to contain any value it can hold in *any* execution — the
+derived-width property the datapath narrowing transform
+(:mod:`repro.transforms.narrow`) and the ``range.*`` lint family build
+on.  Soundness is anchored the same way the constant lattice's is: the
+transfer functions over-approximate :func:`repro.sim.semantics.evaluate`
+(the single semantics both simulators execute), so the analysis can
+never claim a range the hardware would escape.
+
+Design notes:
+
+* **Lattice.**  A fact is one interval per declared variable (inputs
+  included), canonicalized as a tuple in sorted variable order; ``None``
+  is the optimistic "block not reached yet" bottom, mirroring
+  :mod:`repro.analysis.constants`.  Join is the per-variable hull.
+* **Wrap semantics.**  Each opcode computes a *raw* interval and then
+  coerces it: if the raw interval fits the result type's representable
+  range it is kept, otherwise the result is the full type range —
+  exactly over-approximating ``IntType.wrap`` / ``FixedType.quantize``
+  without trying to model a partial wrap.
+* **Termination.**  Interval chains over fixed-point grids are long, so
+  loop heads (back-edge targets in execution order) widen: a bound that
+  grew since the last visit jumps straight to its type extreme.  After
+  the fixpoint, a bounded number of plain *narrowing sweeps* re-applies
+  the transfer without widening, recovering e.g. tight loop-counter
+  bounds; iterating a monotone transfer from a post-fixpoint stays
+  above the least fixpoint, so the sweeps cannot lose soundness.
+* **Branch refinement.**  CFG edges annotated ``(cond id, polarity)``
+  whose condition is a comparison of variable reads / constants refine
+  the flowing fact through the solver's ``edge_transfer`` hook (an
+  infeasible refinement marks the edge dead).  Refinement only applies
+  to variables the condition block does not overwrite, so the compared
+  value is still the one flowing out.
+* **Constant seeding.**  Values the constant lattice proved are seeded
+  as point intervals, so range facts are never weaker than constant
+  facts.
+
+Inputs default to their full declared-type range; ``assume`` supplies
+trusted input contracts (e.g. the paper's sqrt operating interval
+``X in <1/16, 1>``) that tighten the boundary fact — every consumer of
+an assumed analysis inherits the contract as a proof obligation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from ..ir.cdfg import CDFG
+from ..ir.opcodes import COMPARISONS, NEGATED_COMPARE, SWAPPED_COMPARE, OpKind
+from ..ir.types import FixedType, IntType, Type
+from ..ir.values import BasicBlock, Value
+from .cfg import ENTRY, ControlFlowGraph, build_cfg
+from .constants import ConstantsResult, constant_lattice
+from .dataflow import DataflowAnalysis, solve
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.semantics import Number
+
+
+def coerce(value: "Number", type_: Type) -> "Number":
+    """:func:`repro.sim.semantics.coerce`, imported lazily — the ``sim``
+    package pulls in the downstream pipeline, which imports us."""
+    from ..sim.semantics import coerce as _coerce
+
+    return _coerce(value, type_)
+
+
+#: Plain downward re-applications of the transfer after the widened
+#: fixpoint (see module docstring).
+NARROWING_SWEEPS = 2
+
+#: Shift amounts beyond this are not modelled precisely (the result
+#: interval falls back to the full type range); keeps ``1 << amount``
+#: from materializing astronomically large integers.
+_SHIFT_CAP = 128
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` of values (``lo <= hi``)."""
+
+    lo: Number
+    hi: Number
+
+    def contains(self, value: Number) -> bool:
+        return self.lo <= value <= self.hi
+
+    def hull(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        return Interval(lo, hi) if lo <= hi else None
+
+    @property
+    def is_point(self) -> bool:
+        return self.lo == self.hi
+
+    def __str__(self) -> str:
+        return f"[{self.lo}, {self.hi}]"
+
+
+def type_interval(type_: Type) -> Interval:
+    """The full representable range of a scalar type."""
+    if isinstance(type_, IntType):
+        return Interval(type_.min_value, type_.max_value)
+    if isinstance(type_, FixedType):
+        as_int = IntType(type_.width, type_.signed)
+        return Interval(
+            as_int.min_value / type_.scale, as_int.max_value / type_.scale
+        )
+    raise TypeError(f"no value range for non-scalar type {type_}")
+
+
+def _trunc(value: Number) -> int:
+    """Truncation toward zero — what ``int(v)`` does in ``coerce``."""
+    return int(value)
+
+
+def _stored(value: Number, scale: int) -> int:
+    """Round-half-away-from-zero scaling — ``FixedType.quantize``'s
+    pre-wrap stored integer."""
+    scaled = value * scale
+    return int(scaled + 0.5) if scaled >= 0 else -int(-scaled + 0.5)
+
+
+def coerce_interval(raw: Interval, type_: Type) -> Interval:
+    """Over-approximate ``coerce`` applied to every value in ``raw``.
+
+    ``int()`` truncation and ``quantize``'s rounding are both monotone,
+    so mapping the endpoints bounds the image — unless the stored range
+    escapes the type, where wrap-around makes the image
+    non-contiguous and the full type range is the answer.
+    """
+    if not (math.isfinite(raw.lo) and math.isfinite(raw.hi)):
+        return type_interval(type_)
+    if isinstance(type_, IntType):
+        lo, hi = _trunc(raw.lo), _trunc(raw.hi)
+        if type_.min_value <= lo and hi <= type_.max_value:
+            return Interval(lo, hi)
+        return type_interval(type_)
+    if isinstance(type_, FixedType):
+        as_int = IntType(type_.width, type_.signed)
+        lo, hi = _stored(raw.lo, type_.scale), _stored(raw.hi, type_.scale)
+        if as_int.min_value <= lo and hi <= as_int.max_value:
+            return Interval(lo / type_.scale, hi / type_.scale)
+        return type_interval(type_)
+    raise TypeError(f"cannot coerce interval to non-scalar type {type_}")
+
+
+def fits_type(interval: Interval, type_: Type) -> bool:
+    """True when every value of ``interval`` is exactly representable
+    in ``type_`` — no wrap, no re-quantization to a coarser grid."""
+    if isinstance(type_, IntType):
+        return (
+            float(interval.lo).is_integer()
+            and float(interval.hi).is_integer()
+            and type_.min_value <= interval.lo
+            and interval.hi <= type_.max_value
+        )
+    if isinstance(type_, FixedType):
+        lo = interval.lo * type_.scale
+        hi = interval.hi * type_.scale
+        as_int = IntType(type_.width, type_.signed)
+        return (
+            float(lo).is_integer()
+            and float(hi).is_integer()
+            and as_int.min_value <= lo
+            and hi <= as_int.max_value
+        )
+    return False
+
+
+# ----------------------------------------------------------------------
+# Per-opcode transfer
+# ----------------------------------------------------------------------
+
+def _bits_interval(iv: Interval, type_: Type) -> "Interval | None":
+    """Bit-pattern interval for bitwise ops, or None when the pattern
+    is not value-ordered (negative values)."""
+    if iv.lo < 0:
+        return None
+    if isinstance(type_, IntType):
+        return Interval(int(iv.lo), int(iv.hi))
+    if isinstance(type_, FixedType):
+        return Interval(_stored(iv.lo, type_.scale), _stored(iv.hi, type_.scale))
+    return None
+
+
+def _int_div_trunc(a: int, b: int) -> int:
+    """Hardware-style truncating division, as the simulator computes it."""
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient
+
+
+def _compare_interval(kind: OpKind, a: Interval, b: Interval) -> Interval:
+    """0/1 interval of a comparison, deciding it when operand intervals
+    are ordered or disjoint."""
+    true_ = Interval(1, 1)
+    false_ = Interval(0, 0)
+    if kind is OpKind.LT:
+        if a.hi < b.lo:
+            return true_
+        if a.lo >= b.hi:
+            return false_
+    elif kind is OpKind.LE:
+        if a.hi <= b.lo:
+            return true_
+        if a.lo > b.hi:
+            return false_
+    elif kind is OpKind.GT:
+        if a.lo > b.hi:
+            return true_
+        if a.hi <= b.lo:
+            return false_
+    elif kind is OpKind.GE:
+        if a.lo >= b.hi:
+            return true_
+        if a.hi < b.lo:
+            return false_
+    elif kind is OpKind.EQ:
+        if a.is_point and b.is_point and a.lo == b.lo:
+            return true_
+        if a.hi < b.lo or b.hi < a.lo:
+            return false_
+    elif kind is OpKind.NE:
+        if a.hi < b.lo or b.hi < a.lo:
+            return true_
+        if a.is_point and b.is_point and a.lo == b.lo:
+            return false_
+    return Interval(0, 1)
+
+
+def op_interval(
+    kind: OpKind,
+    operand_intervals: list[Interval],
+    operand_types: list[Type],
+    result_type: Type | None,
+    attrs: Mapping | None = None,
+) -> tuple[Interval | None, Interval]:
+    """Interval image of one operation.
+
+    Returns ``(raw, result)``: the pre-coercion interval (None when the
+    opcode has no meaningful raw stage — constants, comparisons,
+    bitwise ops, or conservative fallbacks) and the sound interval of
+    the coerced result.  Mirrors :func:`repro.sim.semantics.evaluate`
+    case by case.
+    """
+    attrs = dict(attrs or {})
+
+    if kind is OpKind.CONST:
+        assert result_type is not None
+        value = coerce(attrs["value"], result_type)
+        return None, Interval(value, value)
+
+    if kind in COMPARISONS:
+        a, b = operand_intervals
+        return None, _compare_interval(kind, a, b)
+
+    assert result_type is not None
+    full = type_interval(result_type)
+
+    if kind is OpKind.MUX:
+        cond, if_true, if_false = operand_intervals
+        if cond.lo > 0 or cond.hi < 0:
+            raw = if_true
+        elif cond.is_point and cond.lo == 0:
+            raw = if_false
+        else:
+            raw = if_true.hull(if_false)
+        return raw, coerce_interval(raw, result_type)
+
+    if kind in (OpKind.AND, OpKind.OR, OpKind.XOR):
+        a, b = operand_intervals
+        left = _bits_interval(a, operand_types[0])
+        right = _bits_interval(b, operand_types[1])
+        if left is None or right is None:
+            return None, full
+        if kind is OpKind.AND:
+            raw = Interval(0, min(left.hi, right.hi))
+        else:
+            # a|b and a^b never set a bit above the highest operand bit.
+            raw = Interval(0, (1 << max(left.hi, right.hi).bit_length()) - 1)
+        return None, coerce_interval(raw, result_type)
+
+    if kind is OpKind.NOT:
+        return None, full
+
+    raw: Interval | None = None
+    if kind is OpKind.ADD:
+        a, b = operand_intervals
+        raw = Interval(a.lo + b.lo, a.hi + b.hi)
+    elif kind is OpKind.SUB:
+        a, b = operand_intervals
+        raw = Interval(a.lo - b.hi, a.hi - b.lo)
+    elif kind is OpKind.MUL:
+        a, b = operand_intervals
+        corners = [x * y for x in (a.lo, a.hi) for y in (b.lo, b.hi)]
+        raw = Interval(min(corners), max(corners))
+    elif kind is OpKind.DIV:
+        a, b = operand_intervals
+        if b.lo <= 0 <= b.hi:
+            return None, full  # divide-by-zero path raises at runtime
+        if isinstance(result_type, IntType):
+            corners = [
+                _int_div_trunc(int(x), int(y))
+                for x in (a.lo, a.hi)
+                for y in (b.lo, b.hi)
+            ]
+        else:
+            corners = [x / y for x in (a.lo, a.hi) for y in (b.lo, b.hi)]
+        raw = Interval(min(corners), max(corners))
+    elif kind is OpKind.MOD:
+        a, b = operand_intervals
+        if not all(isinstance(t, IntType) for t in operand_types):
+            return None, full
+        divisor_bound = max(abs(b.lo), abs(b.hi)) - 1
+        if divisor_bound < 0:
+            return None, full
+        dividend_bound = max(abs(a.lo), abs(a.hi))
+        bound = min(divisor_bound, dividend_bound)
+        lo = 0 if a.lo >= 0 else -bound
+        hi = 0 if a.hi <= 0 else bound
+        raw = Interval(lo, hi)
+    elif kind is OpKind.INC:
+        a = operand_intervals[0]
+        raw = Interval(a.lo + 1, a.hi + 1)
+    elif kind is OpKind.DEC:
+        a = operand_intervals[0]
+        raw = Interval(a.lo - 1, a.hi - 1)
+    elif kind is OpKind.NEG:
+        a = operand_intervals[0]
+        raw = Interval(-a.hi, -a.lo)
+    elif kind in (OpKind.SHL, OpKind.SHR):
+        a, b = operand_intervals
+        amount_hi = _trunc(b.hi)
+        if amount_hi < 0 or amount_hi > _SHIFT_CAP:
+            return None, full
+        amount_lo = max(0, _trunc(b.lo))  # negative amounts raise
+        amounts = (amount_lo, amount_hi)
+        if kind is OpKind.SHL:
+            corners = [x * (1 << n) for x in (a.lo, a.hi) for n in amounts]
+        elif isinstance(operand_types[0], FixedType):
+            corners = [x / (1 << n) for x in (a.lo, a.hi) for n in amounts]
+        else:
+            corners = [int(x) >> n for x in (a.lo, a.hi) for n in amounts]
+        raw = Interval(min(corners), max(corners))
+    else:
+        return None, full
+
+    if not (math.isfinite(raw.lo) and math.isfinite(raw.hi)):
+        return None, full
+    return raw, coerce_interval(raw, result_type)
+
+
+# ----------------------------------------------------------------------
+# Branch refinement
+# ----------------------------------------------------------------------
+
+def _strict_upper(bound: Number, type_: Type) -> Number:
+    """Largest value of ``type_`` satisfying ``x < bound`` (sound)."""
+    if isinstance(type_, IntType):
+        return math.ceil(bound) - 1
+    return bound  # non-strict fallback on the fixed-point grid
+
+
+def _strict_lower(bound: Number, type_: Type) -> Number:
+    if isinstance(type_, IntType):
+        return math.floor(bound) + 1
+    return bound
+
+
+def refine_interval(
+    iv: Interval, kind: OpKind, rhs: Interval, type_: Type
+) -> Interval | None:
+    """Refine ``iv`` knowing ``x <kind> rhs`` holds for ``x: type_``.
+
+    Returns None when the constraint is infeasible (the refining edge
+    is dead).
+    """
+    lo, hi = iv.lo, iv.hi
+    if kind is OpKind.LT:
+        hi = min(hi, _strict_upper(rhs.hi, type_))
+    elif kind is OpKind.LE:
+        hi = min(hi, rhs.hi)
+    elif kind is OpKind.GT:
+        lo = max(lo, _strict_lower(rhs.lo, type_))
+    elif kind is OpKind.GE:
+        lo = max(lo, rhs.lo)
+    elif kind is OpKind.EQ:
+        lo = max(lo, rhs.lo)
+        hi = min(hi, rhs.hi)
+    elif kind is OpKind.NE:
+        if rhs.is_point and isinstance(type_, IntType):
+            if lo == rhs.lo:
+                lo = lo + 1
+            if hi == rhs.lo:
+                hi = hi - 1
+    if lo > hi:
+        return None
+    return Interval(lo, hi)
+
+
+# ----------------------------------------------------------------------
+# The dataflow problem
+# ----------------------------------------------------------------------
+
+#: A refinement recipe attached to one CFG edge: refine ``var`` with
+#: ``x <kind> rhs`` where rhs is ("const", Interval) or ("var", name).
+_Refinement = tuple[str, OpKind, tuple[str, object]]
+
+
+class _Ranges(DataflowAnalysis):
+    direction = "forward"
+
+    def __init__(
+        self,
+        cdfg: CDFG,
+        cfg: ControlFlowGraph,
+        constants: ConstantsResult | None,
+        assume: Mapping[str, tuple[Number, Number]] | None,
+    ) -> None:
+        self._cdfg = cdfg
+        self._constants = constants
+        self._assume = dict(assume or {})
+        self._types = dict(cdfg.variables)  # inputs/outputs included
+        self._order = sorted(self._types)
+        self._index = {var: i for i, var in enumerate(self._order)}
+        self._type_ivs = {
+            var: type_interval(t) for var, t in self._types.items()
+        }
+        order = {node: i for i, node in enumerate(cfg.nodes)}
+        # Every CFG cycle crosses a back edge in execution order, so
+        # widening at their targets guarantees termination.
+        self._widen_nodes = {
+            dst
+            for src, dsts in cfg.succs.items()
+            for dst in dsts
+            if order.get(dst, 0) <= order.get(src, 0) and dst in cfg.blocks
+        }
+        self._widen_memo: dict[int, tuple[Interval, ...]] = {}
+        self.widen_enabled = True
+        self._refinements = self._collect_refinements(cfg)
+
+    # Facts: tuple of one Interval per variable, in self._order; None
+    # means the node has not been reached.
+
+    def boundary(self):
+        env: dict[str, Interval] = {}
+        for var, type_ in self._types.items():
+            zero = coerce(0, type_)
+            env[var] = Interval(zero, zero)
+        for port in self._cdfg.inputs:
+            iv = self._type_ivs[port.name]
+            if port.name in self._assume:
+                lo, hi = self._assume[port.name]
+                assumed = coerce_interval(Interval(lo, hi), port.type)
+                iv = assumed.intersect(iv) or iv
+            env[port.name] = iv
+        return tuple(env[var] for var in self._order)
+
+    def initial(self):
+        return None
+
+    def join(self, facts: list):
+        reached = [fact for fact in facts if fact is not None]
+        if not reached:
+            return None
+        merged = list(reached[0])
+        for fact in reached[1:]:
+            merged = [a.hull(b) for a, b in zip(merged, fact)]
+        return tuple(merged)
+
+    def transfer(self, block: BasicBlock, fact):
+        if fact is None:
+            return None
+        if self.widen_enabled and block.id in self._widen_nodes:
+            fact = self._widen(block.id, fact)
+        env = dict(zip(self._order, fact))
+        local = self._evaluate_block(block, env)
+        for op in block.ops:
+            if op.kind is OpKind.VAR_WRITE:
+                var = op.attrs["var"]
+                iv = self._operand_interval(op.operands[0], local)
+                env[var] = coerce_interval(iv, self._types[var])
+        return tuple(env[var] for var in self._order)
+
+    def edge_transfer(self, src: int, dst: int, fact):
+        if fact is None:
+            return None
+        recipes = self._refinements.get((src, dst))
+        if not recipes:
+            return fact
+        values = list(fact)
+        for var, kind, rhs in recipes:
+            if rhs[0] == "const":
+                rhs_iv = rhs[1]
+            else:
+                rhs_iv = values[self._index[rhs[1]]]
+            index = self._index[var]
+            refined = refine_interval(
+                values[index], kind, rhs_iv, self._types[var]
+            )
+            if refined is None:
+                return None  # the refining edge is infeasible
+            values[index] = refined
+        return tuple(values)
+
+    # ------------------------------------------------------------------
+
+    def _widen(self, node: int, fact):
+        prev = self._widen_memo.get(node)
+        if prev is None:
+            self._widen_memo[node] = fact
+            return fact
+        widened = []
+        for var, new, old in zip(self._order, fact, prev):
+            extreme = self._type_ivs[var]
+            lo = new.lo if new.lo >= old.lo else extreme.lo
+            hi = new.hi if new.hi <= old.hi else extreme.hi
+            widened.append(Interval(lo, hi))
+        out = tuple(widened)
+        self._widen_memo[node] = out
+        return out
+
+    def _operand_interval(
+        self, value: Value, local: dict[int, Interval]
+    ) -> Interval:
+        iv = local.get(value.id)
+        if iv is not None:
+            return iv
+        # Cross-block operand: fall back to its type's range.
+        return type_interval(value.type)
+
+    def _evaluate_block(
+        self,
+        block: BasicBlock,
+        env: dict[str, Interval],
+        seed: dict[int, Interval] | None = None,
+        raw_out: dict[int, Interval] | None = None,
+    ) -> dict[int, Interval]:
+        """Value id → interval for every result-producing op."""
+        local: dict[int, Interval] = dict(seed or {})
+        for op in block.ops:
+            if op.result is None:
+                continue
+            rid = op.result.id
+            if op.kind is OpKind.VAR_READ:
+                local[rid] = env[op.attrs["var"]]
+                continue
+            if op.kind is OpKind.LOAD:
+                local[rid] = type_interval(op.result.type)
+                continue
+            if self._constants is not None:
+                literal = self._constants.values.get(rid)
+                if literal is not None and op.kind is not OpKind.CONST:
+                    local[rid] = Interval(literal, literal)
+                    continue
+            operands = [
+                self._operand_interval(value, local) for value in op.operands
+            ]
+            raw, result = op_interval(
+                op.kind,
+                operands,
+                [value.type for value in op.operands],
+                op.result.type,
+                op.attrs,
+            )
+            local[rid] = result
+            if raw is not None and raw_out is not None:
+                raw_out[rid] = raw
+        return local
+
+    def _collect_refinements(
+        self, cfg: ControlFlowGraph
+    ) -> dict[tuple[int, int], list[_Refinement]]:
+        refinements: dict[tuple[int, int], list[_Refinement]] = {}
+        for (src, dst), (cond_id, polarity) in cfg.edge_conds.items():
+            block = cfg.blocks.get(src)
+            if block is None:
+                continue
+            compare = None
+            for op in block.ops:
+                if op.result is not None and op.result.id == cond_id:
+                    compare = op
+                    break
+            if compare is None or compare.kind not in COMPARISONS:
+                continue
+            effective = (
+                compare.kind if polarity else NEGATED_COMPARE[compare.kind]
+            )
+            writes = block.var_writes()
+            written = set(writes)
+            # A value the block writes back verbatim (same type, so the
+            # write's coercion is the identity) IS the variable's exit
+            # value — the post-test loop pattern `I := I + 1; until
+            # I + 1 > N` refines through this.
+            sunk = {
+                op.operands[0].id: var
+                for var, op in writes.items()
+                if op.operands[0].type == self._types[var]
+            }
+
+            def describe(value: Value):
+                producer = value.producer
+                if producer.kind is OpKind.CONST:
+                    literal = coerce(producer.attrs["value"], value.type)
+                    return "const", Interval(literal, literal)
+                if (
+                    producer.kind is OpKind.VAR_READ
+                    and producer.block is block
+                    and producer.attrs["var"] not in written
+                ):
+                    # The block-entry read still equals the exit value,
+                    # so refining the outgoing fact is sound.
+                    return "var", producer.attrs["var"]
+                if value.id in sunk:
+                    return "var", sunk[value.id]
+                return None
+
+            lhs = describe(compare.operands[0])
+            rhs = describe(compare.operands[1])
+            recipes: list[_Refinement] = []
+            if lhs is not None and lhs[0] == "var" and rhs is not None:
+                recipes.append((lhs[1], effective, rhs))
+            if rhs is not None and rhs[0] == "var" and lhs is not None:
+                recipes.append((rhs[1], SWAPPED_COMPARE[effective], lhs))
+            if recipes:
+                refinements[(src, dst)] = recipes
+        return refinements
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+@dataclass
+class RangesResult:
+    """Fixpoint intervals of one CDFG.
+
+    Attributes:
+        env_in: block id → variable environment at block entry
+            (None = the block is unreachable).
+        values: value id → sound interval of the value (total over every
+            result-producing op; conservative in unreachable blocks).
+        raw_values: value id → *pre-coercion* interval of arithmetic
+            ops in reachable blocks — what the result would be on an
+            unbounded datapath; disjointness from the result type's
+            range proves a guaranteed wrap.
+        variables: variable → hull of every value it ever holds
+            (initialization and all writes), the narrowing transform's
+            register-width bound.
+    """
+
+    env_in: dict[int, dict[str, Interval] | None]
+    values: dict[int, Interval]
+    raw_values: dict[int, Interval]
+    variables: dict[str, Interval]
+
+
+def range_analysis(
+    cdfg: CDFG,
+    cfg: ControlFlowGraph | None = None,
+    constants: ConstantsResult | None = None,
+    assume: Mapping[str, tuple[Number, Number]] | None = None,
+) -> RangesResult:
+    """Solve the interval lattice for every block of ``cdfg``.
+
+    Args:
+        cdfg: the procedure to analyze.
+        cfg: optional prebuilt CFG (rebuilt otherwise).
+        constants: optional prebuilt constant lattice (resolved
+            otherwise) used to seed point intervals.
+        assume: optional trusted input contracts, port name →
+            ``(lo, hi)``; unknown names are ignored.  Results are only
+            sound for executions whose inputs honor the contract.
+    """
+    cfg = cfg or build_cfg(cdfg)
+    constants = constants or constant_lattice(cdfg, cfg)
+    analysis = _Ranges(cdfg, cfg, constants, assume)
+    result = solve(cfg, analysis)
+    entry_facts = dict(result.entry_facts)
+    exit_facts = dict(result.exit_facts)
+
+    # Bounded narrowing: re-apply the transfer without widening to
+    # recover precision (tight loop-counter bounds) lost to the jump to
+    # type extremes.  Monotone descent from a post-fixpoint is sound.
+    analysis.widen_enabled = False
+    for _ in range(NARROWING_SWEEPS):
+        changed = False
+        for node in cfg.nodes:
+            if node == ENTRY:
+                continue
+            preds = cfg.preds.get(node, [])
+            incoming = [
+                analysis.edge_transfer(p, node, exit_facts[p]) for p in preds
+            ]
+            fact_in = analysis.join(incoming) if incoming else None
+            entry_facts[node] = fact_in
+            block = cfg.blocks.get(node)
+            fact_out = (
+                analysis.transfer(block, fact_in)
+                if block is not None
+                else fact_in
+            )
+            if fact_out != exit_facts[node]:
+                exit_facts[node] = fact_out
+                changed = True
+        if not changed:
+            break
+
+    env_in: dict[int, dict[str, Interval] | None] = {}
+    values: dict[int, Interval] = {}
+    raw_values: dict[int, Interval] = {}
+    order = analysis._order
+    # Evaluate every block once against the fixpoint environment,
+    # carrying value intervals across blocks for cross-block operands.
+    carried: dict[int, Interval] = {}
+    for block_id, block in cfg.blocks.items():
+        fact = entry_facts.get(block_id)
+        if fact is None:
+            env_in[block_id] = None
+            for op in block.ops:
+                if op.result is None:
+                    continue
+                values[op.result.id] = (
+                    Interval(0, 1)
+                    if op.kind in COMPARISONS
+                    else type_interval(op.result.type)
+                )
+            continue
+        env = dict(zip(order, fact))
+        env_in[block_id] = env
+        local = analysis._evaluate_block(
+            block, env, seed=carried, raw_out=raw_values
+        )
+        carried = local
+        for op in block.ops:
+            if op.result is not None:
+                values[op.result.id] = local[op.result.id]
+
+    variables: dict[str, Interval] = dict(
+        zip(order, analysis.boundary())
+    )
+    for node, fact in exit_facts.items():
+        if fact is None or node not in cfg.blocks:
+            continue
+        for var, iv in zip(order, fact):
+            variables[var] = variables[var].hull(iv)
+    return RangesResult(env_in, values, raw_values, variables)

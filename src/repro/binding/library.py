@@ -14,7 +14,7 @@ ALU slightly larger than an adder; an incrementer about half an adder).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import BindingError
 from ..ir.opcodes import OpKind

@@ -15,7 +15,7 @@ from ..binding.binder import Binding
 from ..controller.fsm import FSM
 from ..datapath.plan import BlockPlan, StorageRef
 from ..ir.cdfg import CDFG
-from ..ir.types import Type, bit_width
+from ..ir.types import bit_width
 from ..scheduling.base import (
     ResourceConstraints,
     ResourceModel,

@@ -86,6 +86,15 @@ class SynthesisOptions:
         optimize_ir: run the standard transformation pipeline first.
         unroll: fully unroll constant-trip loops during optimization.
         tree_height: rebalance associative chains during optimization.
+        narrow: run the range-driven bitwidth-narrowing pass
+            (:class:`repro.transforms.narrow.RangeNarrowing`) after
+            optimization, shrinking value and register widths to their
+            proven intervals.
+        assume_ranges: trusted input contracts for the range analysis,
+            as ``(port name, lo, hi)`` triples (e.g. the paper's sqrt
+            operating interval ``("X", 0.0625, 1.0)``).  Narrowing
+            under a contract is only sound for inputs honoring it;
+            unknown port names are ignored.
         library: component library for module binding.
         verify: run the :mod:`repro.verify` stage contracts after each
             pipeline stage and raise
@@ -111,6 +120,8 @@ class SynthesisOptions:
     optimize_ir: bool = True
     unroll: bool = False
     tree_height: bool = False
+    narrow: bool = False
+    assume_ranges: tuple[tuple[str, float, float], ...] = ()
     library: ComponentLibrary | None = None
     verify: bool = False
     trace: bool = False
@@ -159,6 +170,8 @@ class SynthesisOptions:
             self.optimize_ir,
             self.unroll,
             self.tree_height,
+            self.narrow,
+            self.assume_ranges,
             self.library,
             self.verify,
         )
@@ -418,6 +431,14 @@ def _synthesize_cdfg(cdfg: CDFG, options: SynthesisOptions,
             report = optimize(cdfg, unroll=options.unroll,
                               tree_height=options.tree_height)
         log.append(f"optimize: {report}")
+    if options.narrow:
+        from ..transforms.narrow import RangeNarrowing
+
+        assume = {name: (lo, hi) for name, lo, hi in options.assume_ranges}
+        narrow_pass = RangeNarrowing(assume=assume)
+        with memory_span("transforms"), trace_span("pass.range-narrow"):
+            narrow_pass.run(cdfg)
+        log.append(f"narrow: {narrow_pass.summary()}")
 
     scheduler_factory = SCHEDULERS.get(options.scheduler)
     if scheduler_factory is None:

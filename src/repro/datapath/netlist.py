@@ -12,7 +12,7 @@ estimator and the datapath DOT renderer consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING
 
 from ..allocation.interconnect import estimate_interconnect
 

@@ -24,14 +24,12 @@ read/write hazard without constraining the scheduler.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Union
 
-from ..allocation.base import Allocation, FUInstance
+from ..allocation.base import Allocation
 from ..allocation.lifetimes import ValueLifetime, compute_lifetimes
 from ..analysis.liveness import live_out_variables
 from ..errors import AllocationError
 from ..ir.opcodes import OpKind
-from ..ir.types import bit_width
 from ..ir.values import BasicBlock, Operation, Value
 from ..scheduling.base import Schedule
 

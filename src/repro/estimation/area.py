@@ -19,7 +19,6 @@ from ..binding.library import (
 )
 from ..controller.encoding import encode_states
 from ..core.design import SynthesizedDesign
-from ..ir.types import bit_width
 
 
 @dataclass

@@ -245,6 +245,16 @@ class Lowerer:
 
         if not (is_scalar(value.type) and is_scalar(var_type)):
             return
+        # A literal only carries the wide *default* type for lack of a
+        # numeric context (`n := 3.0` evaluates at fixed<32,16>); when
+        # the constant is exactly representable in the destination, the
+        # write-back drops nothing and the warning would be noise.
+        if value.producer.kind is OpKind.CONST:
+            from ..sim.semantics import coerce
+
+            literal = value.producer.attrs["value"]
+            if coerce(literal, var_type) == literal:
+                return
         if bit_width(value.type) > bit_width(var_type):
             self._sink.warning(
                 "lang.implicit-trunc",

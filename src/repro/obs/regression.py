@@ -70,7 +70,9 @@ class Threshold:
 
 #: QoR families are deterministic — any increase is a regression.
 #: Wall-clock is noisy — warn at +25%, fail at +200%, and ignore
-#: baselines under 50ms outright.  Hit-rate only ever warns.
+#: baselines under 50ms outright.  Hit-rate only ever warns.  Lint
+#: findings warn on any growth (a sharpened rule may be intentional)
+#: but a new lint *error* fails outright.
 DEFAULT_THRESHOLDS: dict[str, Threshold] = {
     "latency_csteps": Threshold(0.0, 0.0),
     "fu_total": Threshold(0.0, 0.0),
@@ -79,6 +81,8 @@ DEFAULT_THRESHOLDS: dict[str, Threshold] = {
     "wall_s": Threshold(25.0, 200.0, min_base=0.05),
     "cache_hit_rate": Threshold(15.0, None, higher_is_worse=False,
                                 min_base=1.0),
+    "lint_findings": Threshold(0.0, None),
+    "lint_errors": Threshold(0.0, 0.0),
 }
 
 
@@ -101,6 +105,16 @@ def _wall_s(record: RunRecord) -> float | None:
     return float(record.wall_s) if record.wall_s else None
 
 
+def _lint_extra(name: str) -> Callable[[RunRecord], float | None]:
+    def extract(record: RunRecord) -> float | None:
+        if record.kind != "lint":
+            return None
+        value = record.extra.get(name)
+        return float(value) if value is not None else None
+
+    return extract
+
+
 def _cache_hit_rate(record: RunRecord) -> float | None:
     counters = record.metrics.get("counters", {})
     hits = counters.get("cache.hits", 0)
@@ -119,6 +133,8 @@ FAMILIES: dict[str, Callable[[RunRecord], float | None]] = {
     "area_total": _area_total,
     "wall_s": _wall_s,
     "cache_hit_rate": _cache_hit_rate,
+    "lint_findings": _lint_extra("findings"),
+    "lint_errors": _lint_extra("errors"),
 }
 
 DEFAULT_WINDOW = 5

@@ -36,7 +36,7 @@ import networkx as nx
 
 from ..errors import SchedulingError
 from ..ir.cdfg import CDFG, LoopRegion
-from ..ir.dfg import dependence_graph, op_of, topological_order
+from ..ir.dfg import dependence_graph, topological_order
 from ..ir.opcodes import OpKind, op_info
 from ..ir.values import BasicBlock, Operation
 

@@ -106,7 +106,6 @@ class BranchAndBoundScheduler(Scheduler):
             op_id: list(problem.graph.predecessors(op_id))
             for op_id in order
         }
-        delays = {op_id: problem.delay(op_id) for op_id in order}
         occupancy = {
             op_id: problem.occupancy(op_id) for op_id in order
         }
@@ -140,7 +139,6 @@ class BranchAndBoundScheduler(Scheduler):
                     best_start = dict(start)
                 return
             op_id = order[index]
-            delay = delays[op_id]
             cls = classes[op_id]
             ready = 0
             for pred in preds[op_id]:

@@ -10,7 +10,6 @@ the initial specification).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
 
 from ..errors import SimulationError
 from ..ir.cdfg import (

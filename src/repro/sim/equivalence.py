@@ -13,7 +13,6 @@ number system.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 
 from ..core.design import SynthesizedDesign
@@ -63,22 +62,43 @@ class EquivalenceReport:
 
 
 def default_vectors(cdfg: CDFG, count: int = 8,
-                    seed: int = 12345) -> list[dict[str, Number]]:
+                    seed: int = 12345,
+                    assume: dict[str, tuple] | None = None,
+                    ) -> list[dict[str, Number]]:
     """Deterministic corner-plus-pseudorandom input vectors.
 
     Corners: all-zero (when legal), all-min, all-max, all-one.  The
     remainder are linear-congruential pseudorandom values inside each
     input's representable range (no ``random`` module — determinism is
     part of the library's contract).
+
+    ``assume`` maps input names to trusted ``(lo, hi)`` operating
+    ranges (the shape of ``SynthesisOptions.assume_ranges``): corners
+    clamp into and samples draw from the contract, so a design
+    narrowed under it is only exercised where its equivalence
+    guarantee holds (docs/static-analysis.md).
     """
     state = seed
+    bounds = dict(assume or {})
 
     def next_unit() -> float:
         nonlocal state
         state = (state * 1103515245 + 12345) % (1 << 31)
         return state / float(1 << 31)
 
-    def sample(type_) -> Number:
+    def clamp(name: str, value: Number) -> Number:
+        if name not in bounds:
+            return value
+        lo, hi = bounds[name]
+        return min(max(value, lo), hi)
+
+    def sample(port) -> Number:
+        type_ = port.type
+        if port.name in bounds:
+            lo, hi = bounds[port.name]
+            if isinstance(type_, IntType):
+                return int(lo) + int(next_unit() * (int(hi) - int(lo) + 1))
+            return lo + next_unit() * (hi - lo)
         if isinstance(type_, IntType):
             low, high = type_.min_value, type_.max_value
             return low + int(next_unit() * (high - low + 1))
@@ -97,27 +117,31 @@ def default_vectors(cdfg: CDFG, count: int = 8,
         for port in cdfg.inputs:
             type_ = port.type
             if corner == "zero":
-                vector[port.name] = 0
+                vector[port.name] = clamp(port.name, 0)
             elif corner == "one":
-                vector[port.name] = 1
+                vector[port.name] = clamp(port.name, 1)
             elif corner == "min":
                 if isinstance(type_, IntType):
-                    vector[port.name] = type_.min_value
+                    vector[port.name] = clamp(port.name, type_.min_value)
                 else:
                     assert isinstance(type_, FixedType)
                     as_int = IntType(type_.width, type_.signed)
-                    vector[port.name] = as_int.min_value / type_.scale
+                    vector[port.name] = clamp(
+                        port.name, as_int.min_value / type_.scale
+                    )
             else:
                 if isinstance(type_, IntType):
-                    vector[port.name] = type_.max_value
+                    vector[port.name] = clamp(port.name, type_.max_value)
                 else:
                     assert isinstance(type_, FixedType)
                     as_int = IntType(type_.width, type_.signed)
-                    vector[port.name] = as_int.max_value / type_.scale
+                    vector[port.name] = clamp(
+                        port.name, as_int.max_value / type_.scale
+                    )
         vectors.append(vector)
     while len(vectors) < count:
         vectors.append(
-            {port.name: sample(port.type) for port in cdfg.inputs}
+            {port.name: sample(port) for port in cdfg.inputs}
         )
     return vectors
 

@@ -14,6 +14,7 @@ from .counter import CounterNarrowing
 from .cse import CommonSubexpressionElimination
 from .dce import DeadCodeElimination
 from .if_conversion import IfConversion
+from .narrow import RangeNarrowing, narrowed_type
 from .strength import StrengthReduction
 from .tree_height import TreeHeightReduction
 from .tripcount import TripCountAnalysis, match_counter, simulate_trip_count
@@ -29,6 +30,8 @@ __all__ = [
     "Pass",
     "PassManager",
     "PassReport",
+    "RangeNarrowing",
+    "narrowed_type",
     "RegionCloner",
     "StrengthReduction",
     "clone_cdfg",

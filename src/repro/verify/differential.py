@@ -193,7 +193,16 @@ def run_differential(
 
     reference = _fresh_cdfg(workload)
     if vectors is None:
-        vectors = default_vectors(reference, count=vector_count)
+        # Narrowing under an assume contract is only equivalence-
+        # preserving inside the contract, so generated vectors must
+        # honor it (explicit vectors are the caller's responsibility).
+        contracts = {
+            name: (lo, hi)
+            for name, lo, hi in (options.assume_ranges or ())
+        }
+        vectors = default_vectors(
+            reference, count=vector_count, assume=contracts or None
+        )
     expected = _reference_outputs(reference, vectors)
 
     report = DifferentialReport(

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from ..ir.cdfg import CDFG, BlockRegion
 from ..ir.opcodes import OpKind
-from ..ir.types import ArrayType, FixedType, IntType
+from ..ir.types import FixedType
 from ..lang import compile_source
 
 _WORD = FixedType(24, 12)

@@ -18,7 +18,6 @@ from repro.allocation import (
     fu_compatibility_graph,
     minimum_registers,
     ops_compatible,
-    register_compatibility_graph,
 )
 from repro.errors import AllocationError
 from repro.ir import OpKind

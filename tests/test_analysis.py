@@ -1,6 +1,5 @@
 """Tests for the dataflow-analysis framework (repro.analysis)."""
 
-import pytest
 
 from repro.analysis import (
     BOTTOM,

@@ -1,9 +1,8 @@
 """End-to-end tests for bitwise/logical operator coverage through the
 full flow (lexer → synthesis → RTL equivalence)."""
 
-import pytest
 
-from repro.core import SynthesisOptions, synthesize
+from repro.core import synthesize
 from repro.scheduling import ResourceConstraints
 from repro.sim import RTLSimulator, check_equivalence
 

@@ -2,17 +2,12 @@
 
 import pytest
 
-from repro.controller import (
-    MicrocodeGenerator,
-    encode_states,
-    synthesize_fsm,
-)
+from repro.controller import MicrocodeGenerator, encode_states
 from repro.core import SynthesisOptions, synthesize, synthesize_cdfg
 from repro.errors import ControllerError
-from repro.ir import OpKind
 from repro.lang import compile_source
-from repro.scheduling import ResourceConstraints, UniversalFUModel
-from repro.workloads import SQRT_SOURCE, diffeq_cdfg, sqrt_cdfg
+from repro.scheduling import ResourceConstraints
+from repro.workloads import SQRT_SOURCE, diffeq_cdfg
 
 
 def sqrt_design(fu=2):

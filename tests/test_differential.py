@@ -5,7 +5,6 @@ are localized to the right stage.
 
 import pytest
 
-from repro.core import SynthesisOptions
 from repro.core.engine import ALLOCATORS, SCHEDULERS
 from repro.errors import SchedulingError
 from repro.scheduling import ListScheduler

@@ -23,7 +23,7 @@ from repro.ir.dfg import (
 )
 from repro.ir.dot import cdfg_dot, dataflow_dot
 from repro.ir.opcodes import COMMUTATIVE, COMPARISONS, NEGATED_COMPARE
-from repro.ir.types import ArrayType, FixedType
+from repro.ir.types import ArrayType
 
 WORD = IntType(16)
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import LexError, ParseError, SemanticError
-from repro.ir import IntType, LoopRegion, OpKind
+from repro.ir import IntType, OpKind
 from repro.ir.types import ArrayType, FixedType
 from repro.lang import compile_source, parse, tokenize
 from repro.lang.tokens import TokenKind

@@ -1,7 +1,6 @@
 """Tests for the AR lattice workload and deeper structural transforms
 (unrolling loops containing branches, cloned nested regions)."""
 
-import pytest
 
 from repro.core import SynthesisOptions, synthesize, synthesize_cdfg
 from repro.ir import OpKind

@@ -310,6 +310,37 @@ class TestRegression:
         with pytest.raises(ValueError):
             parse_threshold("garbage")
 
+    def test_lint_findings_growth_warns_and_errors_fail(self):
+        def lint_record(findings, errors, seq):
+            return RunRecord(
+                kind="lint",
+                workload="demo",
+                created_at=f"2026-01-01T00:00:{seq:02d}Z",
+                wall_s=0.2,
+                env={"schema": 1, "source_digest": "d" * 16,
+                     "options": "()"},
+                extra={"findings": findings, "errors": errors,
+                       "rule_counts": {"src.dead-store": findings}},
+            )
+
+        base = [lint_record(4, 0, seq) for seq in range(3)]
+        report = compare(base + [lint_record(5, 0, 3)])
+        families = {v.family: v for v in report.groups[0].verdicts}
+        assert families["lint_findings"].status == "warn"
+        assert report.exit_code == 1
+
+        report = compare(base + [lint_record(4, 1, 3)])
+        families = {v.family: v for v in report.groups[0].verdicts}
+        assert families["lint_errors"].status == "regression"
+        assert report.exit_code == 2
+
+    def test_synth_records_skip_lint_families(self):
+        records = [make_record(latency=10, seq=i) for i in range(3)]
+        report = compare(records)
+        families = {v.family for v in report.groups[0].verdicts}
+        assert "lint_findings" not in families
+        assert "lint_errors" not in families
+
     def test_markdown_and_text_renderings(self):
         records = [make_record(latency=10, seq=i) for i in range(2)]
         records.append(make_record(latency=12, seq=2))

@@ -31,6 +31,7 @@ from repro.workloads import SQRT_SOURCE
 GOLDEN = Path(__file__).resolve().parent / "golden"
 REPO = Path(__file__).resolve().parent.parent
 DEMO = REPO / "examples" / "lint_demo.hls"
+RANGE_DEMO = REPO / "examples" / "range_demo.hls"
 
 
 def rules_of(sink):
@@ -249,6 +250,185 @@ class TestNetlistRules:
         assert not any(d.rule == "net.comb-loop" for d in sink)
 
 
+class TestRangeRules:
+    def test_demo_reports_every_range_defect(self):
+        report = lint_source(RANGE_DEMO.read_text())
+        rules = {diag.rule for diag in report.diagnostics}
+        assert rules == {
+            "range.div-zero",
+            "range.const-compare",
+            "range.overflow",
+            "range.shift-range",
+        }
+        assert report.exit_code == 2
+
+    def test_provable_truncation_is_suppressed(self):
+        # The frontend flags `small := a >> 4` (uint<8> value into
+        # uint<4>), but the interval analysis proves the shifted value
+        # fits, so the final report must not carry the warning.
+        source = RANGE_DEMO.read_text()
+        sink = DiagnosticSink()
+        compile_source(source, sink=sink)
+        emitted = [
+            d for d in sink
+            if d.rule == "lang.implicit-trunc" and d.subject == "small"
+        ]
+        assert emitted, "demo no longer triggers the frontend warning"
+        report = lint_source(source)
+        assert not any(
+            diag.rule == "lang.implicit-trunc"
+            for diag in report.diagnostics
+        )
+
+    def test_unprovable_truncation_still_reported(self):
+        report = lint_source("""
+procedure p(input a: int<16>; output b: int<8>);
+var t: int<8>;
+begin
+  t := a;
+  if a > 0 then
+    b := t;
+  else
+    b := 0 - t;
+end
+""")
+        assert any(
+            diag.rule == "lang.implicit-trunc"
+            for diag in report.diagnostics
+        )
+
+    def test_div_by_unsigned_warns_boundary_zero(self):
+        # An unsigned divisor: zero is a reachable interval endpoint,
+        # so the divide deserves a warning (not an error).
+        report = lint_source("""
+procedure p(input a: int<8>; input d: uint<8>; output b: int<8>);
+begin
+  b := a / d;
+end
+""")
+        (diag,) = [
+            d for d in report.diagnostics if d.rule == "range.div-zero"
+        ]
+        assert diag.severity == "warning"
+        assert "may be zero" in diag.message
+
+    def test_div_by_interior_zero_is_silent(self):
+        # A full-range signed divisor contains zero, but zero is not a
+        # proven endpoint — warning on every signed divide would drown
+        # the rule in noise.
+        report = lint_source("""
+procedure p(input a: int<8>; input d: int<8>; output b: int<8>);
+begin
+  b := a / d;
+end
+""")
+        assert not any(
+            d.rule == "range.div-zero" for d in report.diagnostics
+        )
+
+    def test_sqrt_stays_clean_under_range_rules(self):
+        report = lint_source(SQRT_SOURCE)
+        assert not report.diagnostics
+
+    def test_rule_counts(self):
+        report = lint_source(RANGE_DEMO.read_text())
+        counts = report.rule_counts()
+        assert counts["range.div-zero"] == 1
+        assert sum(counts.values()) == len(report.diagnostics)
+        assert list(counts) == sorted(counts)
+
+
+class TestLiteralTruncation:
+    def test_representable_literal_is_quiet(self):
+        # `n := 3.0` evaluates at the default fixed<32,16> only for
+        # lack of context; the value fits int<8> exactly, so warning
+        # about the "truncation" would be noise.
+        sink = DiagnosticSink()
+        compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+var n: int<8>;
+begin
+  n := 3.0;
+  b := a + n;
+end
+""", sink=sink)
+        assert not any(
+            d.rule == "lang.implicit-trunc" and d.subject == "n"
+            for d in sink
+        )
+
+    def test_unrepresentable_literal_still_warns(self):
+        sink = DiagnosticSink()
+        compile_source("""
+procedure p(input a: int<8>; output b: int<8>);
+var n: int<8>;
+begin
+  n := 3.7;
+  b := a + n;
+end
+""", sink=sink)
+        assert any(
+            d.rule == "lang.implicit-trunc" and d.subject == "n"
+            for d in sink
+        )
+
+
+class TestDiagnosticSink:
+    def make(self, **kwargs):
+        defaults = dict(
+            rule="src.dead-store",
+            severity="warning",
+            message="stored value is never read",
+            subject="w",
+        )
+        defaults.update(kwargs)
+        return Diagnostic(**defaults)
+
+    def test_exact_duplicates_collapse(self):
+        sink = DiagnosticSink()
+        sink.emit(self.make())
+        sink.emit(self.make())
+        assert len(sink) == 1
+
+    def test_duplicates_do_not_double_count_metric(self):
+        from repro.obs import metrics
+
+        def total():
+            return sum(
+                value
+                for key, value in metrics().counters().items()
+                if key.startswith("lint.diagnostics")
+            )
+
+        before = total()
+        sink = DiagnosticSink()
+        sink.emit(self.make())
+        sink.emit(self.make())
+        assert total() - before == 1
+
+    def test_near_duplicates_survive(self):
+        sink = DiagnosticSink()
+        sink.emit(self.make())
+        sink.emit(self.make(subject="v"))
+        sink.emit(self.make(severity="error"))
+        assert len(sink) == 3
+
+    def test_sort_key_orders_by_position_then_severity(self):
+        from repro.errors import SourceLocation
+
+        late = self.make(location=SourceLocation(9, 1))
+        early_warn = self.make(location=SourceLocation(2, 1))
+        early_err = self.make(
+            severity="error", location=SourceLocation(2, 1)
+        )
+        floating = self.make()
+        ordered = sorted(
+            [late, floating, early_warn, early_err],
+            key=lambda d: d.sort_key,
+        )
+        assert ordered == [early_err, early_warn, late, floating]
+
+
 class TestFSMRules:
     def test_unreachable_state(self):
         fsm = FSM()
@@ -334,6 +514,49 @@ end
     def test_nothing_to_lint_errors(self, capsys):
         assert main(["lint"]) == 2
         assert "nothing to lint" in capsys.readouterr().err
+
+    def test_range_demo_text_matches_golden(self, capsys):
+        assert main(["lint", str(RANGE_DEMO)]) == 2
+        out = capsys.readouterr().out
+        golden = (GOLDEN / "range_demo.txt").read_text()
+        assert out == golden
+
+    def test_range_demo_json_matches_golden(self, capsys):
+        assert main(["lint", str(RANGE_DEMO), "--format", "json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        golden = json.loads((GOLDEN / "range_demo.json").read_text())
+        assert payload == golden
+
+    def test_range_demo_sarif_matches_golden(self, capsys):
+        assert main(["lint", str(RANGE_DEMO), "--format", "sarif"]) == 2
+        out = capsys.readouterr().out.replace(
+            str(RANGE_DEMO), "examples/range_demo.hls"
+        )
+        payload = json.loads(out)
+        golden = json.loads((GOLDEN / "range_demo.sarif").read_text())
+        assert payload == golden
+        assert payload["version"] == "2.1.0"
+
+    def test_lint_demo_sarif_matches_golden(self, capsys):
+        assert main(["lint", str(DEMO), "--format", "sarif"]) == 2
+        out = capsys.readouterr().out.replace(
+            str(DEMO), "examples/lint_demo.hls"
+        )
+        payload = json.loads(normalize(out))
+        golden = json.loads(
+            normalize((GOLDEN / "lint_demo.sarif").read_text())
+        )
+        assert payload == golden
+
+    def test_sarif_levels_and_rules_are_well_formed(self, capsys):
+        assert main(["lint", str(RANGE_DEMO), "--format", "sarif"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        (run,) = payload["runs"]
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        for result in run["results"]:
+            assert result["level"] in ("note", "warning", "error")
+            assert result["ruleId"] in rule_ids
 
     def test_metrics_counter_incremented(self, capsys):
         from repro.obs import metrics

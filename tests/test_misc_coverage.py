@@ -5,7 +5,7 @@ import pytest
 
 from repro.controller import MicrocodeGenerator
 from repro.core import SynthesisOptions, synthesize, synthesize_cdfg
-from repro.ir import IntType, OpKind
+from repro.ir import IntType
 from repro.ir.dot import cdfg_dot, dataflow_dot
 from repro.lang import compile_source
 from repro.scheduling import ResourceConstraints, TypedFUModel

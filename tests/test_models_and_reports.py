@@ -1,7 +1,6 @@
 """Coverage for resource-model variants, report rendering and
 remaining odds and ends."""
 
-import pytest
 
 from repro.ir import OpKind
 from repro.lang import compile_source

@@ -8,7 +8,6 @@ back to the parent, which merges them in input order.  The contract
 serial sweep's exactly.
 """
 
-import pytest
 
 from repro import obs
 from repro.core import clear_synthesis_cache

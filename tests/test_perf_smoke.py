@@ -78,6 +78,12 @@ def test_smoke_report_embeds_store_and_ir_sections():
     assert interning["bytes_saved"] > 0
     assert interning["interned_s"] > 0 and interning["uninterned_s"] > 0
 
+    narrow = report["narrow"]["diffeq_contract"]
+    assert narrow["equivalent"], "narrowed diffeq diverged"
+    assert narrow["area_saved"] > 0
+    assert narrow["narrow_summary"].startswith("narrow:")
+    assert narrow["cycles"][0] == narrow["cycles"][1]
+
 
 @pytest.mark.perf_smoke
 def test_smoke_report_embeds_stage_breakdown():

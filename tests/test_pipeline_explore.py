@@ -4,8 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.binding import Component, ComponentLibrary, ModuleBinder
-from repro.core import SynthesisOptions, synthesize, synthesize_cdfg
+from repro.binding import Component, ComponentLibrary
+from repro.core import SynthesisOptions, synthesize
 from repro.errors import BindingError, SchedulingError
 from repro.estimation import estimate_area, estimate_clock_period, estimate_timing
 from repro.explore import explore_fu_range, measure_cycles
@@ -17,7 +17,6 @@ from repro.pipeline import (
     minimum_initiation_interval,
 )
 from repro.scheduling import (
-    ListScheduler,
     ResourceConstraints,
     SchedulingProblem,
     TypedFUModel,
@@ -25,7 +24,6 @@ from repro.scheduling import (
 from repro.workloads import (
     RandomDFGSpec,
     SQRT_SOURCE,
-    ewf_cdfg,
     fir_block_cdfg,
     random_dfg,
 )

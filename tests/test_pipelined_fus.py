@@ -1,6 +1,5 @@
 """Tests for pipelined functional units (occupancy < latency)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

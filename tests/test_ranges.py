@@ -1,0 +1,387 @@
+"""Tests for the interval analysis (repro.analysis.ranges) and the
+range-driven narrowing transform (repro.transforms.narrow).
+
+The load-bearing property is *soundness*: every value the behavioral
+simulator ever produces must lie inside the interval the analysis
+inferred for it.  The corpus replay test pins this mechanically over
+the whole fuzz corpus plus the loop-heavy built-in workloads.
+"""
+
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.ranges import (
+    Interval,
+    coerce_interval,
+    fits_type,
+    op_interval,
+    range_analysis,
+    refine_interval,
+    type_interval,
+)
+from repro.core.engine import SynthesisOptions, synthesize
+from repro.estimation.area import estimate_area
+from repro.ir.opcodes import OpKind
+from repro.ir.types import FixedType, IntType
+from repro.lang import compile_source
+from repro.sim.behavior import BehavioralSimulator
+from repro.store.keys import options_token
+from repro.transforms import optimize
+from repro.transforms.narrow import RangeNarrowing, narrowed_type
+from repro.verify.corpus import Corpus
+from repro.verify.differential import run_differential
+from repro.workloads import DIFFEQ_SOURCE, SQRT_SOURCE, build_dfg
+
+CORPUS_DIR = Path(__file__).resolve().parent / "corpus"
+
+I8 = IntType(8)
+U8 = IntType(8, signed=False)
+F16 = FixedType(16, 8)
+
+#: The paper's sqrt operating contract: X in <1/16, 1>.
+SQRT_ASSUME = {"X": (0.0625, 1.0)}
+DIFFEQ_ASSUME = {
+    "x0": (0.0, 1.0),
+    "y0": (0.0, 1.0),
+    "u0": (0.0, 1.0),
+    "dx": (0.0625, 0.125),
+    "a": (0.0, 1.0),
+}
+
+
+# ----------------------------------------------------------------------
+# Interval primitives
+# ----------------------------------------------------------------------
+
+
+class TestInterval:
+    def test_hull_and_intersect(self):
+        a, b = Interval(0, 4), Interval(2, 9)
+        assert a.hull(b) == Interval(0, 9)
+        assert a.intersect(b) == Interval(2, 4)
+        assert Interval(0, 1).intersect(Interval(5, 6)) is None
+
+    def test_type_interval(self):
+        assert type_interval(I8) == Interval(-128, 127)
+        assert type_interval(U8) == Interval(0, 255)
+        iv = type_interval(F16)
+        assert iv.lo == -128.0
+        assert iv.hi == pytest.approx(127.99609375)
+
+    def test_coerce_interval_wraps_to_full_range(self):
+        # An interval escaping the representable range must collapse
+        # to the full type range (wrapping is not monotone).
+        assert coerce_interval(Interval(100, 200), I8) == type_interval(I8)
+        assert coerce_interval(Interval(-5, 5), I8) == Interval(-5, 5)
+
+    def test_fits_type_is_exact_representability(self):
+        assert fits_type(Interval(0, 15), IntType(4, signed=False))
+        assert not fits_type(Interval(0, 16), IntType(4, signed=False))
+        assert not fits_type(Interval(0.5, 1.5), I8)
+
+
+class TestOpInterval:
+    def op(self, kind, ivs, types, result):
+        return op_interval(kind, ivs, types, result)
+
+    def test_add_corners(self):
+        _, res = self.op(OpKind.ADD, [Interval(1, 3), Interval(10, 20)],
+                         [I8, I8], I8)
+        assert res == Interval(11, 23)
+
+    def test_mul_sign_corners(self):
+        raw, _ = self.op(OpKind.MUL, [Interval(-2, 3), Interval(-5, 4)],
+                         [I8, I8], I8)
+        assert raw == Interval(-15, 12)
+
+    def test_wrapping_add_collapses(self):
+        raw, res = self.op(OpKind.ADD, [Interval(100, 120),
+                                        Interval(100, 120)], [I8, I8], I8)
+        assert raw == Interval(200, 240)
+        assert res == type_interval(I8)
+
+    def test_div_by_possibly_zero_is_full_range(self):
+        raw, res = self.op(OpKind.DIV, [Interval(1, 10), Interval(0, 3)],
+                           [I8, I8], I8)
+        assert res == type_interval(I8)
+
+    def test_div_truncates_toward_zero(self):
+        _, res = self.op(OpKind.DIV, [Interval(-7, 7), Interval(2, 2)],
+                         [I8, I8], I8)
+        assert res == Interval(-3, 3)
+
+    def test_comparison_decided_by_disjoint_ranges(self):
+        _, res = self.op(OpKind.LT, [Interval(0, 3), Interval(5, 9)],
+                         [I8, I8], IntType(1, signed=False))
+        assert res == Interval(1, 1)
+        _, res = self.op(OpKind.GE, [Interval(0, 3), Interval(5, 9)],
+                         [I8, I8], IntType(1, signed=False))
+        assert res == Interval(0, 0)
+
+    def test_comparison_overlap_is_unknown(self):
+        _, res = self.op(OpKind.LT, [Interval(0, 6), Interval(5, 9)],
+                         [I8, I8], IntType(1, signed=False))
+        assert res == Interval(0, 1)
+
+    def test_shift_amount_beyond_width_is_zero(self):
+        _, res = self.op(OpKind.SHR, [Interval(0, 255), Interval(32, 32)],
+                         [U8, IntType(6, signed=False)], U8)
+        assert res == Interval(0, 0)
+
+
+class TestRefinement:
+    def test_lt_constant_tightens_upper_bound(self):
+        refined = refine_interval(Interval(0, 100), OpKind.LT,
+                                  Interval(10, 10), I8)
+        assert refined == Interval(0, 9)
+
+    def test_gt_constant_tightens_lower_bound(self):
+        refined = refine_interval(Interval(0, 100), OpKind.GT,
+                                  Interval(10, 10), I8)
+        assert refined == Interval(11, 100)
+
+    def test_contradiction_is_infeasible(self):
+        assert refine_interval(Interval(0, 5), OpKind.GT,
+                               Interval(10, 10), I8) is None
+
+
+# ----------------------------------------------------------------------
+# Whole-procedure analysis
+# ----------------------------------------------------------------------
+
+
+class TestRangeAnalysis:
+    def test_sqrt_loop_counter_is_bounded(self):
+        # The post-test loop `I := I + 1; until I > 3` must settle the
+        # counter at [0, 4] — widening jumps it to the type extreme and
+        # the narrowing sweeps plus the back-edge refinement pull it
+        # back down.
+        cdfg = compile_source(SQRT_SOURCE)
+        result = range_analysis(cdfg)
+        assert result.variables["I"] == Interval(0, 4)
+
+    def test_assume_contract_bounds_the_iterate(self):
+        cdfg = compile_source(SQRT_SOURCE)
+        result = range_analysis(cdfg, assume=SQRT_ASSUME)
+        assert result.variables["X"] == Interval(0.0625, 1.0)
+        y = result.variables["Y"]
+        full = type_interval(cdfg.variables["Y"])
+        assert full.lo < y.lo and y.hi < full.hi
+
+    def test_unknown_assume_names_are_ignored(self):
+        cdfg = compile_source(SQRT_SOURCE)
+        result = range_analysis(cdfg, assume={"nope": (0, 1)})
+        assert result.variables["X"] == type_interval(
+            cdfg.variables["X"]
+        )
+
+    def test_accumulator_widens_to_full_range(self):
+        # diffeq's u accumulates without a range-bounding guard: the
+        # analysis must give up soundly (full range), not loop forever.
+        cdfg = compile_source(DIFFEQ_SOURCE)
+        result = range_analysis(cdfg, assume=DIFFEQ_ASSUME)
+        assert result.variables["u"] == type_interval(
+            cdfg.variables["u"]
+        )
+        # ... while the loop-guarded x stays bounded by `x < a`.
+        assert result.variables["x"].hi <= 1.25
+
+
+# ----------------------------------------------------------------------
+# Soundness: simulate, assert containment
+# ----------------------------------------------------------------------
+
+
+class RecordingSimulator(BehavioralSimulator):
+    """Behavioral simulator that snapshots every produced value."""
+
+    def __init__(self, cdfg):
+        super().__init__(cdfg)
+        self.observed: list[tuple[int, object]] = []
+
+    def _exec_block(self, block, *args, **kwargs):
+        out = super()._exec_block(block, *args, **kwargs)
+        for op in block.ops:
+            if op.result is not None and op.result.id in self._values:
+                self.observed.append(
+                    (op.result.id, self._values[op.result.id])
+                )
+        return out
+
+
+def _input_vectors(cdfg, rng, count, assume=None):
+    """Deterministic in-range (and in-contract) input vectors."""
+    vectors = []
+    for _ in range(count):
+        vector = {}
+        for port in cdfg.inputs:
+            if assume and port.name in assume:
+                lo, hi = assume[port.name]
+            else:
+                iv = type_interval(port.type)
+                lo, hi = iv.lo, iv.hi
+            if isinstance(port.type, IntType):
+                vector[port.name] = rng.randint(int(lo), int(hi))
+            else:
+                vector[port.name] = lo + rng.random() * (hi - lo)
+        vectors.append(vector)
+    return vectors
+
+
+def _assert_sound(cdfg, vectors, assume=None):
+    from repro.errors import SimulationError
+
+    result = range_analysis(cdfg, assume=assume)
+    checked = 0
+    for vector in vectors:
+        simulator = RecordingSimulator(cdfg)
+        try:
+            simulator.run(vector)
+        except SimulationError:
+            continue  # div-by-zero / runaway loop: nothing to check
+        for vid, value in simulator.observed:
+            interval = result.values.get(vid)
+            assert interval is not None, f"value {vid} has no interval"
+            assert interval.contains(value), (
+                f"{cdfg.name}: value {vid} = {value!r} escapes its "
+                f"inferred interval {interval} for inputs {vector!r}"
+            )
+            checked += 1
+    return checked
+
+
+class TestSoundness:
+    def test_corpus_soundness(self):
+        """Replay the whole fuzz corpus: every simulated value must lie
+        in its inferred interval."""
+        entries = Corpus(CORPUS_DIR).load()
+        assert entries, "fuzz corpus is missing"
+        rng = random.Random(20260809)
+        total = 0
+        for entry in entries:
+            cdfg = build_dfg(entry.case.recipe)
+            vectors = _input_vectors(cdfg, rng, count=5)
+            total += _assert_sound(cdfg, vectors)
+        assert total > 0
+
+    def test_sqrt_soundness_with_loops_and_contract(self):
+        cdfg = compile_source(SQRT_SOURCE)
+        rng = random.Random(1)
+        vectors = _input_vectors(cdfg, rng, count=8, assume=SQRT_ASSUME)
+        assert _assert_sound(cdfg, vectors, assume=SQRT_ASSUME) > 0
+
+    def test_sqrt_soundness_unconstrained(self):
+        cdfg = compile_source(SQRT_SOURCE)
+        rng = random.Random(2)
+        vectors = _input_vectors(cdfg, rng, count=8)
+        _assert_sound(cdfg, vectors)
+
+    def test_diffeq_soundness_with_contract(self):
+        cdfg = compile_source(DIFFEQ_SOURCE)
+        rng = random.Random(3)
+        vectors = _input_vectors(cdfg, rng, count=6,
+                                 assume=DIFFEQ_ASSUME)
+        assert _assert_sound(cdfg, vectors, assume=DIFFEQ_ASSUME) > 0
+
+    def test_optimized_ir_soundness(self):
+        """The narrowing pass consumes post-optimizer IR; the intervals
+        must hold there too."""
+        for source, assume in ((SQRT_SOURCE, SQRT_ASSUME),
+                               (DIFFEQ_SOURCE, DIFFEQ_ASSUME)):
+            cdfg = compile_source(source)
+            optimize(cdfg)
+            rng = random.Random(4)
+            vectors = _input_vectors(cdfg, rng, count=5, assume=assume)
+            assert _assert_sound(cdfg, vectors, assume=assume) > 0
+
+
+# ----------------------------------------------------------------------
+# Bitwidth narrowing
+# ----------------------------------------------------------------------
+
+
+class TestNarrowedType:
+    def test_int_shrinks_to_minimal_width(self):
+        assert narrowed_type(IntType(16), Interval(0, 5)) == IntType(4)
+        assert narrowed_type(
+            IntType(16, signed=False), Interval(0, 255)
+        ) == IntType(8, signed=False)
+
+    def test_fixed_keeps_fractional_bits(self):
+        narrow = narrowed_type(FixedType(32, 16), Interval(0.0, 1.0))
+        assert isinstance(narrow, FixedType)
+        assert narrow.frac_bits == 16
+        assert narrow.width == 18
+
+    def test_never_grows(self):
+        assert narrowed_type(IntType(4), Interval(-1000, 1000)) is None
+
+
+class TestRangeNarrowing:
+    def test_sqrt_contract_narrows_values(self):
+        cdfg = compile_source(SQRT_SOURCE)
+        optimize(cdfg)
+        narrow = RangeNarrowing(assume=SQRT_ASSUME)
+        assert narrow.run(cdfg)
+        assert narrow.narrowed_values > 0
+        assert narrow.bits_saved > 0
+        assert "narrowed" in narrow.summary()
+
+    def test_ports_are_never_narrowed(self):
+        cdfg = compile_source(SQRT_SOURCE)
+        declared = dict(cdfg.variables)
+        optimize(cdfg)
+        RangeNarrowing(assume=SQRT_ASSUME).run(cdfg)
+        for port in list(cdfg.inputs) + list(cdfg.outputs):
+            assert cdfg.variables[port.name] == declared[port.name]
+
+    def test_unconstrained_inputs_narrow_nothing_on_sqrt(self):
+        # Without the operating contract the divider result spans the
+        # full type range; a sound analysis cannot shrink anything
+        # that matters.  This pins the honesty of the contract story.
+        cdfg = compile_source(SQRT_SOURCE)
+        optimize(cdfg)
+        narrow = RangeNarrowing()
+        narrow.run(cdfg)
+        assert narrow.narrowed_variables == 0
+
+    def test_diffeq_contract_reduces_estimated_area(self):
+        assume = tuple(
+            (name, lo, hi) for name, (lo, hi) in DIFFEQ_ASSUME.items()
+        )
+        base = synthesize(DIFFEQ_SOURCE, options=SynthesisOptions())
+        narrowed = synthesize(
+            DIFFEQ_SOURCE,
+            options=SynthesisOptions(narrow=True, assume_ranges=assume),
+        )
+        assert (
+            estimate_area(narrowed).total < estimate_area(base).total
+        )
+        assert any("narrow:" in line for line in narrowed.log)
+
+    def test_narrowed_design_is_equivalent(self):
+        assume = tuple(
+            (name, lo, hi) for name, (lo, hi) in DIFFEQ_ASSUME.items()
+        )
+        report = run_differential(
+            DIFFEQ_SOURCE,
+            schedulers=["list"],
+            allocators=["left-edge"],
+            options=SynthesisOptions(narrow=True, assume_ranges=assume),
+            vectors=[
+                {"x0": 0.0, "y0": 1.0, "u0": 1.0, "dx": 0.125, "a": 0.5},
+                {"x0": 0.25, "y0": 0.5, "u0": 0.75, "dx": 0.0625,
+                 "a": 1.0},
+            ],
+        )
+        assert report.ok
+
+    def test_narrow_options_change_cache_and_store_keys(self):
+        plain = SynthesisOptions()
+        narrow = SynthesisOptions(
+            narrow=True, assume_ranges=(("X", 0.0625, 1.0),)
+        )
+        assert plain.cache_key() != narrow.cache_key()
+        assert options_token(plain) != options_token(narrow)

@@ -9,11 +9,7 @@ from repro.core import SCHEDULERS, ALLOCATORS, SynthesisOptions, synthesize, syn
 from repro.errors import EquivalenceError, HLSError, SimulationError
 from repro.lang import compile_source
 from repro.rtl import emit_verilog
-from repro.scheduling import (
-    ResourceConstraints,
-    TypedFUModel,
-    UniversalFUModel,
-)
+from repro.scheduling import ResourceConstraints, TypedFUModel
 from repro.sim import (
     BehavioralSimulator,
     RTLSimulator,

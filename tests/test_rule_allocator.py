@@ -1,6 +1,5 @@
 """Tests for the DAA-style rule-based allocator."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

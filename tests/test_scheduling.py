@@ -28,7 +28,6 @@ from repro.scheduling.force_directed import distribution_graph
 from repro.transforms import optimize
 from repro.workloads import (
     RandomDFGSpec,
-    diffeq_cdfg,
     ewf_cdfg,
     fig3_cdfg,
     fig5_cdfg,

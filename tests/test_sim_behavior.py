@@ -12,7 +12,7 @@ from repro.ir.types import BOOL, FixedType
 from repro.lang import compile_source
 from repro.sim import BehavioralSimulator, run_behavior
 from repro.sim.semantics import coerce, evaluate
-from repro.workloads import SQRT_SOURCE, sqrt_cdfg
+from repro.workloads import sqrt_cdfg
 
 I8 = IntType(8)
 F16 = FixedType(16, 8)

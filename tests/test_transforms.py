@@ -3,7 +3,6 @@
 import pytest
 
 from repro.ir import IntType, OpKind
-from repro.ir.types import FixedType
 from repro.lang import compile_source
 from repro.sim import run_behavior
 from repro.transforms import (
@@ -18,7 +17,7 @@ from repro.transforms import (
     TripCountAnalysis,
     optimize,
 )
-from repro.workloads import SQRT_SOURCE, sqrt_cdfg
+from repro.workloads import sqrt_cdfg
 
 
 def kinds_of(cdfg):

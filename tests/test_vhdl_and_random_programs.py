@@ -6,7 +6,6 @@ optimization pipeline preserves their behavior — the broadest
 transform-correctness net in the suite.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
