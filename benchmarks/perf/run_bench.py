@@ -64,10 +64,12 @@ STORE_WORKER = Path(__file__).resolve().with_name("_store_worker.py")
 BUDGETS = {
     "smoke": {"repeats": 1, "diffeq_limits": 4, "sqrt_limits": 3,
               "random_ops": 30, "search_max_units": 8,
-              "store_limits": 4, "fir_taps": 16},
+              "store_limits": 4, "fir_taps": 16,
+              "directive_limits": 3},
     "full": {"repeats": 5, "diffeq_limits": 8, "sqrt_limits": 6,
              "random_ops": 60, "search_max_units": 16,
-             "store_limits": 8, "fir_taps": 32},
+             "store_limits": 8, "fir_taps": 32,
+             "directive_limits": 4},
 }
 
 
@@ -562,6 +564,79 @@ def _bench_narrow(repeats: int) -> dict:
     }
 
 
+def _bench_directives(limits: list[int], repeats: int) -> dict:
+    """Directive-space funnel vs the FU-only sweep on diffeq.
+
+    Pins the tentpole's two acceptance properties: the directive sweep
+    must **expand the Pareto front** (at least one point no FU-only
+    point dominates) while running **at least 2× fewer** full
+    synthesize+measure evaluations than the exhaustive
+    configs × limits cross-product.  Measurement vectors are explicit
+    in-contract inputs that actually run the integration loop — the
+    default corner vectors all start at ``x0 == a``, so the loop never
+    executes and every directive looks latency-identical.
+    """
+    from repro.explore import default_directive_space, explore_directives
+    from repro.workloads import diffeq_inputs
+
+    vectors = [diffeq_inputs(steps) for steps in (2, 4, 8)]
+    configs = default_directive_space()
+    baseline = _fresh(lambda: explore_fu_range(
+        DIFFEQ_SOURCE, limits, vectors=vectors))()
+    result = _fresh(lambda: explore_directives(
+        DIFFEQ_SOURCE, limits, configs=configs, vectors=vectors))()
+    funnel = result.funnel
+
+    base_front = [(p.area, p.latency_ns) for p in baseline.pareto]
+    new_nondominated = sum(
+        1 for p in result.pareto
+        if not any(a <= p.area and l <= p.latency_ns
+                   for a, l in base_front)
+    )
+    # The baseline's configuration (no directives, list/left-edge) is
+    # one cell of the directive space: wherever the funnel kept it,
+    # both sweeps must have measured the very same design.
+    plain = {
+        str(p.constraints): (p.area, p.cycles, p.clock_ns)
+        for p in result.points
+        if p.config.transforms == (False, False, False)
+        and p.config.scheduler == "list"
+        and p.config.allocator == "left-edge"
+    }
+    equivalent = all(
+        plain[str(p.constraints)] == (p.area, p.cycles, p.clock_ns)
+        for p in baseline.points
+        if str(p.constraints) in plain
+    )
+    new_s = _best_of(
+        _fresh(lambda: explore_directives(
+            DIFFEQ_SOURCE, limits, configs=configs, vectors=vectors)),
+        repeats,
+    )
+    return {
+        "workload": "diffeq (loop-exercising in-contract vectors)",
+        "configs": len(configs),
+        "limits": limits,
+        "exhaustive": funnel["exhaustive"],
+        "configs_evaluated": funnel["configs_evaluated"],
+        "configs_pruned": funnel["configs_pruned"],
+        "funnel": {
+            key: funnel[key]
+            for key in ("duplicates_pruned", "estimate_pruned",
+                        "schedule_pruned", "schedule_failed")
+        },
+        "prune_ratio": (
+            funnel["exhaustive"] / funnel["configs_evaluated"]
+            if funnel["configs_evaluated"] else float("inf")
+        ),
+        "front_baseline": len(baseline.pareto),
+        "front_directives": len(result.pareto),
+        "new_nondominated": new_nondominated,
+        "new_s": new_s,
+        "equivalent": equivalent,
+    }
+
+
 def _single_block_problem(cdfg, model, constraints=None,
                           time_limit=None) -> SchedulingProblem:
     blocks = [block for block in cdfg.blocks() if block.ops]
@@ -580,7 +655,8 @@ def _ledger_records(report: dict) -> None:
     ledger = run_ledger.active_ledger()
     if ledger is None:
         return
-    for section in ("dse", "schedulers", "store", "ir", "narrow"):
+    for section in ("dse", "directives", "schedulers", "store", "ir",
+                    "narrow"):
         for name, entry in report[section].items():
             wall = entry.get(
                 "new_s",
@@ -686,6 +762,11 @@ def _build_report(budget, knobs, repeats, random_spec, typed,
         "narrow": {
             "diffeq_contract": _bench_narrow(repeats),
         },
+        "directives": {
+            "diffeq": _bench_directives(
+                list(range(1, knobs["directive_limits"] + 1)), repeats,
+            ),
+        },
     }
     return report
 
@@ -718,6 +799,12 @@ def main(argv: list[str] | None = None) -> int:
                              entry.get("identical_schedules"))
             print(f"{section}/{name}: {entry['speedup']:.2f}x "
                   f"(results identical: {flag})")
+    for name, entry in report["directives"].items():
+        print(f"directives/{name}: {entry['exhaustive']} cells -> "
+              f"{entry['configs_evaluated']} full evaluations "
+              f"({entry['prune_ratio']:.1f}x pruned), "
+              f"{entry['new_nondominated']} new Pareto points "
+              f"(equivalent: {entry['equivalent']})")
     for name, entry in report["narrow"].items():
         print(f"narrow/{name}: area {entry['baseline_area']:.0f} -> "
               f"{entry['narrowed_area']:.0f} "

@@ -105,6 +105,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="fully unroll constant-trip loops",
     )
     parser.add_argument(
+        "--tree-height", action="store_true",
+        help="rebalance associative operator chains (tree-height "
+        "reduction)",
+    )
+    parser.add_argument(
+        "--if-convert", action="store_true",
+        help="convert small branches into predicated straight-line "
+        "code (if-conversion)",
+    )
+    parser.add_argument(
         "--narrow", action="store_true",
         help="narrow value/register bitwidths to their proven ranges "
         "(sound interval analysis; see --assume for input contracts)",
@@ -165,6 +175,8 @@ def _options(args: argparse.Namespace) -> SynthesisOptions:
         constraints=constraints,
         optimize_ir=not args.no_optimize,
         unroll=args.unroll,
+        tree_height=getattr(args, "tree_height", False),
+        if_conversion=getattr(args, "if_convert", False),
         narrow=getattr(args, "narrow", False),
         assume_ranges=_parse_assume(getattr(args, "assume", None)),
         memory=getattr(args, "memory", False),
@@ -245,9 +257,24 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 def cmd_explore(args: argparse.Namespace) -> int:
     source = _read_source(args.file)
     limits = [int(x) for x in args.limits.split(",")]
-    result = explore_fu_range(source, limits, options=_options(args),
-                              n_jobs=args.jobs, report=args.report,
-                              task_timeout_s=args.timeout)
+    if args.directives:
+        from .explore import default_directive_space, explore_directives
+
+        configs = default_directive_space(
+            schedulers=args.schedulers.split(","),
+            allocators=args.allocators.split(","),
+        )
+        result = explore_directives(
+            source, limits, configs=configs, options=_options(args),
+            n_jobs=args.jobs, report=args.report,
+            task_timeout_s=args.timeout,
+            prune_margin=args.prune_margin,
+        )
+    else:
+        result = explore_fu_range(source, limits,
+                                  options=_options(args),
+                                  n_jobs=args.jobs, report=args.report,
+                                  task_timeout_s=args.timeout)
     print(result.table())
     return 1 if result.failures else 0
 
@@ -649,6 +676,29 @@ def main(argv: list[str] | None = None) -> int:
         "--timeout", type=float, default=None,
         help="per-point wall-clock budget in seconds for parallel "
         "sweeps (default: env REPRO_TASK_TIMEOUT_S, else none)",
+    )
+    explore.add_argument(
+        "--directives", action="store_true",
+        help="search the directive space (transform switches x "
+        "scheduler x allocator) x FU limits through the "
+        "estimator-pruned funnel instead of the plain FU sweep; the "
+        "table ends with the per-level pruning accounting",
+    )
+    explore.add_argument(
+        "--schedulers", default="list,force-directed",
+        help="comma-separated schedulers for --directives "
+        "(default list,force-directed)",
+    )
+    explore.add_argument(
+        "--allocators", default="left-edge",
+        help="comma-separated allocators for --directives "
+        "(default left-edge)",
+    )
+    explore.add_argument(
+        "--prune-margin", type=float, default=0.0,
+        help="estimate-dominance slack for --directives: prune a cell "
+        "only when another beats it by this relative margin on both "
+        "axes (default 0.0)",
     )
     explore.set_defaults(handler=cmd_explore)
 

@@ -86,6 +86,10 @@ class SynthesisOptions:
         optimize_ir: run the standard transformation pipeline first.
         unroll: fully unroll constant-trip loops during optimization.
         tree_height: rebalance associative chains during optimization.
+        if_conversion: convert small branches into straight-line mux
+            selection during optimization (the third opt-in directive
+            of the §2 transformation repertoire; directive DSE sweeps
+            it together with ``unroll``/``tree_height``).
         narrow: run the range-driven bitwidth-narrowing pass
             (:class:`repro.transforms.narrow.RangeNarrowing`) after
             optimization, shrinking value and register widths to their
@@ -120,6 +124,7 @@ class SynthesisOptions:
     optimize_ir: bool = True
     unroll: bool = False
     tree_height: bool = False
+    if_conversion: bool = False
     narrow: bool = False
     assume_ranges: tuple[tuple[str, float, float], ...] = ()
     library: ComponentLibrary | None = None
@@ -170,6 +175,7 @@ class SynthesisOptions:
             self.optimize_ir,
             self.unroll,
             self.tree_height,
+            self.if_conversion,
             self.narrow,
             self.assume_ranges,
             self.library,
@@ -429,7 +435,8 @@ def _synthesize_cdfg(cdfg: CDFG, options: SynthesisOptions,
     if options.optimize_ir:
         with memory_span("transforms"):
             report = optimize(cdfg, unroll=options.unroll,
-                              tree_height=options.tree_height)
+                              tree_height=options.tree_height,
+                              if_conversion=options.if_conversion)
         log.append(f"optimize: {report}")
     if options.narrow:
         from ..transforms.narrow import RangeNarrowing

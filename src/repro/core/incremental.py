@@ -110,7 +110,8 @@ def resynthesize(baseline: SynthesizedDesign, source: str,
         cdfg = compile_source(source, procedure)
         if options.optimize_ir:
             optimize(cdfg, unroll=options.unroll,
-                     tree_height=options.tree_height)
+                     tree_height=options.tree_height,
+                     if_conversion=options.if_conversion)
         run_options = replace(options, optimize_ir=False)
         delta = diff_cdfgs(baseline.cdfg, cdfg)
         baseline_ids = {

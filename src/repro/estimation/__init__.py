@@ -7,15 +7,20 @@ from .floorplan import (
     estimate_wiring,
     place_linear,
 )
+from .qor import DEFAULT_RANKING_TRIPS, QoREstimate, QoRModel, estimate_qor
 from .timing import TimingEstimate, estimate_clock_period, estimate_timing
 
 __all__ = [
     "AreaEstimate",
+    "DEFAULT_RANKING_TRIPS",
     "Floorplan",
+    "QoREstimate",
+    "QoRModel",
     "TimingEstimate",
     "WiringEstimate",
     "estimate_area",
     "estimate_clock_period",
+    "estimate_qor",
     "estimate_timing",
     "estimate_wiring",
     "place_linear",

@@ -1,5 +1,12 @@
 """Design-space exploration (paper §1.2 / §3.1.1 iteration loops)."""
 
+from .directives import (
+    DirectiveConfig,
+    DirectiveExplorationResult,
+    DirectivePoint,
+    default_directive_space,
+    explore_directives,
+)
 from .dse import (
     DesignPoint,
     ExplorationResult,
@@ -11,8 +18,13 @@ from .parallel import ParallelExplorer
 
 __all__ = [
     "DesignPoint",
+    "DirectiveConfig",
+    "DirectiveExplorationResult",
+    "DirectivePoint",
     "ExplorationResult",
     "ParallelExplorer",
+    "default_directive_space",
+    "explore_directives",
     "explore_fu_range",
     "measure_cycles",
     "search_for_latency",

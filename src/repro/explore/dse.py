@@ -283,7 +283,14 @@ class _PointBuilder:
         self._measure_memo: dict[tuple, tuple[int, float, float]] = {}
 
     def _working_cdfg(self) -> CDFG:
-        """The compiled-and-optimized CDFG shared by every point."""
+        """The compiled-and-optimized CDFG shared by every point.
+
+        Range narrowing is hoisted here as well: like ``optimize()``,
+        it is constraint-independent, so running it once on the shared
+        CDFG (instead of once per point, mutating the graph every
+        point re-synthesizes) keeps the sweep identical to per-point
+        full synthesis.
+        """
         if self._working is None:
             self._working = compile_source(self.source_or_factory)
             if self.base.optimize_ir:
@@ -291,7 +298,16 @@ class _PointBuilder:
                     self._working,
                     unroll=self.base.unroll,
                     tree_height=self.base.tree_height,
+                    if_conversion=self.base.if_conversion,
                 )
+            if self.base.narrow:
+                from ..transforms.narrow import RangeNarrowing
+
+                assume = {
+                    name: (lo, hi)
+                    for name, lo, hi in self.base.assume_ranges
+                }
+                RangeNarrowing(assume=assume).run(self._working)
         return self._working
 
     def build(self, limit: int) -> DesignPoint:
@@ -300,11 +316,27 @@ class _PointBuilder:
             metrics().counter("dse.points.evaluated").inc()
             return self._build(limit)
 
-    def _build(self, limit: int) -> DesignPoint:
+    def ensure_vectors(self) -> None:
+        """Generate the sweep's measurement vectors once (string
+        sources only).
+
+        Vector generation is deterministic in the CDFG's inputs, so one
+        batch serves the whole sweep — parallel sweeps call this before
+        shipping payloads so workers measure the very same vectors.
+        The assume contract must ride along: a design narrowed under it
+        is only equivalent for inputs honoring it, so sweep
+        measurements stay inside the contract too.
+        """
         if self.vectors is None and isinstance(self.source_or_factory, str):
-            # Vector generation is deterministic in the CDFG's inputs,
-            # so one batch serves the whole sweep.
-            self.vectors = default_vectors(self._working_cdfg(), count=4)
+            assume = {
+                name: (lo, hi) for name, lo, hi in self.base.assume_ranges
+            }
+            self.vectors = default_vectors(
+                self._working_cdfg(), count=4, assume=assume or None
+            )
+
+    def _build(self, limit: int) -> DesignPoint:
+        self.ensure_vectors()
         point_options = self.base.with_constraints(
             {self.resource_class: limit}
         )
@@ -316,8 +348,11 @@ class _PointBuilder:
             design = lookup_design(self._digest, None, point_options)
         if design is None:
             if isinstance(self.source_or_factory, str):
-                # IR optimization already ran once on the shared CDFG.
-                run_options = replace(point_options, optimize_ir=False)
+                # IR optimization and narrowing already ran once on the
+                # shared CDFG (cache keys still carry the requested
+                # knobs — point_options is keyed *before* this strip).
+                run_options = replace(point_options, optimize_ir=False,
+                                      narrow=False)
                 design = synthesize_cdfg(
                     self._working_cdfg(), run_options,
                     problem_cache=self._problem_cache,

@@ -6,9 +6,10 @@ resource limits: each design point is an independent synthesis run.
 :class:`ParallelExplorer` distributes points over a process pool via
 the fault-tolerant :mod:`repro.exec` runtime; each worker compiles a
 behavioral source at most once (a per-process template memo keyed by
-source digest) and deep-clones the CDFG per point, mirroring the
-serial compile-once path, so the resulting points are identical to a
-serial sweep.
+source digest plus every graph-shaping option knob) and synthesizes
+every point against that shared CDFG, mirroring the serial
+compile-once path, so the resulting points are identical to a serial
+sweep.
 
 The pool is an optimization, never a correctness hazard.  Failure
 semantics (see ``docs/resilience.md``):
@@ -47,11 +48,26 @@ from ..obs import (
     tracing_enabled,
 )
 from ..store import DesignStore, active_store, store_key
-from ..transforms import clone_cdfg, optimize
+from ..transforms import optimize
 from .dse import DesignPoint, _PointBuilder, measure_cycles
 
-#: Per-worker-process compiled templates, keyed by source digest.
-_WORKER_TEMPLATES: dict[str, CDFG] = {}
+#: Per-worker-process compiled templates, keyed by source digest plus
+#: every option knob that shapes the optimized graph — directive DSE
+#: runs points with *different* transform directives over one source,
+#: and each variant needs its own template.
+_WORKER_TEMPLATES: dict[tuple, CDFG] = {}
+
+
+def _template_key(digest: str, options) -> tuple:
+    return (
+        digest,
+        options.optimize_ir,
+        options.unroll,
+        options.tree_height,
+        options.if_conversion,
+        options.narrow,
+        options.assume_ranges,
+    )
 
 
 def _build_point_task(payload: dict) -> tuple[DesignPoint, list, dict]:
@@ -108,18 +124,34 @@ def _build_point(payload: dict) -> DesignPoint:
             design = store.get(key)
     if design is None:
         if source is not None:
-            digest = payload["digest"]
-            template = _WORKER_TEMPLATES.get(digest)
+            template_key = _template_key(payload["digest"], options)
+            template = _WORKER_TEMPLATES.get(template_key)
             if template is None:
                 template = compile_source(source)
                 if options.optimize_ir:
                     optimize(template, unroll=options.unroll,
-                             tree_height=options.tree_height)
-                _WORKER_TEMPLATES[digest] = template
-            # The memoized template is already optimized; each point
-            # gets a fresh deep clone to synthesize.
-            cdfg = clone_cdfg(template)
-            run_options = replace(options, optimize_ir=False)
+                             tree_height=options.tree_height,
+                             if_conversion=options.if_conversion)
+                if options.narrow:
+                    from ..transforms.narrow import RangeNarrowing
+
+                    assume = {
+                        name: (lo, hi)
+                        for name, lo, hi in options.assume_ranges
+                    }
+                    RangeNarrowing(assume=assume).run(template)
+                _WORKER_TEMPLATES[template_key] = template
+            # The memoized template is already optimized and narrowed.
+            # Synthesize it directly, exactly like the serial
+            # compile-once path: the pipeline only reads the CDFG after
+            # IR optimization, and a clone would renumber op ids —
+            # scheduler tie-breaking follows id order, so a cloned
+            # graph can legally schedule differently and break the
+            # points-identical-to-serial contract (tree-height graphs
+            # trip this in practice).
+            cdfg = template
+            run_options = replace(options, optimize_ir=False,
+                                  narrow=False)
         else:
             cdfg = payload["factory"]()
             run_options = options
@@ -192,6 +224,10 @@ class ParallelExplorer:
 
         source_or_factory = builder.source_or_factory
         is_source = isinstance(source_or_factory, str)
+        # Materialize the sweep vectors in the parent (assume contract
+        # applied) so every worker measures the same inputs the serial
+        # path would.
+        builder.ensure_vectors()
         store = active_store() if builder.use_cache else None
         payloads = [
             {

@@ -83,6 +83,12 @@ DEFAULT_THRESHOLDS: dict[str, Threshold] = {
                                 min_base=1.0),
     "lint_findings": Threshold(0.0, None),
     "lint_errors": Threshold(0.0, 0.0),
+    # Directive-DSE funnel accounting (kind "explore-directives"):
+    # fewer pruned cells or more full evaluations means the funnel got
+    # less effective — worth a look, never a hard failure (estimator
+    # pruning is heuristic and may legitimately shift).
+    "dse_configs_pruned": Threshold(0.0, None, higher_is_worse=False),
+    "dse_configs_evaluated": Threshold(0.0, None),
 }
 
 
@@ -115,6 +121,16 @@ def _lint_extra(name: str) -> Callable[[RunRecord], float | None]:
     return extract
 
 
+def _directive_extra(name: str) -> Callable[[RunRecord], float | None]:
+    def extract(record: RunRecord) -> float | None:
+        if record.kind != "explore-directives":
+            return None
+        value = record.extra.get(name)
+        return float(value) if value is not None else None
+
+    return extract
+
+
 def _cache_hit_rate(record: RunRecord) -> float | None:
     counters = record.metrics.get("counters", {})
     hits = counters.get("cache.hits", 0)
@@ -135,6 +151,8 @@ FAMILIES: dict[str, Callable[[RunRecord], float | None]] = {
     "cache_hit_rate": _cache_hit_rate,
     "lint_findings": _lint_extra("findings"),
     "lint_errors": _lint_extra("errors"),
+    "dse_configs_pruned": _directive_extra("configs_pruned"),
+    "dse_configs_evaluated": _directive_extra("configs_evaluated"),
 }
 
 DEFAULT_WINDOW = 5

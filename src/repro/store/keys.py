@@ -29,7 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover
 #: pipeline's deterministic behavior, or this key derivation changes
 #: incompatibly.  Old entries become unreachable (each version writes
 #: under its own ``v<N>/`` directory) and are reclaimed by gc.
-STORE_SCHEMA_VERSION = 2  # v2: narrow/assume_ranges joined the key
+STORE_SCHEMA_VERSION = 3  # v3: if_conversion joined the key
 
 
 def options_token(options: "SynthesisOptions") -> tuple[Hashable, ...] | None:
@@ -66,6 +66,7 @@ def options_token(options: "SynthesisOptions") -> tuple[Hashable, ...] | None:
         options.optimize_ir,
         options.unroll,
         options.tree_height,
+        options.if_conversion,
         options.narrow,
         options.assume_ranges,
         library_token,

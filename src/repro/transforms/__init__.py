@@ -45,12 +45,14 @@ __all__ = [
 
 
 def standard_pipeline(unroll: bool = False,
-                      tree_height: bool = False) -> PassManager:
+                      tree_height: bool = False,
+                      if_conversion: bool = False) -> PassManager:
     """The default optimization pipeline.
 
     Args:
         unroll: also fully unroll constant-trip loops.
         tree_height: also rebalance associative chains.
+        if_conversion: also convert small branches to mux selection.
     """
     passes: list[Pass] = [
         ConstantFolding(),
@@ -62,19 +64,23 @@ def standard_pipeline(unroll: bool = False,
     ]
     if tree_height:
         passes.append(TreeHeightReduction())
+    if if_conversion:
+        passes.append(IfConversion())
     if unroll:
         passes.append(LoopUnrolling())
     return PassManager(passes)
 
 
 def optimize(cdfg, unroll: bool = False,
-             tree_height: bool = False) -> PassReport:
+             tree_height: bool = False,
+             if_conversion: bool = False) -> PassReport:
     """Run the standard pipeline on ``cdfg`` in place."""
     from ..obs import trace_span
 
     with trace_span("transforms", design=cdfg.name) as span:
         report = standard_pipeline(
-            unroll=unroll, tree_height=tree_height
+            unroll=unroll, tree_height=tree_height,
+            if_conversion=if_conversion,
         ).run(cdfg)
         span.set(iterations=report.iterations,
                  applied=len(report.applied))

@@ -57,6 +57,13 @@ class LoopUnrolling(Pass):
     def _eligible(self, loop: LoopRegion) -> bool:
         if loop.trip_count is None:
             return False
+        if loop.trip_count == 0:
+            # A provably-zero-trip pre-test loop never runs its body,
+            # and its single test evaluation only feeds the branch
+            # decision — the whole loop collapses to an empty sequence.
+            # A post-test body always runs at least once, so a zero
+            # count there would be contradictory; leave it alone.
+            return not loop.test_in_body
         if not 0 < loop.trip_count <= self._max_trips:
             return False
         # Nested loops inside the body are cloned verbatim, which is

@@ -37,6 +37,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..allocation.lifetimes import compute_lifetimes
+from ..analysis.liveness import live_out_variables
 from ..ir.opcodes import OpKind
 from ..ir.types import bit_width
 from ..obs import metrics, trace_span
@@ -196,7 +197,13 @@ def check_allocation(design: "SynthesizedDesign") -> list[Violation]:
                          "spans": [[s1, e1], [s2, e2]]},
                     ))
 
-        lifetimes = compute_lifetimes(schedule)
+        # Check against the same liveness-informed lifetime model the
+        # allocator and datapath builder use: a value written only to a
+        # dead variable (e.g. an unrolled loop counter) never leaves the
+        # block and legitimately has no register — the conservative
+        # no-live-out model would flag it as register-missing.
+        lifetimes = compute_lifetimes(schedule,
+                                      live_out_variables(schedule))
         for lifetime in lifetimes:
             if lifetime.value.id not in allocation.register_map:
                 violations.append(Violation(

@@ -86,6 +86,32 @@ def test_smoke_report_embeds_store_and_ir_sections():
 
 
 @pytest.mark.perf_smoke
+def test_smoke_report_embeds_directive_funnel():
+    """The directive-DSE section must pin both acceptance properties:
+    front expansion over the FU-only sweep and a >=2x full-evaluation
+    saving from the estimator funnel."""
+    run_bench = _load_run_bench()
+    report = run_bench.run_benchmarks("smoke")
+
+    entry = report["directives"]["diffeq"]
+    assert entry["equivalent"], (
+        "plain directive cells diverged from the FU-only sweep"
+    )
+    assert entry["exhaustive"] == entry["configs"] * len(entry["limits"])
+    assert entry["configs_pruned"] > 0
+    assert entry["configs_evaluated"] * 2 <= entry["exhaustive"], (
+        "funnel must prune at least half the exhaustive cross-product"
+    )
+    assert (entry["configs_evaluated"] + entry["configs_pruned"]
+            == entry["exhaustive"])
+    assert entry["new_nondominated"] >= 1, (
+        "directive sweep found no new non-dominated point"
+    )
+    assert entry["front_directives"] >= entry["front_baseline"]
+    assert entry["new_s"] > 0
+
+
+@pytest.mark.perf_smoke
 def test_smoke_report_embeds_stage_breakdown():
     run_bench = _load_run_bench()
     report = run_bench.run_benchmarks("smoke")
